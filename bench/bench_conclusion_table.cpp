@@ -1,0 +1,150 @@
+// E7 — the HEADLINE: the paper's Section IX conclusion table.
+//
+//                         S                    W              F
+//  1D  standard       log p                 n^2            n^2 k/p
+//      new method     log^2 p               n^2            n^2 k/p
+//  2D  standard       sqrt(p) log p         nk/sqrt p      n^2 k/p
+//      new method     log^2 p + ...         nk/sqrt p      n^2 k/p
+//  3D  standard       (np/k)^{2/3} log p    (n^2k/p)^{2/3} n^2 k/p
+//      new method     log^2 p + sqrt(n/k) log p  (same)    2 n^2 k/p
+//
+// Part 1 evaluates the model at cluster scale (p = 4096) — the regime the
+// paper targets. Part 2 *executes* both algorithms on the simulator at
+// p <= 64 and reports measured S/W/F, confirming who wins and by roughly
+// what factor at runnable scale.
+
+#include "bench_util.hpp"
+
+#include "model/compare.hpp"
+#include "model/tuning.hpp"
+#include "trsm/it_inv_trsm.hpp"
+#include "trsm/rec_trsm.hpp"
+
+namespace {
+
+using namespace catrsm;
+using dist::DistMatrix;
+using dist::Face2D;
+using la::index_t;
+using sim::Comm;
+using sim::Rank;
+using sim::RunStats;
+
+RunStats run_rec(index_t n, index_t k, int p) {
+  const model::Config cfg =
+      model::configure_forced(n, k, p, model::Algorithm::kRecursive);
+  return bench::run_spmd(p, [&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, cfg.pr, cfg.pc);
+    auto ld = dist::cyclic_on(face, n, n);
+    auto bd = dist::cyclic_on(face, n, k);
+    DistMatrix dl(ld, r.id());
+    dl.fill([&](index_t i, index_t j) { return la::tri_entry(1, i, j, n); });
+    DistMatrix db(bd, r.id());
+    db.fill([&](index_t i, index_t j) { return la::rhs_entry(2, i, j); });
+    (void)trsm::rec_trsm(dl, db, world);
+  });
+}
+
+RunStats run_it(index_t n, index_t k, int p) {
+  const model::Config cfg =
+      model::configure_forced(n, k, p, model::Algorithm::kIterative);
+  return bench::run_spmd(p, [&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D lface = trsm::it_inv_l_face(world, cfg.p1, cfg.p2);
+    auto ld = dist::cyclic_on(lface, n, n);
+    DistMatrix dl(ld, r.id());
+    if (dl.participates())
+      dl.fill([&](index_t i, index_t j) { return la::tri_entry(1, i, j, n); });
+    auto bd = trsm::it_inv_b_dist(world, cfg.p1, cfg.p2, n, k);
+    DistMatrix db(bd, r.id());
+    if (db.participates())
+      db.fill([&](index_t i, index_t j) { return la::rhs_entry(2, i, j); });
+    trsm::ItInvOptions opts;
+    opts.nblocks = cfg.nblocks;
+    (void)trsm::it_inv_trsm(dl, db, world, cfg.p1, cfg.p2, opts);
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E7: Section IX conclusion table — standard vs new method",
+      "Part 1: the model at p = 4096 (the paper's scale)");
+
+  {
+    Table table({"regime", "n", "k", "S std", "S new", "S gain", "W std",
+                 "W new", "F std", "F new"});
+    for (const model::ComparisonRow& row : model::section9_rows(4096)) {
+      table.row()
+          .add(model::regime_name(row.regime))
+          .add(row.n)
+          .add(row.k)
+          .add(row.standard.msgs)
+          .add(row.novel.msgs)
+          .add(bench::ratio(row.standard.msgs, row.novel.msgs))
+          .add(row.standard.words)
+          .add(row.novel.words)
+          .add(row.standard.flops)
+          .add(row.novel.flops);
+    }
+    table.print();
+    std::cout << "\nPredicted 3D latency gain ~ (n/k)^{1/6} p^{2/3} / log p "
+                 "= "
+              << Table::format_double(
+                     model::section9_rows(4096)[2].predicted_gain_3d())
+              << " at p=4096, n=k.\n";
+  }
+
+  std::cout << "\nPart 2: executed on the simulator (measured per-rank "
+               "maxima)\n";
+  {
+    struct Shape {
+      const char* regime;
+      index_t n, k;
+      int p;
+    };
+    const std::vector<Shape> shapes = {
+        {"1D", 8, 2048, 16},   // n < 4k/p
+        {"2D", 256, 4, 16},    // n > 4k sqrt p
+        {"3D", 128, 32, 16},   // in between
+        {"3D", 128, 32, 64},   // same shape, more ranks
+        {"2D", 256, 4, 64},
+    };
+    Table table({"regime", "n", "k", "p", "S rec", "S it", "S gain", "W rec",
+                 "W it", "F rec", "F it"});
+    for (const Shape& s : shapes) {
+      const RunStats rec = run_rec(s.n, s.k, s.p);
+      const RunStats it = run_it(s.n, s.k, s.p);
+      table.row()
+          .add(s.regime)
+          .add(s.n)
+          .add(s.k)
+          .add(s.p)
+          .add(rec.max_msgs())
+          .add(it.max_msgs())
+          .add(bench::ratio(rec.max_msgs(), it.max_msgs()))
+          .add(rec.max_words())
+          .add(it.max_words())
+          .add(rec.max_flops())
+          .add(it.max_flops());
+    }
+    table.print();
+    std::cout
+        << "\nReading: in the 3D regime — the paper's headline — the "
+           "iterative method needs a fraction of the recursive baseline's "
+           "rounds (the gain widens with p: compare the two 3D rows), at "
+           "comparable words and flops.\n"
+           "In the 1D regime both are latency-trivial; the new method "
+           "only adds the inverter's log^2 p term, matching the paper's "
+           "table.\n"
+           "In the 2D regime the paper's p^{1/4}/log p gain is "
+           "asymptotic-only: at runnable p the recursive method's sqrt(p) "
+           "term is still small and the (n/k)^{3/4} solve chain dominates "
+           "(see test_model.Comparison.TwoLargeDimsGainIsAsymptotic for "
+           "the crossover analysis). Note the iterative method's W is "
+           "already ~10x lower there.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E11 — algorithm crossover sweep.
+//
+// The practical payoff of the paper's cost analysis is an a-priori
+// decision procedure: given (n, k, p, alpha, beta, gamma), pick the
+// algorithm and grid before touching data. This bench sweeps the n/k
+// ratio at fixed p, printing the model's pick and the *measured* winner
+// (by critical-path time) among {iterative, recursive, 2D fan-out}, so
+// the crossover locations can be compared.
+
+#include "bench_util.hpp"
+
+#include "model/tuning.hpp"
+#include "trsm/solver.hpp"
+
+namespace {
+
+using namespace catrsm;
+using la::index_t;
+
+struct Measured {
+  double time = 0.0;
+  double s = 0.0;
+};
+
+Measured run_algo(const la::Matrix& l, const la::Matrix& b, int p,
+                  model::Algorithm a) {
+  trsm::SolveOptions opts;
+  opts.force_algorithm = true;
+  opts.algorithm = a;
+  const trsm::SolveResult r = trsm::solve(l, b, p, opts);
+  // Score on the solve itself (excludes the driver's output gather).
+  const sim::Cost c = r.algorithm_cost();
+  return {c.time(opts.machine), c.msgs};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E11: algorithm crossover sweep (fixed p, varying n/k)",
+      "model pick vs measured winner by alpha-beta-gamma critical path");
+
+  const int p = 16;
+  Table table({"n", "k", "regime", "t iter (us)", "t rec (us)", "t 2d (us)",
+               "S iter", "S rec", "measured winner"});
+  struct Shape {
+    index_t n, k;
+  };
+  for (const Shape s : {Shape{16, 1024}, Shape{32, 256}, Shape{64, 64},
+                        Shape{128, 32}, Shape{192, 12}, Shape{256, 4}}) {
+    const la::Matrix l = la::make_lower_triangular(1, s.n);
+    const la::Matrix b = la::make_rhs(2, s.n, s.k);
+    const Measured mit = run_algo(l, b, p, model::Algorithm::kIterative);
+    const Measured mrec = run_algo(l, b, p, model::Algorithm::kRecursive);
+    const Measured m2d = run_algo(l, b, p, model::Algorithm::kTrsm2D);
+    const char* winner = mit.time <= mrec.time && mit.time <= m2d.time
+                             ? "iterative"
+                         : mrec.time <= m2d.time ? "recursive"
+                                                 : "2d fan-out";
+    table.row()
+        .add(s.n)
+        .add(s.k)
+        .add(model::regime_name(model::classify(
+            static_cast<double>(s.n), static_cast<double>(s.k), p)))
+        .add(mit.time * 1e6)
+        .add(mrec.time * 1e6)
+        .add(m2d.time * 1e6)
+        .add(mit.s)
+        .add(mrec.s)
+        .add(winner);
+  }
+  table.print();
+  std::cout << "\nExpected: the iterative method wins across the 3D band "
+               "and holds its own elsewhere at this scale; the recursive "
+               "method is competitive only when it barely recurses (tiny "
+               "n or huge k).\n";
+  return 0;
+}

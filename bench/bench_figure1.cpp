@@ -1,0 +1,69 @@
+// E8 — Figure 1: the layout-regime map.
+//
+// The paper's Figure 1 shows the 1D / 2D / 3D processor-grid layouts
+// chosen as a function of the relative sizes of L and B. This bench
+// renders the regime map over the (n/k, p) plane using the Section VIII
+// boundaries (n = 4k/p and n = 4k sqrt p) and prints the tuned grid for a
+// slice of concrete shapes.
+
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "model/costs.hpp"
+#include "model/tuning.hpp"
+
+namespace {
+using namespace catrsm;
+}
+
+int main() {
+  bench::print_header("E8: Figure 1 — layout regime map",
+                      "rows: log2(n/k) from -12 to +20; cols: log2(p) from "
+                      "2 to 20; cell: chosen layout");
+
+  std::cout << "        p=2^2 .. 2^20\n";
+  for (int lnk = 20; lnk >= -12; lnk -= 2) {
+    std::printf("n/k=2^%+3d  ", lnk);
+    for (int lp = 2; lp <= 20; ++lp) {
+      const double n = 1 << 16;
+      const double k = n / std::pow(2.0, lnk);
+      const double p = std::pow(2.0, lp);
+      const model::Regime r = model::classify(n, k, p);
+      std::fputc(r == model::Regime::k1D   ? '1'
+                 : r == model::Regime::k2D ? '2'
+                                           : '3',
+                 stdout);
+    }
+    std::fputc('\n', stdout);
+  }
+  std::cout << "\n'1' = one large dimension (1D grid, B dominates),\n"
+               "'2' = two large dimensions (2D grid, L dominates),\n"
+               "'3' = three large dimensions (3D grid).\n"
+               "Boundaries: n = 4k/p (1D|3D) and n = 4k sqrt(p) (3D|2D).\n";
+
+  std::cout << "\nConcrete tuned grids along a slice (p = 4096):\n";
+  Table table(
+      {"n", "k", "n/k", "regime", "p1 x p1 x p2", "nblocks", "layout"});
+  const double p = 4096;
+  const long long n = 1 << 16;
+  for (const long long k : {1LL << 26, 1LL << 20, 1LL << 16, 1LL << 12,
+                            1LL << 8, 1LL << 2}) {
+    const model::Config cfg = model::configure_forced(
+        n, k, static_cast<int>(p), model::Algorithm::kIterative);
+    const char* layout = cfg.p1 == 1                ? "1D (flat)"
+                         : cfg.p2 == 1              ? "2D (square face)"
+                                                    : "3D (cuboid)";
+    table.row()
+        .add(n)
+        .add(k)
+        .add(static_cast<double>(n) / static_cast<double>(k))
+        .add(model::regime_name(cfg.regime))
+        .add(std::to_string(cfg.p1) + "x" + std::to_string(cfg.p1) + "x" +
+             std::to_string(cfg.p2))
+        .add(cfg.nblocks)
+        .add(layout);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E5 — Sections VI-VII: iterative TRSM with selective inversion, phase by
+// phase.
+//
+// Measures (a) the Diagonal-Inverter alone and (b) the full solver, so the
+// solve+update remainder can be compared against the Section VII component
+// table:
+//   inversion: S = O(log^2 p)
+//   solve:     S = (n/n0) log p,  W = (n/n0)(n0^2/p1^2 + 4 n0 k/(p1 p2))
+//   update:    S = ((n-n0)/n0) log p,  W ~ n^2/p1^2 + 4 (n-n0) k/(p1 p2)
+// and sweeps the grid shape to show the p1/p2 trade-off.
+
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "model/costs.hpp"
+#include "trsm/it_inv_trsm.hpp"
+
+namespace {
+
+using namespace catrsm;
+using dist::DistMatrix;
+using dist::Face2D;
+using la::index_t;
+using sim::Comm;
+using sim::Rank;
+using sim::RunStats;
+
+struct Shape {
+  index_t n, k;
+  int p1, p2, nblocks;
+};
+
+RunStats run_full(const Shape& s) {
+  const int p = s.p1 * s.p1 * s.p2;
+  return bench::run_spmd(p, [&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D lface = trsm::it_inv_l_face(world, s.p1, s.p2);
+    auto ld = dist::cyclic_on(lface, s.n, s.n);
+    DistMatrix dl(ld, r.id());
+    if (dl.participates())
+      dl.fill([&](index_t i, index_t j) {
+        return la::tri_entry(1, i, j, s.n);
+      });
+    auto bd = trsm::it_inv_b_dist(world, s.p1, s.p2, s.n, s.k);
+    DistMatrix db(bd, r.id());
+    if (db.participates())
+      db.fill([&](index_t i, index_t j) { return la::rhs_entry(2, i, j); });
+    trsm::ItInvOptions opts;
+    opts.nblocks = s.nblocks;
+    (void)trsm::it_inv_trsm(dl, db, world, s.p1, s.p2, opts);
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E5: iterative TRSM phase costs (paper Sections VI-VII)",
+      "per-phase S/W measured via phase-scoped accounting vs the Section "
+      "VII component model (T = T_Inv + T_Solve + T_Upd)");
+
+  {
+    Table table({"n", "k", "grid", "n/n0", "S inv", "S inv mdl", "S slv",
+                 "S slv mdl", "S upd", "S upd mdl", "W total", "W model",
+                 "F total", "F model"});
+    for (const Shape& s : {Shape{128, 32, 2, 2, 4}, Shape{128, 32, 2, 2, 8},
+                           Shape{128, 32, 2, 4, 4}, Shape{128, 32, 4, 1, 4},
+                           Shape{192, 48, 2, 4, 6}}) {
+      const RunStats full = run_full(s);
+      const double n0 = static_cast<double>(s.n) / s.nblocks;
+      const model::ItInvBreakdown br = model::it_inv_breakdown(
+          s.n, s.k, n0, s.p1, s.p2, std::cbrt(s.p1 * s.p1 * s.p2),
+          std::cbrt(s.p1 * s.p1 * s.p2));
+      auto phase = [&](const char* name) -> sim::Cost {
+        const auto it = full.phase_max.find(name);
+        return it == full.phase_max.end() ? sim::Cost{} : it->second;
+      };
+      table.row()
+          .add(s.n)
+          .add(s.k)
+          .add(std::to_string(s.p1) + "x" + std::to_string(s.p1) + "x" +
+               std::to_string(s.p2))
+          .add(s.nblocks)
+          .add(phase("inversion").msgs)
+          .add(br.inversion.msgs)
+          .add(phase("solve").msgs)
+          .add(br.solve.msgs)
+          .add(phase("update").msgs)
+          .add(br.update.msgs)
+          .add(full.max_words())
+          .add(br.total().words)
+          .add(full.max_flops())
+          .add(br.total().flops);
+    }
+    table.print();
+  }
+
+  std::cout << "\nLatency scaling with p at fixed shape (the headline "
+               "S = (n/n0) log p + log^2 p):\n";
+  {
+    Table table({"p", "grid", "S meas", "model (n/n0)logp+log^2p"});
+    const index_t n = 128, k = 32;
+    for (const auto& [p1, p2] : std::vector<std::pair<int, int>>{
+             {1, 4}, {2, 1}, {2, 4}, {2, 16}, {4, 4}}) {
+      const int p = p1 * p1 * p2;
+      const int nblocks = 4;
+      const RunStats stats = run_full({n, k, p1, p2, nblocks});
+      const double lg = model::log2p(p);
+      table.row()
+          .add(p)
+          .add(std::to_string(p1) + "x" + std::to_string(p1) + "x" +
+               std::to_string(p2))
+          .add(stats.max_msgs())
+          .add(nblocks * lg + lg * lg);
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E10 — local kernel substrate throughput (google-benchmark).
+//
+// The gamma term of the execution model assumes the local kernels are not
+// pathological; this micro-bench documents their throughput (gemm, trsm,
+// trmm, triangular inversion) across sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "la/generate.hpp"
+#include "la/gemm.hpp"
+#include "la/tri_inv.hpp"
+#include "la/trmm.hpp"
+#include "la/trsm.hpp"
+
+namespace {
+
+using namespace catrsm::la;
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const Matrix a = make_dense(1, n, n);
+  const Matrix b = make_dense(2, n, n);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    gemm(1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.ptr());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TrsmLower(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const Matrix l = make_lower_triangular(3, n);
+  const Matrix b = make_rhs(4, n, n);
+  for (auto _ : state) {
+    Matrix x = b;
+    trsm_left(Uplo::kLower, Diag::kNonUnit, l, x);
+    benchmark::DoNotOptimize(x.ptr());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_TrsmLower)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Trmm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const Matrix l = make_lower_triangular(5, n);
+  const Matrix b = make_rhs(6, n, n);
+  for (auto _ : state) {
+    Matrix c = b;
+    trmm_left(Uplo::kLower, Diag::kNonUnit, l, c);
+    benchmark::DoNotOptimize(c.ptr());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_Trmm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TriInv(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const Matrix l = make_lower_triangular(7, n);
+  for (auto _ : state) {
+    Matrix inv = tri_inv(Uplo::kLower, l);
+    benchmark::DoNotOptimize(inv.ptr());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n * n * n / 3));
+}
+BENCHMARK(BM_TriInv)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Cholesky(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const Matrix a = make_spd(8, n);
+  for (auto _ : state) {
+    Matrix l = cholesky(a);
+    benchmark::DoNotOptimize(l.ptr());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n * n * n / 3));
+}
+BENCHMARK(BM_Cholesky)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E2 — Section III: the 3D matrix-multiplication cost table.
+//
+// Sweeps grid shapes (p1, p2) at fixed p and problem sizes, printing
+// measured S/W/F next to the model
+//   T_MM = beta (n^2/p1^2 1_{p2} + 2nk/(p1 p2)) + gamma 2n^2k/p
+//          + O(alpha log p + beta nk log(p)/p),
+// reproducing the regime behaviour (2D best for n >> k, 3D for n ~ k, 1D
+// for k >> n) and the per-line structure of the paper's table.
+
+#include "bench_util.hpp"
+
+#include "mm/mm3d.hpp"
+#include "model/costs.hpp"
+
+namespace {
+
+using namespace catrsm;
+using dist::DistMatrix;
+using dist::Face2D;
+using la::index_t;
+using sim::Comm;
+using sim::Rank;
+using sim::RunStats;
+
+RunStats run_mm(index_t n, index_t k, int p1, int p2) {
+  const int p = p1 * p1 * p2;
+  return bench::run_spmd(p, [&](Rank& r) {
+    Comm world = Comm::world(r);
+    const auto [pr, pc] = dist::balanced_factors(p);
+    Face2D face(world, pr, pc);
+    auto ad = dist::cyclic_on(face, n, n);
+    auto xd = dist::cyclic_on(face, n, k);
+    DistMatrix da(ad, r.id());
+    da.fill([&](index_t i, index_t j) { return la::tri_entry(1, i, j, n); });
+    DistMatrix dx(xd, r.id());
+    dx.fill([&](index_t i, index_t j) { return la::rhs_entry(2, i, j); });
+    (void)mm::mm3d(da, dx, xd, world, mm::MMGrid{p1, p2});
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E2: 3D matrix multiplication (paper Section III)",
+      "B = L X from/to a 2D cyclic start; measured vs model per grid shape");
+
+  {
+    Table table({"n", "k", "p", "p1xp1xp2", "S meas", "W meas", "W model",
+                 "W ratio", "F meas", "F ideal"});
+    const index_t n = 128, k = 64;
+    for (const auto& [p1, p2] : std::vector<std::pair<int, int>>{
+             {1, 16}, {2, 4}, {4, 1}, {2, 16}, {4, 4}, {8, 1}}) {
+      const int p = p1 * p1 * p2;
+      const RunStats stats = run_mm(n, k, p1, p2);
+      const double wmodel = mm::mm3d_model_words(n, n, k, p1, p2) +
+                            static_cast<double>(n) * k * model::log2p(p) / p;
+      const double fideal = 2.0 * static_cast<double>(n) * n * k / p;
+      table.row()
+          .add(n)
+          .add(k)
+          .add(p)
+          .add(std::to_string(p1) + "x" + std::to_string(p1) + "x" +
+               std::to_string(p2))
+          .add(stats.max_msgs())
+          .add(stats.max_words())
+          .add(wmodel)
+          .add(bench::ratio(stats.max_words(), wmodel))
+          .add(stats.max_flops())
+          .add(fideal);
+    }
+    table.print();
+  }
+
+  std::cout << "\nGrid choice by shape (the WMM regimes of Section II-C2):\n";
+  {
+    Table table({"n", "k", "p", "chosen p1", "chosen p2", "regime"});
+    const int p = 64;
+    for (const auto& [n, k] : std::vector<std::pair<index_t, index_t>>{
+             {4096, 16}, {1024, 256}, {512, 512}, {64, 4096}, {8, 65536}}) {
+      const mm::MMGrid g = mm::choose_mm_grid(n, n, k, p);
+      const char* regime = g.p2 == 1      ? "2D (two large dims)"
+                           : g.p1 == 1    ? "1D (one large dim)"
+                                          : "3D (three large dims)";
+      table.row().add(n).add(k).add(p).add(g.p1).add(g.p2).add(regime);
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E13 — model fidelity: does the a-priori decision procedure predict the
+// machine? For several (alpha, beta, gamma) regimes — latency-bound,
+// bandwidth-bound, flop-bound — compare three times per algorithm:
+//   (a) the virtual-clock critical path measured by the simulator,
+//   (b) alpha*S + beta*W + gamma*F of the *measured* max-per-rank counters,
+//   (c) the closed-form model prediction used by configure().
+// (a) vs (b) validates the simulator's internal consistency (overlap makes
+// (a) <= (b)); (b) vs (c) validates the paper's formulas.
+
+#include "bench_util.hpp"
+
+#include "model/tuning.hpp"
+#include "trsm/solver.hpp"
+
+namespace {
+using namespace catrsm;
+using la::index_t;
+}
+
+int main() {
+  bench::print_header(
+      "E13: model fidelity across machine parameter regimes",
+      "critical path (measured) vs alpha-beta-gamma of measured counters "
+      "vs the closed-form prediction");
+
+  const index_t n = 128, k = 32;
+  const int p = 16;
+  const la::Matrix l = la::make_lower_triangular(1, n);
+  const la::Matrix b = la::make_rhs(2, n, k);
+
+  struct Regime {
+    const char* name;
+    sim::MachineParams mp;
+  };
+  const std::vector<Regime> regimes = {
+      {"latency-bound (alpha huge)", {1e-3, 1e-9, 1e-10}},
+      {"bandwidth-bound (beta huge)", {1e-6, 1e-6, 1e-10}},
+      {"flop-bound (gamma huge)", {1e-6, 1e-9, 1e-7}},
+      {"balanced commodity", {1e-6, 1e-9, 2.5e-10}},
+  };
+
+  for (const Regime& rg : regimes) {
+    std::cout << "\n-- " << rg.name << " --\n";
+    Table table({"algorithm", "critical path (s)", "a*S+b*W+g*F (s)",
+                 "model predicted (s)", "meas/model"});
+    for (const model::Algorithm a :
+         {model::Algorithm::kIterative, model::Algorithm::kRecursive,
+          model::Algorithm::kTrsm2D}) {
+      trsm::SolveOptions opts;
+      opts.force_algorithm = true;
+      opts.algorithm = a;
+      opts.machine = rg.mp;
+      const trsm::SolveResult r = trsm::solve(l, b, p, opts);
+      const sim::Cost meas = r.algorithm_cost();
+      const double counters_time = meas.time(rg.mp);
+      const double predicted = r.config.predicted.time(rg.mp);
+      table.row()
+          .add(model::algorithm_name(a))
+          .add(r.stats.critical_time)
+          .add(counters_time)
+          .add(predicted)
+          .add(bench::ratio(counters_time, predicted));
+    }
+    table.print();
+  }
+  std::cout
+      << "\nReading: critical path <= counter time (per-rank counters "
+         "ignore overlap across ranks); counter time tracks the prediction "
+         "within small constant factors in every regime — the paper's "
+         "'determine optimal block sizes and processor grids a priori' "
+         "claim, demonstrated. (The driver's critical path also includes "
+         "input fill and output gather, so in flop-light regimes it can "
+         "slightly exceed the algorithm-only counter time.)\n"
+         "Known exception at toy scale: rec-trsm's bandwidth prediction "
+         "keeps only the asymptotic leading term and drops the base-case "
+         "beta*n0^2 allgather, which dominates at n/sqrt(p) this small "
+         "(see E3) — its measured/model W ratio shrinks as n grows.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E3 — Section IV: recursive TRSM costs by regime.
+//
+// Runs Rec-TRSM across processor counts in each of the three regimes and
+// prints measured S/W/F next to the paper's asymptotic forms:
+//   1D: O(alpha log p + beta n^2         + gamma n^2 k/p)
+//   2D: O(alpha sqrt p + beta nk log p/sqrt p + gamma n^2 k/p)
+//   3D: O(alpha (np/k)^{2/3} log p + beta (n^2k/p)^{2/3} + gamma n^2 k/p)
+//
+// Absolute constants differ (the model keeps only leading terms); the
+// *scaling* with p — the paper's claim — is what the ratios exhibit.
+
+#include "bench_util.hpp"
+
+#include "model/costs.hpp"
+#include "model/tuning.hpp"
+#include "trsm/rec_trsm.hpp"
+
+namespace {
+
+using namespace catrsm;
+using dist::DistMatrix;
+using dist::Face2D;
+using la::index_t;
+using sim::Comm;
+using sim::Rank;
+using sim::RunStats;
+
+RunStats run_rec(index_t n, index_t k, int p) {
+  const model::Config cfg =
+      model::configure_forced(n, k, p, model::Algorithm::kRecursive);
+  return bench::run_spmd(p, [&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, cfg.pr, cfg.pc);
+    auto ld = dist::cyclic_on(face, n, n);
+    auto bd = dist::cyclic_on(face, n, k);
+    DistMatrix dl(ld, r.id());
+    dl.fill([&](index_t i, index_t j) { return la::tri_entry(1, i, j, n); });
+    DistMatrix db(bd, r.id());
+    db.fill([&](index_t i, index_t j) { return la::rhs_entry(2, i, j); });
+    (void)trsm::rec_trsm(dl, db, world);
+  });
+}
+
+void sweep(const char* title, index_t n, index_t k, std::vector<int> ps) {
+  std::cout << "\n-- " << title << " (n=" << n << ", k=" << k << ") --\n";
+  Table table({"p", "grid", "regime", "S meas", "S model", "W meas",
+               "W model", "F meas", "F ideal"});
+  for (const int p : ps) {
+    const model::Config cfg =
+        model::configure_forced(n, k, p, model::Algorithm::kRecursive);
+    const sim::Cost m = model::rec_trsm_cost(n, k, p);
+    const RunStats stats = run_rec(n, k, p);
+    table.row()
+        .add(p)
+        .add(std::to_string(cfg.pr) + "x" + std::to_string(cfg.pc))
+        .add(model::regime_name(cfg.regime))
+        .add(stats.max_msgs())
+        .add(m.msgs)
+        .add(stats.max_words())
+        .add(m.words)
+        .add(stats.max_flops())
+        .add(static_cast<double>(n) * n * k / p);
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E3: recursive TRSM by regime (paper Section IV-A)",
+                      "measured per-rank maxima vs the paper's asymptotic "
+                      "cost forms");
+
+  sweep("two large dimensions: n >> k sqrt(p)", 256, 4, {1, 4, 16, 64});
+  sweep("three large dimensions: n ~ k", 96, 96, {1, 4, 16, 64});
+  sweep("one large dimension: n < k/p", 16, 2048, {4, 16, 64});
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E6 — Section VIII: the three tuning-parameter tables.
+//
+// For each regime, prints the paper's asymptotically optimal parameters
+// (p1, p2, n0, r1, r2) evaluated at concrete (n, k, p), the integer
+// realization the library actually runs, and the resulting predicted cost
+// T_IT for the tuned configuration.
+
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "model/costs.hpp"
+#include "model/tuning.hpp"
+
+namespace {
+using namespace catrsm;
+}
+
+int main() {
+  bench::print_header("E6: Section VIII tuning tables",
+                      "asymptotic parameters -> integer realization -> "
+                      "predicted cost");
+
+  const double p = 4096;
+  struct Case {
+    const char* label;
+    double n, k;
+  };
+  const std::vector<Case> cases = {
+      {"1D: n < 4k/p", 64, 1 << 22},
+      {"2D: n > 4k sqrt(p)", 1 << 22, 64},
+      {"3D: in between", 1 << 16, 1 << 12},
+  };
+
+  Table table({"case", "regime", "p1*", "p2*", "n0*", "r1*", "r2*",
+               "int p1xp1xp2", "nblocks", "S pred", "W pred", "F pred"});
+  for (const Case& c : cases) {
+    const model::Tuning t = model::tune(c.n, c.k, p);
+    const model::Config cfg =
+        model::configure_forced(static_cast<long long>(c.n),
+                                static_cast<long long>(c.k),
+                                static_cast<int>(p),
+                                model::Algorithm::kIterative);
+    table.row()
+        .add(c.label)
+        .add(model::regime_name(t.regime))
+        .add(t.p1)
+        .add(t.p2)
+        .add(t.n0)
+        .add(t.r1)
+        .add(t.r2)
+        .add(std::to_string(cfg.p1) + "x" + std::to_string(cfg.p1) + "x" +
+             std::to_string(cfg.p2))
+        .add(cfg.nblocks)
+        .add(cfg.predicted.msgs)
+        .add(cfg.predicted.words)
+        .add(cfg.predicted.flops);
+  }
+  table.print();
+
+  std::cout << "\nTuned total costs vs the Section VIII closed forms:\n";
+  Table costs({"case", "T_IT S", "closed-form S", "T_IT W", "closed-form W"});
+  for (const Case& c : cases) {
+    const sim::Cost t = model::it_inv_trsm_cost(c.n, c.k, p);
+    const double lg = model::log2p(p);
+    double s_closed = 0, w_closed = 0;
+    switch (model::classify(c.n, c.k, p)) {
+      case model::Regime::k1D:
+        s_closed = lg * lg + lg;
+        w_closed = c.n * c.n;
+        break;
+      case model::Regime::k2D:
+        s_closed = lg * lg +
+                   std::pow(c.n / c.k, 0.75) * std::pow(p, -0.125) * lg;
+        w_closed = c.n * c.k / std::sqrt(p);
+        break;
+      case model::Regime::k3D:
+        s_closed = lg * lg + std::sqrt(c.n / c.k) * lg;
+        w_closed = std::pow(c.n * c.n * c.k / p, 2.0 / 3.0);
+        break;
+    }
+    costs.row()
+        .add(c.label)
+        .add(t.msgs)
+        .add(s_closed)
+        .add(t.words)
+        .add(w_closed);
+  }
+  costs.print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+#pragma once
+// Shared helpers for the paper-reproduction bench binaries: run a
+// distributed algorithm on the simulated machine and report measured
+// (S, W, F) next to the paper's model.
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "dist/redistribute.hpp"
+#include "la/generate.hpp"
+#include "sim/machine.hpp"
+#include "support/table.hpp"
+
+namespace catrsm::bench {
+
+/// Run `body` on a fresh machine of p ranks and return the stats.
+inline sim::RunStats run_spmd(int p,
+                              const std::function<void(sim::Rank&)>& body) {
+  sim::Machine machine(p);
+  return machine.run(body);
+}
+
+/// Ratio formatted as "x1.23" (or "-" when the denominator is zero).
+inline std::string ratio(double measured, double model) {
+  if (model == 0.0) return "-";
+  return "x" + Table::format_double(measured / model);
+}
+
+inline void print_header(const std::string& title, const std::string& what) {
+  std::cout << "\n==== " << title << " ====\n" << what << "\n\n";
+}
+
+}  // namespace catrsm::bench

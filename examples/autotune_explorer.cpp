@@ -1,0 +1,99 @@
+// Autotune explorer: "which algorithm should I run, and why?"
+//
+// Given a problem shape (n, k, p) and machine parameters (alpha, beta,
+// gamma), prints the regime, the Section VIII tuning for every algorithm,
+// and each algorithm's predicted execution time under the alpha-beta-gamma
+// model — the a-priori decision procedure the paper's cost analysis makes
+// possible ("This cost analysis makes it possible to determine optimal
+// block sizes and processor grids a priori", Abstract).
+//
+//   ./autotune_explorer --n 65536 --k 4096 --p 4096
+//       (plus optional --alpha 1e-6 --beta 1e-9 --gamma 2.5e-10)
+//
+// For small shapes (n <= 512, p <= 64) it also runs the recommended
+// algorithm on the simulator and compares prediction with measurement.
+
+#include <cmath>
+#include <iostream>
+
+#include "la/generate.hpp"
+#include "model/compare.hpp"
+#include "model/tuning.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "trsm/solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace catrsm;
+  const Cli cli(argc, argv);
+  const long long n = cli.get_int("n", 65536);
+  const long long k = cli.get_int("k", 4096);
+  const int p = static_cast<int>(cli.get_int("p", 4096));
+  sim::MachineParams mp;
+  mp.alpha = cli.get_double("alpha", mp.alpha);
+  mp.beta = cli.get_double("beta", mp.beta);
+  mp.gamma = cli.get_double("gamma", mp.gamma);
+
+  std::cout << "autotune: n=" << n << " k=" << k << " p=" << p
+            << "  (alpha=" << mp.alpha << ", beta=" << mp.beta
+            << ", gamma=" << mp.gamma << ")\n";
+  std::cout << "regime: "
+            << model::regime_name(model::classify(
+                   static_cast<double>(n), static_cast<double>(k),
+                   static_cast<double>(p)))
+            << "  (boundaries: 1D below n=4k/p="
+            << Table::format_double(4.0 * k / p) << ", 2D above n=4k*sqrt(p)="
+            << Table::format_double(4.0 * k * std::sqrt(double(p))) << ")\n\n";
+
+  Table table({"algorithm", "grid", "nblocks", "S pred", "W pred", "F pred",
+               "T pred (s)"});
+  double best_time = 1e300;
+  model::Algorithm best = model::Algorithm::kIterative;
+  for (const model::Algorithm a :
+       {model::Algorithm::kIterative, model::Algorithm::kRecursive,
+        model::Algorithm::kTrsm2D, model::Algorithm::kTrsv1D}) {
+    if (a == model::Algorithm::kTrsv1D && k > 4) continue;  // hopeless
+    const model::Config cfg = model::configure_forced(n, k, p, a);
+    const double t = cfg.predicted.time(mp);
+    if (t < best_time) {
+      best_time = t;
+      best = a;
+    }
+    const std::string grid =
+        a == model::Algorithm::kIterative
+            ? std::to_string(cfg.p1) + "x" + std::to_string(cfg.p1) + "x" +
+                  std::to_string(cfg.p2)
+            : std::to_string(cfg.pr) + "x" + std::to_string(cfg.pc);
+    table.row()
+        .add(model::algorithm_name(a))
+        .add(grid)
+        .add(a == model::Algorithm::kIterative ? cfg.nblocks : 0)
+        .add(cfg.predicted.msgs)
+        .add(cfg.predicted.words)
+        .add(cfg.predicted.flops)
+        .add(t);
+  }
+  table.print();
+  std::cout << "\nrecommended: " << model::algorithm_name(best) << " ("
+            << Table::format_double(best_time) << " s predicted)\n";
+
+  if (n <= 512 && p <= 64) {
+    std::cout << "\nshape is simulator-sized; running the recommendation:\n";
+    const la::Matrix l =
+        la::make_lower_triangular(1, static_cast<la::index_t>(n));
+    const la::Matrix b =
+        la::make_rhs(2, static_cast<la::index_t>(n),
+                     static_cast<la::index_t>(k));
+    trsm::SolveOptions opts;
+    opts.force_algorithm = true;
+    opts.algorithm = best;
+    opts.machine = mp;
+    const trsm::SolveResult r = trsm::solve(l, b, p, opts);
+    std::cout << "measured: S=" << r.stats.max_msgs()
+              << " W=" << r.stats.max_words() << " F=" << r.stats.max_flops()
+              << " critical-path time="
+              << Table::format_double(r.stats.critical_time)
+              << " s, residual=" << Table::format_double(r.residual) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Strong-scaling study: fix the problem, grow the machine, watch where
+// each algorithm's critical path goes — the experiment a systems paper
+// reviewer would ask for first.
+//
+//   ./scaling_study [--n 128] [--k 32]
+//
+// Prints, for p in {1, 4, 16, 64}: measured S / W / F per algorithm and
+// the alpha-beta-gamma critical-path time, showing the iterative method's
+// latency advantage compound with p in the 3D regime.
+
+#include <iostream>
+
+#include "la/generate.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "trsm/solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace catrsm;
+  const Cli cli(argc, argv);
+  const la::index_t n = cli.get_int("n", 128);
+  const la::index_t k = cli.get_int("k", 32);
+
+  std::cout << "strong scaling, n=" << n << ", k=" << k
+            << " (alpha-beta-gamma defaults: 1us / 1ns / 0.25ns)\n\n";
+
+  const la::Matrix l = la::make_lower_triangular(11, n);
+  const la::Matrix b = la::make_rhs(12, n, k);
+
+  Table table({"p", "algorithm", "S", "W", "F", "model time (us)",
+               "residual"});
+  for (const int p : {1, 4, 16, 64}) {
+    for (const model::Algorithm a :
+         {model::Algorithm::kIterative, model::Algorithm::kRecursive,
+          model::Algorithm::kTrsm2D}) {
+      trsm::SolveOptions opts;
+      opts.force_algorithm = true;
+      opts.algorithm = a;
+      const trsm::SolveResult r = trsm::solve(l, b, p, opts);
+      // Report the solve itself (phase "algorithm"), excluding the
+      // driver's final gather of the global solution.
+      const sim::Cost solve_cost = r.algorithm_cost();
+      table.row()
+          .add(p)
+          .add(model::algorithm_name(a))
+          .add(solve_cost.msgs)
+          .add(solve_cost.words)
+          .add(solve_cost.flops)
+          .add(solve_cost.time(opts.machine) * 1e6)
+          .add(r.residual);
+    }
+  }
+  table.print();
+
+  std::cout << "\nReading: flops scale ~1/p for all three; the recursive "
+               "and 2D baselines accumulate latency with p while the "
+               "iterative method's round count stays nearly flat — the "
+               "communication-avoiding behaviour the paper proves.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "coll/alltoall.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace catrsm::coll {
+
+namespace {
+
+/// An in-flight routed block: (final destination, original source, payload).
+struct Routed {
+  int dst;
+  int src;
+  Buf data;
+};
+
+void serialize(const Routed& b, Buf& out) {
+  out.push_back(static_cast<double>(b.dst));
+  out.push_back(static_cast<double>(b.src));
+  out.push_back(static_cast<double>(b.data.size()));
+  out.insert(out.end(), b.data.begin(), b.data.end());
+}
+
+std::vector<Routed> deserialize(const Buf& in) {
+  std::vector<Routed> blocks;
+  std::size_t pos = 0;
+  while (pos < in.size()) {
+    CATRSM_ASSERT(pos + 3 <= in.size(), "alltoallv: truncated header");
+    Routed b;
+    b.dst = static_cast<int>(in[pos]);
+    b.src = static_cast<int>(in[pos + 1]);
+    const auto len = static_cast<std::size_t>(in[pos + 2]);
+    pos += 3;
+    CATRSM_ASSERT(pos + len <= in.size(), "alltoallv: truncated payload");
+    b.data.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                  in.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+std::vector<Buf> alltoallv_bruck(const sim::Comm& comm,
+                                 std::vector<Buf> to_send) {
+  const int g = comm.size();
+  const int r = comm.rank();
+
+  std::vector<Buf> result(static_cast<std::size_t>(g));
+  result[static_cast<std::size_t>(r)] =
+      std::move(to_send[static_cast<std::size_t>(r)]);
+
+  std::vector<Routed> in_flight;
+  for (int d = 0; d < g; ++d) {
+    if (d == r) continue;
+    in_flight.push_back({d, r, std::move(to_send[static_cast<std::size_t>(d)])});
+  }
+
+  // Round t forwards every block whose remaining destination distance has
+  // bit t set to the rank 2^t ahead; after ceil(log g) rounds all distances
+  // are consumed.
+  for (int bit = 1; bit < g; bit <<= 1) {
+    Buf payload;
+    std::vector<Routed> keep;
+    for (auto& b : in_flight) {
+      const int dist = ((b.dst - r) % g + g) % g;
+      if (dist & bit) {
+        serialize(b, payload);
+      } else {
+        keep.push_back(std::move(b));
+      }
+    }
+    const int dst = (r + bit) % g;
+    const int src = ((r - bit) % g + g) % g;
+    const Buf incoming = comm.shift(dst, src, payload, kTagAlltoallBruck);
+    in_flight = std::move(keep);
+    for (auto& b : deserialize(incoming)) {
+      if (b.dst == r) {
+        result[static_cast<std::size_t>(b.src)] = std::move(b.data);
+      } else {
+        in_flight.push_back(std::move(b));
+      }
+    }
+  }
+  CATRSM_ASSERT(in_flight.empty(), "alltoallv: undelivered blocks");
+  return result;
+}
+
+std::vector<Buf> alltoallv_direct(const sim::Comm& comm,
+                                  std::vector<Buf> to_send) {
+  const int g = comm.size();
+  const int r = comm.rank();
+  std::vector<Buf> result(static_cast<std::size_t>(g));
+  result[static_cast<std::size_t>(r)] =
+      std::move(to_send[static_cast<std::size_t>(r)]);
+  // Ring schedule: in round i exchange with ranks +/- i; every pair meets
+  // exactly once per direction, g-1 rounds total.
+  for (int i = 1; i < g; ++i) {
+    const int dst = (r + i) % g;
+    const int src = ((r - i) % g + g) % g;
+    result[static_cast<std::size_t>(src)] = comm.shift(
+        dst, src, to_send[static_cast<std::size_t>(dst)], kTagAlltoallDirect);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Buf> alltoallv(const sim::Comm& comm, std::vector<Buf> to_send,
+                           AlltoallAlgo algo) {
+  CATRSM_CHECK(static_cast<int>(to_send.size()) == comm.size(),
+               "alltoallv: need one payload slot per rank");
+  if (comm.size() == 1) {
+    return to_send;
+  }
+  switch (algo) {
+    case AlltoallAlgo::kBruck:
+      return alltoallv_bruck(comm, std::move(to_send));
+    case AlltoallAlgo::kDirect:
+      return alltoallv_direct(comm, std::move(to_send));
+  }
+  throw Error("alltoallv: unknown algorithm");
+}
+
+}  // namespace catrsm::coll

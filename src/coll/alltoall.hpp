@@ -1,0 +1,34 @@
+#pragma once
+// Personalized all-to-all exchange, the primitive behind every layout
+// transition (transposes, cyclic <-> blocked redistributions, grid
+// reshapes) in the TRSM algorithms.
+//
+// Two schedules are provided:
+//  - Bruck:  ceil(log g) rounds, each datum travels up to log g hops, so
+//            S = O(log g), W = O(total * log g / 2). This is the schedule
+//            whose cost the paper quotes: T = alpha log p + beta (n/2) log p.
+//  - Direct: pairwise exchange, g-1 rounds, minimal words. Useful when
+//            payloads dominate and the group is small.
+//
+// Payload sizes may differ per (src, dst) pair and need not be globally
+// known: in-flight blocks carry a tiny routing header (counted as words —
+// the implementation pays its real overhead).
+
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "sim/comm.hpp"
+
+namespace catrsm::coll {
+
+enum class AlltoallAlgo {
+  kBruck,
+  kDirect,
+};
+
+/// `to_send[d]` is the payload for communicator rank d (slot rank() is
+/// copied through locally). Returns `from[s]` = payload sent by rank s.
+std::vector<Buf> alltoallv(const sim::Comm& comm, std::vector<Buf> to_send,
+                           AlltoallAlgo algo = AlltoallAlgo::kBruck);
+
+}  // namespace catrsm::coll

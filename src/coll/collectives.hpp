@@ -1,0 +1,94 @@
+#pragma once
+// Collective communication on the simulated machine (paper Section II-C1).
+//
+// Every routine reproduces the cost signature the paper assumes:
+//
+//   allgather(n, p):       alpha * ceil(log p) + beta * n(1 - 1/p)
+//   scatter/gather(n, p):  alpha * ceil(log p) + beta * n(1 - 1/p)
+//   reduce-scatter(n, p):  alpha * ceil(log p) + (beta + gamma) * n(1 - 1/p)
+//   bcast(n, p):           alpha * 2 ceil(log p) + beta * 2n
+//   reduce/allreduce(n,p): alpha * 2 ceil(log p) + (2 beta + gamma) * n
+//   barrier(p):            alpha * ceil(log p)
+//
+// built exactly the way the paper builds them (Chan et al.): bcast =
+// scatter + allgather, reduce = reduce-scatter + gather, allreduce =
+// reduce-scatter + allgather. Butterfly (recursive doubling / halving)
+// algorithms are used for powers of two; Bruck-style and fold-to-power-of-
+// two generalizations keep the same asymptotic cost for any group size.
+//
+// All counts are expressed in words (doubles). Contribution sizes per rank
+// are passed explicitly by the caller — in this library they are always
+// derivable from a distribution descriptor, so no size-exchange round is
+// ever needed (matching the paper's cost accounting).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/comm.hpp"
+
+namespace catrsm::coll {
+
+using Buf = std::vector<double>;
+using Counts = std::vector<std::size_t>;
+
+/// Message-tag namespace for collectives; user point-to-point code should
+/// use tags below kTagBase.
+enum Tag : int {
+  kTagBase = 1 << 20,
+  kTagAllgather,
+  kTagReduceScatter,
+  kTagScatter,
+  kTagGather,
+  kTagBarrier,
+  kTagAlltoallBruck,
+  kTagAlltoallDirect,
+};
+
+/// Split `total` words into `parts` near-equal chunk sizes (used by bcast /
+/// reduce / allreduce to pick their internal scatter granularity).
+Counts even_counts(std::size_t total, int parts);
+
+/// Bruck all-gather. `mine` holds this rank's contribution of size
+/// counts[comm.rank()]; returns all contributions concatenated in
+/// communicator rank order. Works for any group size.
+Buf allgather(const sim::Comm& comm, std::span<const double> mine,
+              const Counts& counts);
+
+/// All contributions have equal size; convenience wrapper.
+Buf allgather_equal(const sim::Comm& comm, std::span<const double> mine);
+
+/// Recursive-halving reduce-scatter. `full` holds this rank's addend for the
+/// entire vector (sum of counts words); returns the elementwise sum of the
+/// counts[comm.rank()] segment owned by this rank. Non-power-of-two groups
+/// fold down to the nearest power of two first.
+Buf reduce_scatter(const sim::Comm& comm, std::span<const double> full,
+                   const Counts& counts);
+
+/// Binomial scatter from `root`. At the root, `all` holds the destination
+/// blocks concatenated in communicator rank order (sum of counts words);
+/// elsewhere it is ignored. Returns this rank's counts[rank] block.
+Buf scatter(const sim::Comm& comm, int root, std::span<const double> all,
+            const Counts& counts);
+
+/// Binomial gather to `root`: inverse of scatter. Returns the concatenation
+/// at the root, an empty buffer elsewhere.
+Buf gather(const sim::Comm& comm, int root, std::span<const double> mine,
+           const Counts& counts);
+
+/// Broadcast `count` words from `root` (scatter + allgather). Non-roots
+/// pass an empty span; `count` must be known at every rank.
+Buf bcast(const sim::Comm& comm, int root, std::span<const double> data,
+          std::size_t count);
+
+/// Reduction to `root` (reduce-scatter + gather): every rank contributes a
+/// full-length addend; root receives the elementwise sum, others empty.
+Buf reduce(const sim::Comm& comm, int root, std::span<const double> full);
+
+/// All-reduction (reduce-scatter + allgather): elementwise sum on all ranks.
+Buf allreduce(const sim::Comm& comm, std::span<const double> full);
+
+/// Dissemination barrier: ceil(log p) empty exchange rounds.
+void barrier(const sim::Comm& comm);
+
+}  // namespace catrsm::coll

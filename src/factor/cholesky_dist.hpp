@@ -1,0 +1,37 @@
+#pragma once
+// Distributed blocked Cholesky factorization A = L L^T on a square
+// processor grid — the factorization context the paper's introduction
+// motivates ("TRSM is used extensively ... to compute factorizations with
+// triangular matrices, such as Cholesky, LU, and QR").
+//
+// Right-looking over panels of width nb:
+//   1. the diagonal block A(Si, Si) is gathered to every rank and factored
+//      redundantly (sequential Cholesky; nb is small),
+//   2. the panel L(T, Si) = A(T, Si) L(Si,Si)^{-T} is solved locally after
+//      an allgather of the panel columns across each grid row (a local
+//      trsm_right per rank — this is TRSM appearing inside the
+//      factorization),
+//   3. the symmetric trailing update A(T, T) -= L(T,Si) L(T,Si)^T uses a
+//      transpose-exchange between mirror ranks (gi, gj) <-> (gj, gi) so
+//      every rank owns both the row and column panel pieces it needs.
+//
+// Costs: S = O((n/nb) log p), W = O(n^2/sqrt(p) + n nb), F = n^3/(3p)
+// (plus the redundant nb^3/3 per panel) — the classic 2D factorization
+// whose TRSM phase the paper's algorithms accelerate at scale.
+
+#include "dist/dist_matrix.hpp"
+#include "sim/comm.hpp"
+
+namespace catrsm::factor {
+
+using dist::DistMatrix;
+using la::index_t;
+
+/// Factor a symmetric positive-definite matrix distributed cyclically
+/// (unit blocks) on a *square* face. Only the lower triangle of `a` is
+/// read. Returns L (lower-triangular, zero above the diagonal) with the
+/// same distribution. `nb` is the panel width (0 = automatic).
+DistMatrix cholesky_dist(const DistMatrix& a, const sim::Comm& comm,
+                         index_t nb = 0);
+
+}  // namespace catrsm::factor

@@ -1,0 +1,85 @@
+#include "la/generate.hpp"
+
+#include <cmath>
+
+#include "la/gemm.hpp"
+
+namespace catrsm::la {
+
+double element_hash(std::uint64_t seed, index_t i, index_t j) {
+  // splitmix64 over a mixed key; maps to [-1, 1).
+  std::uint64_t z = seed ^ (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL) ^
+                    (static_cast<std::uint64_t>(j) + 0xbf58476d1ce4e5b9ULL);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  // 53-bit mantissa to double in [0,1), then shift to [-1,1).
+  const double u = static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+  return 2.0 * u - 1.0;
+}
+
+double tri_entry(std::uint64_t seed, index_t i, index_t j, index_t n) {
+  if (j > i) return 0.0;
+  const double h = element_hash(seed, i, j);
+  if (i == j) return 1.5 + 0.5 * h;  // diagonal in [1, 2]
+  return h / static_cast<double>(n);
+}
+
+double rhs_entry(std::uint64_t seed, index_t i, index_t j) {
+  return element_hash(seed ^ 0xabcdef1234567890ULL, i, j);
+}
+
+Matrix make_lower_triangular(std::uint64_t seed, index_t n) {
+  Matrix l(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j <= i; ++j) l(i, j) = tri_entry(seed, i, j, n);
+  return l;
+}
+
+Matrix make_upper_triangular(std::uint64_t seed, index_t n) {
+  Matrix u(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i; j < n; ++j) u(i, j) = tri_entry(seed, j, i, n);
+  return u;
+}
+
+Matrix make_rhs(std::uint64_t seed, index_t n, index_t k) {
+  Matrix b(n, k);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < k; ++j) b(i, j) = rhs_entry(seed, i, j);
+  return b;
+}
+
+Matrix make_dense(std::uint64_t seed, index_t rows, index_t cols) {
+  Matrix a(rows, cols);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < cols; ++j) a(i, j) = element_hash(seed, i, j);
+  return a;
+}
+
+Matrix make_spd(std::uint64_t seed, index_t n) {
+  const Matrix l = make_lower_triangular(seed, n);
+  return matmul(l, l.transposed());
+}
+
+Matrix cholesky(const Matrix& a) {
+  CATRSM_CHECK(a.rows() == a.cols(), "cholesky: matrix must be square");
+  const index_t n = a.rows();
+  Matrix l(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (index_t t = 0; t < j; ++t) d -= l(j, t) * l(j, t);
+    CATRSM_CHECK(d > 0.0, "cholesky: matrix not positive definite");
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (index_t t = 0; t < j; ++t) s -= l(i, t) * l(j, t);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+}  // namespace catrsm::la

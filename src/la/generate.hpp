@@ -1,0 +1,47 @@
+#pragma once
+// Workload generators: well-conditioned triangular matrices and dense
+// right-hand sides. Every generator is a pure function of (seed, indices),
+// so a distributed rank can materialize exactly its owned elements without
+// any communication — this is what lets tests compare distributed runs
+// against sequential references elementwise.
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+#include "la/trsm.hpp"
+
+namespace catrsm::la {
+
+/// Deterministic pseudo-random double in [-1, 1] for a (seed, i, j) triple.
+double element_hash(std::uint64_t seed, index_t i, index_t j);
+
+/// Entry (i, j) of the standard well-conditioned lower-triangular test
+/// matrix: unit-magnitude diagonal (1.5 + 0.5*h) and off-diagonal entries
+/// scaled by 1/n so row sums stay bounded — keeps cond(L) = O(1) for any n,
+/// which isolates algorithmic error from ill-conditioning in tests.
+double tri_entry(std::uint64_t seed, index_t i, index_t j, index_t n);
+
+/// Entry (i, j) of the dense RHS test matrix.
+double rhs_entry(std::uint64_t seed, index_t i, index_t j);
+
+/// Materialize the full n x n lower-triangular test matrix.
+Matrix make_lower_triangular(std::uint64_t seed, index_t n);
+
+/// Materialize the full upper-triangular test matrix (transpose convention).
+Matrix make_upper_triangular(std::uint64_t seed, index_t n);
+
+/// Materialize the n x k RHS test matrix.
+Matrix make_rhs(std::uint64_t seed, index_t n, index_t k);
+
+/// General dense matrix with element_hash entries (for gemm tests).
+Matrix make_dense(std::uint64_t seed, index_t rows, index_t cols);
+
+/// Symmetric positive definite matrix A = L*L^T from the triangular
+/// generator (used by the Cholesky example).
+Matrix make_spd(std::uint64_t seed, index_t n);
+
+/// In-place Cholesky factorization A = L*L^T returning L (reference
+/// implementation for the Cholesky-solve example).
+Matrix cholesky(const Matrix& a);
+
+}  // namespace catrsm::la

@@ -1,0 +1,77 @@
+#pragma once
+// Dense row-major matrix type used for all local (per-rank) storage.
+//
+// Design notes (per C++ Core Guidelines): owning value type with RAII
+// storage, cheap moves, no implicit expensive copies hidden behind
+// operators; element access is bounds-checked through CATRSM_ASSERT only in
+// the (i, j) accessor used outside of kernels — kernels index the raw span.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace catrsm::la {
+
+using index_t = long long;
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(index_t rows, index_t cols);
+
+  /// rows x cols matrix from existing row-major data (size must match).
+  Matrix(index_t rows, index_t cols, std::vector<double> data);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t size() const { return rows_ * cols_; }
+
+  double& operator()(index_t i, index_t j) {
+    CATRSM_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                  "matrix index out of range");
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  double operator()(index_t i, index_t j) const {
+    CATRSM_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                  "matrix index out of range");
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Raw row-major storage (kernels use this; size() elements).
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+  double* ptr() { return data_.data(); }
+  const double* ptr() const { return data_.data(); }
+
+  /// Copy of the block [i0, i0+r) x [j0, j0+c).
+  Matrix block(index_t i0, index_t j0, index_t r, index_t c) const;
+
+  /// Write src into the block starting at (i0, j0).
+  void set_block(index_t i0, index_t j0, const Matrix& src);
+
+  /// In-place += / -= of a same-shape matrix.
+  void add(const Matrix& other);
+  void sub(const Matrix& other);
+  void scale(double s);
+
+  /// New transposed copy.
+  Matrix transposed() const;
+
+  /// Exact elementwise equality (used by determinism tests).
+  bool equals(const Matrix& other) const;
+
+  static Matrix identity(index_t n);
+  static Matrix zeros(index_t rows, index_t cols);
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace catrsm::la

@@ -1,0 +1,46 @@
+#include "la/norms.hpp"
+
+#include <cmath>
+
+#include "la/gemm.hpp"
+
+namespace catrsm::la {
+
+double frobenius_norm(const Matrix& a) {
+  double s = 0.0;
+  for (const double v : a.data()) s += v * v;
+  return std::sqrt(s);
+}
+
+double max_abs(const Matrix& a) {
+  double m = 0.0;
+  for (const double v : a.data()) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  CATRSM_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+double trsm_residual(const Matrix& l, const Matrix& x, const Matrix& b) {
+  Matrix r = b;
+  gemm(1.0, l, x, -1.0, r);  // r = L*X - B (sign irrelevant for norms)
+  const double denom =
+      frobenius_norm(l) * frobenius_norm(x) + frobenius_norm(b);
+  return denom == 0.0 ? frobenius_norm(r) : frobenius_norm(r) / denom;
+}
+
+double inv_residual(const Matrix& l, const Matrix& linv) {
+  Matrix prod = matmul(l, linv);
+  Matrix eye = Matrix::identity(l.rows());
+  prod.sub(eye);
+  return frobenius_norm(prod) / static_cast<double>(l.rows());
+}
+
+}  // namespace catrsm::la

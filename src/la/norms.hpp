@@ -1,0 +1,21 @@
+#pragma once
+// Norms and residual measures used by correctness tests and examples.
+
+#include "la/matrix.hpp"
+
+namespace catrsm::la {
+
+double frobenius_norm(const Matrix& a);
+double max_abs(const Matrix& a);
+
+/// Max elementwise |a - b|.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Relative forward residual ||L*X - B||_F / (||L||_F ||X||_F + ||B||_F).
+/// Small (≈ machine epsilon * n) for a backward-stable solve.
+double trsm_residual(const Matrix& l, const Matrix& x, const Matrix& b);
+
+/// Inversion residual ||L * Linv - I||_F / n.
+double inv_residual(const Matrix& l, const Matrix& linv);
+
+}  // namespace catrsm::la

@@ -1,0 +1,67 @@
+#include "la/tri_inv.hpp"
+
+#include "la/gemm.hpp"
+
+namespace catrsm::la {
+
+namespace {
+
+// Direct inversion by substitution against the identity; cubic in n but only
+// ever used for small base cases.
+Matrix tri_inv_base(Uplo uplo, const Matrix& t) {
+  Matrix inv = Matrix::identity(t.rows());
+  trsm_left(uplo, Diag::kNonUnit, t, inv);
+  return inv;
+}
+
+}  // namespace
+
+Matrix tri_inv(Uplo uplo, const Matrix& t, index_t block_cutoff) {
+  CATRSM_CHECK(t.rows() == t.cols(), "tri_inv: matrix must be square");
+  CATRSM_CHECK(block_cutoff >= 1, "tri_inv: cutoff must be positive");
+  const index_t n = t.rows();
+  for (index_t i = 0; i < n; ++i)
+    CATRSM_CHECK(t(i, i) != 0.0, "tri_inv: singular triangular matrix");
+
+  if (n <= block_cutoff) return tri_inv_base(uplo, t);
+
+  const index_t h = n / 2;
+  Matrix inv(n, n);
+  if (uplo == Uplo::kLower) {
+    const Matrix l11 = t.block(0, 0, h, h);
+    const Matrix l21 = t.block(h, 0, n - h, h);
+    const Matrix l22 = t.block(h, h, n - h, n - h);
+    const Matrix i11 = tri_inv(uplo, l11, block_cutoff);
+    const Matrix i22 = tri_inv(uplo, l22, block_cutoff);
+    // -L22^-1 * L21 * L11^-1, composed as two products like the parallel
+    // algorithm (lines 12-13 of RecTriInv) so flop counts line up.
+    Matrix tmp = matmul(i22, l21);
+    tmp.scale(-1.0);
+    const Matrix i21 = matmul(tmp, i11);
+    inv.set_block(0, 0, i11);
+    inv.set_block(h, 0, i21);
+    inv.set_block(h, h, i22);
+  } else {
+    const Matrix u11 = t.block(0, 0, h, h);
+    const Matrix u12 = t.block(0, h, h, n - h);
+    const Matrix u22 = t.block(h, h, n - h, n - h);
+    const Matrix i11 = tri_inv(uplo, u11, block_cutoff);
+    const Matrix i22 = tri_inv(uplo, u22, block_cutoff);
+    Matrix tmp = matmul(i11, u12);
+    tmp.scale(-1.0);
+    const Matrix i12 = matmul(tmp, i22);
+    inv.set_block(0, 0, i11);
+    inv.set_block(0, h, i12);
+    inv.set_block(h, h, i22);
+  }
+  return inv;
+}
+
+double tri_inv_flops(index_t n) {
+  // F(n) = 2 F(n/2) + 2 * gemm(n/2) ≈ n^3/3; we report the closed form the
+  // cost model uses rather than re-deriving the recurrence at runtime.
+  const double nn = static_cast<double>(n);
+  return nn * nn * nn / 3.0;
+}
+
+}  // namespace catrsm::la

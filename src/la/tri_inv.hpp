@@ -1,0 +1,25 @@
+#pragma once
+// Sequential recursive triangular inversion (Borodin & Munro style, the
+// method the paper's Section V parallelizes):
+//
+//   [ L11  0  ]^-1   [  L11^-1            0     ]
+//   [ L21 L22 ]    = [ -L22^-1 L21 L11^-1 L22^-1 ]
+//
+// Triangular inversion is numerically stable (Du Croz & Higham), which is
+// the property the paper leans on to justify selective inversion.
+
+#include "la/matrix.hpp"
+#include "la/trsm.hpp"
+
+namespace catrsm::la {
+
+/// Returns T^-1 for a triangular matrix (lower or upper). Throws on a zero
+/// diagonal. `block_cutoff` controls when recursion bottoms out into the
+/// direct substitution kernel.
+Matrix tri_inv(Uplo uplo, const Matrix& t, index_t block_cutoff = 32);
+
+/// Flops for recursive inversion of an n x n triangle (n^3 / 3 to leading
+/// order: two half-size inversions plus two triangular-by-square products).
+double tri_inv_flops(index_t n);
+
+}  // namespace catrsm::la

@@ -1,0 +1,48 @@
+#include "la/trmm.hpp"
+
+namespace catrsm::la {
+
+void trmm_left(Uplo uplo, Diag diag, const Matrix& t, Matrix& b) {
+  CATRSM_CHECK(t.rows() == t.cols(), "trmm: T must be square");
+  CATRSM_CHECK(t.rows() == b.rows(), "trmm: dimension mismatch");
+  const index_t n = t.rows();
+  const index_t k = b.cols();
+  const bool unit = diag == Diag::kUnit;
+
+  if (uplo == Uplo::kLower) {
+    // Row i of the product depends on rows <= i of B: walk bottom-up so we
+    // can update in place.
+    for (index_t i = n - 1; i >= 0; --i) {
+      double* bi = b.ptr() + i * k;
+      const double dii = unit ? 1.0 : t(i, i);
+      for (index_t c = 0; c < k; ++c) bi[c] *= dii;
+      for (index_t j = 0; j < i; ++j) {
+        const double tij = t(i, j);
+        if (tij == 0.0) continue;
+        const double* bj = b.ptr() + j * k;
+        for (index_t c = 0; c < k; ++c) bi[c] += tij * bj[c];
+      }
+    }
+  } else {
+    // Upper triangular: row i depends on rows >= i, walk top-down.
+    for (index_t i = 0; i < n; ++i) {
+      double* bi = b.ptr() + i * k;
+      const double dii = unit ? 1.0 : t(i, i);
+      for (index_t c = 0; c < k; ++c) bi[c] *= dii;
+      for (index_t j = i + 1; j < n; ++j) {
+        const double tij = t(i, j);
+        if (tij == 0.0) continue;
+        const double* bj = b.ptr() + j * k;
+        for (index_t c = 0; c < k; ++c) bi[c] += tij * bj[c];
+      }
+    }
+  }
+}
+
+Matrix trmm(Uplo uplo, const Matrix& t, const Matrix& b) {
+  Matrix out = b;
+  trmm_left(uplo, Diag::kNonUnit, t, out);
+  return out;
+}
+
+}  // namespace catrsm::la

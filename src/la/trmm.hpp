@@ -1,0 +1,23 @@
+#pragma once
+// Triangular matrix-matrix multiply: exploits the triangle to halve flops
+// relative to a dense gemm. Used by the distributed solve phase where the
+// diagonal blocks are triangular inverses.
+
+#include "la/matrix.hpp"
+#include "la/trsm.hpp"
+
+namespace catrsm::la {
+
+/// B := L * B with L lower (or upper) triangular, n x n, B n x k.
+void trmm_left(Uplo uplo, Diag diag, const Matrix& t, Matrix& b);
+
+/// Returns T * B without overwriting B.
+Matrix trmm(Uplo uplo, const Matrix& t, const Matrix& b);
+
+/// Flops for a triangular multiply (half of square gemm).
+constexpr double trmm_flops(index_t n, index_t k) {
+  return static_cast<double>(n) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace catrsm::la

@@ -1,0 +1,105 @@
+#include "la/trsm.hpp"
+
+#include <cmath>
+
+namespace catrsm::la {
+
+namespace {
+
+void check_trsm_args(const Matrix& t, const Matrix& b, bool left) {
+  CATRSM_CHECK(t.rows() == t.cols(), "trsm: triangular matrix must be square");
+  const index_t need = left ? b.rows() : b.cols();
+  CATRSM_CHECK(t.rows() == need, "trsm: dimension mismatch with RHS");
+  for (index_t i = 0; i < t.rows(); ++i)
+    CATRSM_CHECK(t(i, i) != 0.0, "trsm: singular triangular matrix");
+}
+
+}  // namespace
+
+void trsm_left(Uplo uplo, Diag diag, const Matrix& l, Matrix& b) {
+  check_trsm_args(l, b, /*left=*/true);
+  const index_t n = l.rows();
+  const index_t k = b.cols();
+  const bool unit = diag == Diag::kUnit;
+
+  if (uplo == Uplo::kLower) {
+    // Forward substitution, row i of X depends on rows < i.
+    for (index_t i = 0; i < n; ++i) {
+      double* bi = b.ptr() + i * k;
+      for (index_t j = 0; j < i; ++j) {
+        const double lij = l(i, j);
+        if (lij == 0.0) continue;
+        const double* bj = b.ptr() + j * k;
+        for (index_t c = 0; c < k; ++c) bi[c] -= lij * bj[c];
+      }
+      if (!unit) {
+        const double inv = 1.0 / l(i, i);
+        for (index_t c = 0; c < k; ++c) bi[c] *= inv;
+      }
+    }
+  } else {
+    // Backward substitution.
+    for (index_t i = n - 1; i >= 0; --i) {
+      double* bi = b.ptr() + i * k;
+      for (index_t j = i + 1; j < n; ++j) {
+        const double uij = l(i, j);
+        if (uij == 0.0) continue;
+        const double* bj = b.ptr() + j * k;
+        for (index_t c = 0; c < k; ++c) bi[c] -= uij * bj[c];
+      }
+      if (!unit) {
+        const double inv = 1.0 / l(i, i);
+        for (index_t c = 0; c < k; ++c) bi[c] *= inv;
+      }
+    }
+  }
+}
+
+void trsm_right(Uplo uplo, Diag diag, const Matrix& u, Matrix& b) {
+  check_trsm_args(u, b, /*left=*/false);
+  const index_t n = u.rows();
+  const index_t m = b.rows();
+  const bool unit = diag == Diag::kUnit;
+
+  if (uplo == Uplo::kUpper) {
+    // X * U = B: column j of X depends on columns < j.
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t l = 0; l < j; ++l) {
+        const double ulj = u(l, j);
+        if (ulj == 0.0) continue;
+        for (index_t i = 0; i < m; ++i) b(i, j) -= b(i, l) * ulj;
+      }
+      if (!unit) {
+        const double inv = 1.0 / u(j, j);
+        for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
+      }
+    }
+  } else {
+    // X * L = B: column j depends on columns > j.
+    for (index_t j = n - 1; j >= 0; --j) {
+      for (index_t l = j + 1; l < n; ++l) {
+        const double llj = u(l, j);
+        if (llj == 0.0) continue;
+        for (index_t i = 0; i < m; ++i) b(i, j) -= b(i, l) * llj;
+      }
+      if (!unit) {
+        const double inv = 1.0 / u(j, j);
+        for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
+      }
+    }
+  }
+}
+
+Matrix solve_lower(const Matrix& l, const Matrix& b) {
+  Matrix x = b;
+  trsm_left(Uplo::kLower, Diag::kNonUnit, l, x);
+  return x;
+}
+
+Matrix solve_upper(const Matrix& u, const Matrix& b) {
+  Matrix x = b;
+  trsm_left(Uplo::kUpper, Diag::kNonUnit, u, x);
+  return x;
+}
+
+}  // namespace catrsm::la

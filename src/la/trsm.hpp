@@ -1,0 +1,29 @@
+#pragma once
+// Sequential triangular solve kernels (the local base cases of every
+// distributed TRSM variant) and reference solvers for tests.
+
+#include "la/matrix.hpp"
+
+namespace catrsm::la {
+
+enum class Uplo { kLower, kUpper };
+enum class Diag { kNonUnit, kUnit };
+
+/// Solve L * X = B in place: on return B holds X.
+/// L must be rows()==cols()==B.rows(); only the `uplo` triangle is read.
+void trsm_left(Uplo uplo, Diag diag, const Matrix& l, Matrix& b);
+
+/// Solve X * U = B in place (right-side solve); B: m x n, U: n x n.
+void trsm_right(Uplo uplo, Diag diag, const Matrix& u, Matrix& b);
+
+/// Convenience returning the solution, used pervasively in tests.
+Matrix solve_lower(const Matrix& l, const Matrix& b);
+Matrix solve_upper(const Matrix& u, const Matrix& b);
+
+/// Flop count for an n x n triangular solve with k right-hand sides.
+constexpr double trsm_flops(index_t n, index_t k) {
+  return static_cast<double>(n) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace catrsm::la

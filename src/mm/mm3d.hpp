@@ -1,0 +1,52 @@
+#pragma once
+// The paper's Section III: communication-efficient matrix multiplication
+// B = A * X (A: n x n, X: n x k) that starts and ends in arbitrary 2D
+// distributions, internally using a p1 x p1 x p2 processor grid with
+// p = p1^2 * p2.
+//
+// Cost structure (leading order, matching the paper's per-line table):
+//   - assemble A[x, y] on every z-layer:  allgather over z-fibers,
+//       beta * n^2/p1^2 * 1_{p2 > 1}
+//   - replicate X panels over x-fibers:   allgather over x-fibers,
+//       beta * nk/(p1 p2)
+//   - local gemm:                          gamma * 2 n^2 k / p
+//   - reduce-scatter partial B over y-fibers:
+//       (beta + gamma) * nk/(p1 p2)
+//   - layout transitions in and out: Bruck all-to-alls,
+//       O(alpha log p + beta * (n^2 + nk)/p * log p)   [lower order]
+//
+// p1 = sqrt(p), p2 = 1 gives the classic 2D algorithm; p1 = 1, p2 = p the
+// 1D algorithm with A fully replicated; intermediate shapes interpolate —
+// exactly the paper's "one / two / three large dimensions" regimes.
+
+#include <memory>
+
+#include "dist/redistribute.hpp"
+
+namespace catrsm::mm {
+
+using dist::DistMatrix;
+using dist::Distribution;
+using la::index_t;
+
+struct MMGrid {
+  int p1 = 1;
+  int p2 = 1;
+};
+
+/// Modeled leading-order bandwidth of mm3d for A: m x n times X: n x k
+/// (used to autotune the grid).
+double mm3d_model_words(index_t m, index_t n, index_t k, int p1, int p2);
+
+/// Choose p1, p2 with p1^2 * p2 == p minimizing modeled bandwidth
+/// (brute force over the divisors of p; p need not be a power of two).
+MMGrid choose_mm_grid(index_t m, index_t n, index_t k, int p);
+
+/// B = alpha * A * X. `a` is m x n, `x` is n x k; both must be distributed
+/// over ranks of `comm` (comm.size() == p1^2 * p2). The result is returned
+/// under `out_dist` (owners must also lie inside `comm`).
+DistMatrix mm3d(const DistMatrix& a, const DistMatrix& x,
+                std::shared_ptr<const Distribution> out_dist,
+                const sim::Comm& comm, MMGrid grid, double alpha = 1.0);
+
+}  // namespace catrsm::mm

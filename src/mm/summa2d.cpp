@@ -1,0 +1,121 @@
+#include "mm/summa2d.hpp"
+
+#include <algorithm>
+
+#include "coll/collectives.hpp"
+#include "la/gemm.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::mm {
+
+using dist::BlockCyclicDist;
+
+DistMatrix summa2d(const DistMatrix& a, const DistMatrix& x, index_t nb) {
+  const auto* adist = dynamic_cast<const BlockCyclicDist*>(&a.dist());
+  const auto* xdist = dynamic_cast<const BlockCyclicDist*>(&x.dist());
+  CATRSM_CHECK(adist != nullptr && xdist != nullptr,
+               "summa2d: inputs must be block-cyclic");
+  CATRSM_CHECK(adist->br() == 1 && adist->bc() == 1 && xdist->br() == 1 &&
+                   xdist->bc() == 1,
+               "summa2d: inputs must be cyclic (block size 1)");
+  const index_t n = a.dist().rows();
+  const index_t k = x.dist().cols();
+  CATRSM_CHECK(a.dist().cols() == n, "summa2d: A must be square");
+  CATRSM_CHECK(x.dist().rows() == n, "summa2d: inner dimensions differ");
+
+  const dist::Face2D& face = adist->face();
+  const int pr = face.pr();
+  const int pc = face.pc();
+  auto& ctx = face.comm().ctx();
+  if (nb <= 0) nb = std::max<index_t>(1, n / std::max(pr, pc));
+
+  auto cdist = std::make_shared<BlockCyclicDist>(face, n, k, 1, 1);
+  DistMatrix c(cdist, ctx.id());
+
+  const sim::Comm rowc = face.row_comm();  // my grid row, ordered by gj
+  const sim::Comm colc = face.col_comm();  // my grid column, ordered by gi
+
+  const auto& my_arows = a.my_rows();
+  const auto& my_xcols = x.my_cols();
+
+  for (index_t l0 = 0; l0 < n; l0 += nb) {
+    const index_t lw = std::min(nb, n - l0);
+
+    // Assemble A(my rows, l0:l0+lw) by allgathering each grid-row peer's
+    // slice of the panel columns.
+    la::Matrix apanel(static_cast<index_t>(my_arows.size()), lw);
+    {
+      coll::Counts counts(static_cast<std::size_t>(pc));
+      std::vector<std::vector<index_t>> owned_cols(
+          static_cast<std::size_t>(pc));
+      for (index_t j = l0; j < l0 + lw; ++j) {
+        const auto cp = static_cast<std::size_t>(adist->part_of_col(j));
+        owned_cols[cp].push_back(j);
+      }
+      for (int q = 0; q < pc; ++q)
+        counts[static_cast<std::size_t>(q)] =
+            owned_cols[static_cast<std::size_t>(q)].size() * my_arows.size();
+
+      // My contribution: my rows x my panel columns, row-major.
+      coll::Buf mine;
+      const auto& mycols_list =
+          owned_cols[static_cast<std::size_t>(face.my_gj())];
+      mine.reserve(mycols_list.size() * my_arows.size());
+      for (std::size_t r = 0; r < my_arows.size(); ++r) {
+        for (const index_t j : mycols_list) {
+          // Translate global column to my local column index: columns are
+          // cyclic, so local index is j / pc.
+          mine.push_back(a.local()(static_cast<index_t>(r), j / pc));
+        }
+      }
+      const coll::Buf all = coll::allgather(rowc, mine, counts);
+      std::size_t pos = 0;
+      for (int q = 0; q < pc; ++q) {
+        const auto& cols_q = owned_cols[static_cast<std::size_t>(q)];
+        for (std::size_t r = 0; r < my_arows.size(); ++r)
+          for (const index_t j : cols_q) {
+            apanel(static_cast<index_t>(r), j - l0) = all[pos++];
+          }
+      }
+      CATRSM_ASSERT(pos == all.size(), "summa2d: A panel size mismatch");
+    }
+
+    // Assemble X(l0:l0+lw, my cols) from grid-column peers.
+    la::Matrix xpanel(lw, static_cast<index_t>(my_xcols.size()));
+    {
+      coll::Counts counts(static_cast<std::size_t>(pr));
+      std::vector<std::vector<index_t>> owned_rows(
+          static_cast<std::size_t>(pr));
+      for (index_t i = l0; i < l0 + lw; ++i) {
+        const auto rp = static_cast<std::size_t>(xdist->part_of_row(i));
+        owned_rows[rp].push_back(i);
+      }
+      for (int q = 0; q < pr; ++q)
+        counts[static_cast<std::size_t>(q)] =
+            owned_rows[static_cast<std::size_t>(q)].size() * my_xcols.size();
+
+      coll::Buf mine;
+      const auto& myrows_list =
+          owned_rows[static_cast<std::size_t>(face.my_gi())];
+      mine.reserve(myrows_list.size() * my_xcols.size());
+      for (const index_t i : myrows_list)
+        for (std::size_t cidx = 0; cidx < my_xcols.size(); ++cidx)
+          mine.push_back(x.local()(i / pr, static_cast<index_t>(cidx)));
+
+      const coll::Buf all = coll::allgather(colc, mine, counts);
+      std::size_t pos = 0;
+      for (int q = 0; q < pr; ++q) {
+        for (const index_t i : owned_rows[static_cast<std::size_t>(q)])
+          for (std::size_t cidx = 0; cidx < my_xcols.size(); ++cidx)
+            xpanel(i - l0, static_cast<index_t>(cidx)) = all[pos++];
+      }
+      CATRSM_ASSERT(pos == all.size(), "summa2d: X panel size mismatch");
+    }
+
+    la::gemm(1.0, apanel, xpanel, 1.0, c.local());
+    ctx.charge_flops(la::gemm_flops(apanel.rows(), xpanel.cols(), lw));
+  }
+  return c;
+}
+
+}  // namespace catrsm::mm

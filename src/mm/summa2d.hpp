@@ -1,0 +1,24 @@
+#pragma once
+// Classic 2D SUMMA matrix multiplication baseline: C = A * X with A n x n
+// and X n x k cyclic on a pr x pc face. Panel-by-panel broadcasts along
+// grid rows and columns give
+//   S = O((n / nb) log p),
+//   W = O(n^2 / pr + n k / pc),
+//   F = 2 n^2 k / p,
+// the 2D reference point the paper's 3D algorithm improves on when extra
+// memory (p2 > 1) is available.
+
+#include <memory>
+
+#include "dist/dist_matrix.hpp"
+
+namespace catrsm::mm {
+
+using dist::DistMatrix;
+using la::index_t;
+
+/// C = A * X; all three matrices cyclic on the same face. `nb` is the
+/// contraction panel width (defaults to a balanced choice).
+DistMatrix summa2d(const DistMatrix& a, const DistMatrix& x, index_t nb = 0);
+
+}  // namespace catrsm::mm

@@ -1,0 +1,45 @@
+#include "model/compare.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace catrsm::model {
+
+double ComparisonRow::latency_gain() const {
+  return novel.msgs > 0 ? standard.msgs / novel.msgs : 0.0;
+}
+
+double ComparisonRow::predicted_gain_3d() const {
+  return std::pow(n / k, 1.0 / 6.0) * std::pow(p, 2.0 / 3.0) / log2p(p);
+}
+
+ComparisonRow compare(double n, double k, double p) {
+  ComparisonRow row;
+  row.regime = classify(n, k, p);
+  row.n = n;
+  row.k = k;
+  row.p = p;
+  row.standard = rec_trsm_cost(n, k, p);
+  row.novel = it_inv_trsm_cost(n, k, p);
+  return row;
+}
+
+std::vector<ComparisonRow> section9_rows(double p) {
+  // Representative shapes: 1D has n < 4k/p, 2D has n > 4k sqrt(p), 3D sits
+  // comfortably between the boundaries.
+  const double n = 1 << 16;
+  std::vector<ComparisonRow> rows;
+  rows.push_back(compare(n, n * p, p));                  // 1D
+  rows.push_back(compare(n, n / (8.0 * std::sqrt(p)), p));  // 2D
+  rows.push_back(compare(n, n, p));                      // 3D
+  return rows;
+}
+
+std::string row_label(const ComparisonRow& row) {
+  std::ostringstream os;
+  os << regime_name(row.regime) << " (n=" << row.n << ", k=" << row.k
+     << ", p=" << row.p << ")";
+  return os.str();
+}
+
+}  // namespace catrsm::model

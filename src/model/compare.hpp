@@ -1,0 +1,35 @@
+#pragma once
+// Generator for the paper's Section IX conclusion table: standard
+// (recursive) versus new (iterative, selective-inversion) TRSM costs in
+// each of the three regimes, plus the predicted improvement factors.
+
+#include <string>
+#include <vector>
+
+#include "model/costs.hpp"
+
+namespace catrsm::model {
+
+struct ComparisonRow {
+  Regime regime;
+  double n, k, p;
+  Cost standard;  // recursive TRSM (Section IV)
+  Cost novel;     // iterative TRSM (Sections VI-VIII)
+  /// Predicted latency improvement factor standard.S / novel.S.
+  double latency_gain() const;
+  /// The paper's asymptotic latency-gain expression for the 3D regime:
+  /// (n/k)^{1/6} p^{2/3} (up to log factors).
+  double predicted_gain_3d() const;
+};
+
+/// One row for a given problem shape.
+ComparisonRow compare(double n, double k, double p);
+
+/// The three canonical rows of the Section IX table: a representative
+/// (n, k) in each regime for the given p.
+std::vector<ComparisonRow> section9_rows(double p);
+
+/// Render a row's regime/sizes as a short label.
+std::string row_label(const ComparisonRow& row);
+
+}  // namespace catrsm::model

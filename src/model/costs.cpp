@@ -1,0 +1,185 @@
+#include "model/costs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace catrsm::model {
+
+double nu() { return std::cbrt(2.0) / (std::cbrt(2.0) - 1.0); }
+
+double log2p(double p) { return std::max(1.0, std::log2(p)); }
+
+namespace {
+double ind(bool cond) { return cond ? 1.0 : 0.0; }
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Section II-C1.
+
+Cost allgather_cost(double n, double p) {
+  return Cost{log2p(p), n * ind(p > 1), 0.0};
+}
+Cost scatter_cost(double n, double p) {
+  return Cost{log2p(p), n * ind(p > 1), 0.0};
+}
+Cost gather_cost(double n, double p) {
+  return Cost{log2p(p), n * ind(p > 1), 0.0};
+}
+Cost reduce_scatter_cost(double n, double p) {
+  return Cost{log2p(p), n * ind(p > 1), n * ind(p > 1)};
+}
+Cost bcast_cost(double n, double p) {
+  return Cost{2.0 * log2p(p), 2.0 * n * ind(p > 1), 0.0};
+}
+Cost reduction_cost(double n, double p) {
+  return Cost{2.0 * log2p(p), 2.0 * n * ind(p > 1), n * ind(p > 1)};
+}
+Cost allreduction_cost(double n, double p) {
+  return Cost{2.0 * log2p(p), 2.0 * n * ind(p > 1), n * ind(p > 1)};
+}
+Cost alltoall_cost(double n, double p) {
+  return Cost{log2p(p), n / 2.0 * log2p(p) * ind(p > 1), 0.0};
+}
+
+// ---------------------------------------------------------------------------
+// Section III.
+
+Cost mm_cost(double n, double k, double p1, double p2) {
+  const double p = p1 * p1 * p2;
+  Cost c;
+  c.msgs = log2p(p);
+  c.words = n * n / (p1 * p1) * ind(p2 > 1) +
+            2.0 * n * k / (p1 * p2) * ind(p1 > 1) +
+            n * k * log2p(p) / p;  // rectangular-grid transpose term
+  c.flops = 2.0 * n * n * k / p;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Regimes. Boundaries from Section VIII: 1D when n < 4k/p, 2D when
+// n > 4 k sqrt(p), 3D otherwise.
+
+Regime classify(double n, double k, double p) {
+  if (n < 4.0 * k / p) return Regime::k1D;
+  if (n > 4.0 * k * std::sqrt(p)) return Regime::k2D;
+  return Regime::k3D;
+}
+
+const char* regime_name(Regime r) {
+  switch (r) {
+    case Regime::k1D:
+      return "1D";
+    case Regime::k2D:
+      return "2D";
+    case Regime::k3D:
+      return "3D";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Section IV-A.
+
+Cost rec_trsm_cost(double n, double k, double p) {
+  const double lg = log2p(p);
+  switch (classify(n, k, p)) {
+    case Regime::k1D:
+      return Cost{lg, n * n, n * n * k / p};
+    case Regime::k2D:
+      return Cost{std::sqrt(p), n * k * lg / std::sqrt(p), n * n * k / p};
+    case Regime::k3D:
+      return Cost{std::pow(n * p / k, 2.0 / 3.0) * lg,
+                  std::pow(n * n * k / p, 2.0 / 3.0), n * n * k / p};
+  }
+  throw Error("rec_trsm_cost: unreachable");
+}
+
+// ---------------------------------------------------------------------------
+// Section V-B.
+
+Cost tri_inv_cost(double n, double p1, double p2) {
+  const double p = p1 * p1 * p2;
+  Cost c;
+  c.msgs = log2p(p) * log2p(p);
+  c.words = nu() * (n * n / (8.0 * p1 * p1) + n * n / (2.0 * p1 * p2));
+  c.flops = nu() * n * n * n / (8.0 * p);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Section VII.
+
+ItInvBreakdown it_inv_breakdown(double n, double k, double n0, double p1,
+                                double p2, double r1, double r2) {
+  CATRSM_CHECK(n0 > 0 && n0 <= n, "it_inv_breakdown: need 0 < n0 <= n");
+  const double p = p1 * p1 * p2;
+  const double lg = log2p(p);
+  const double steps = n / n0;
+
+  ItInvBreakdown b;
+  // Inversion of n/n0 diagonal blocks on r1 x r1 x r2 subgrids.
+  b.inversion.msgs = lg * lg;
+  b.inversion.words =
+      nu() * (n0 * n0 / (8.0 * r1 * r1) + n0 * n0 / (2.0 * r1 * r2));
+  b.inversion.flops = n * n0 * n0 / (8.0 * p1 * p1 * p2);
+
+  // Solve: one small MM per diagonal block (Section VII-B).
+  b.solve.msgs = steps * lg;
+  b.solve.words = steps * (n0 * n0 / (p1 * p1) * ind(p2 > 1) +
+                           4.0 * n0 * k / (p1 * p2) * ind(p1 > 1));
+  b.solve.flops = steps * n0 * n0 * k / (p1 * p1 * p2);
+
+  // Update: panel broadcast + two allreductions per step (Section VII-C).
+  // (The paper's printed expression "4(n n0 - i n0)/p1^2" sums to
+  // ~2 n (n - n0) / p1^2; we use the summed form.)
+  const double upd_steps = std::max(0.0, (n - n0) / n0);
+  b.update.msgs = upd_steps * lg;
+  b.update.words = (n * (n - n0) / (p1 * p1)) * ind(p2 > 1) +
+                   upd_steps * 4.0 * n0 * k / (p1 * p2) * ind(p1 > 1);
+  b.update.flops = upd_steps * k * n * n0 / (p1 * p1 * p2);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Section VIII.
+
+Tuning tune(double n, double k, double p) {
+  Tuning t;
+  t.regime = classify(n, k, p);
+  switch (t.regime) {
+    case Regime::k1D:
+      t.p1 = 1.0;
+      t.p2 = p;
+      t.n0 = n;
+      t.r1 = std::cbrt(p);
+      t.r2 = std::cbrt(p);
+      break;
+    case Regime::k2D:
+      t.p1 = std::sqrt(p);
+      t.p2 = 1.0;
+      t.n0 = std::pow(n * k * k * k * std::sqrt(p), 0.25);
+      t.r1 = std::pow(k / n, 0.25) * std::pow(p, 3.0 / 8.0);
+      t.r2 = t.r1;
+      break;
+    case Regime::k3D:
+      t.p1 = std::cbrt(p * n / (4.0 * k));
+      t.p2 = std::pow(std::sqrt(p) * 4.0 * k / n, 2.0 / 3.0);
+      t.n0 = std::min(std::sqrt(n * k), n);
+      t.r1 = std::cbrt(std::min(p * std::sqrt(n * k) / n, p));
+      t.r2 = t.r1;
+      break;
+  }
+  t.n0 = std::clamp(t.n0, 1.0, n);
+  t.p1 = std::clamp(t.p1, 1.0, std::sqrt(p));
+  t.p2 = std::clamp(t.p2, 1.0, p);
+  return t;
+}
+
+Cost it_inv_trsm_cost(double n, double k, double p) {
+  const Tuning t = tune(n, k, p);
+  return it_inv_breakdown(n, k, t.n0, t.p1, t.p2, t.r1, t.r2).total();
+}
+
+}  // namespace catrsm::model

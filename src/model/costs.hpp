@@ -1,0 +1,74 @@
+#pragma once
+// Closed-form alpha-beta-gamma cost formulas transcribed from the paper —
+// the "theory side" of every benchmark. Each function returns the leading-
+// order S (latency), W (bandwidth) and F (flop) terms for the named
+// algorithm; benches print these next to the simulator's measurements.
+//
+// Sources: Section II-C1 (collectives), Section III (matrix multiply),
+// Section IV-A (recursive TRSM by regime), Section V-B (triangular
+// inversion), Section VII (iterative TRSM components), Section IX
+// (comparison table).
+
+#include "sim/cost.hpp"
+
+namespace catrsm::model {
+
+using sim::Cost;
+
+/// nu = 2^{1/3} / (2^{1/3} - 1): the geometric-series constant of the
+/// recursive inversion (Section V-B).
+double nu();
+
+/// log2 with a floor of 1 (the paper's log p terms assume p >= 2).
+double log2p(double p);
+
+// --- Section II-C1: collectives on p processors moving n words.
+Cost allgather_cost(double n, double p);
+Cost scatter_cost(double n, double p);
+Cost gather_cost(double n, double p);
+Cost reduce_scatter_cost(double n, double p);
+Cost bcast_cost(double n, double p);
+Cost reduction_cost(double n, double p);
+Cost allreduction_cost(double n, double p);
+Cost alltoall_cost(double n, double p);
+
+// --- Section III: 3D matrix multiplication of (n x n) * (n x k) on a
+// p1 x p1 x p2 grid (p = p1^2 p2).
+Cost mm_cost(double n, double k, double p1, double p2);
+
+// --- Regime classification (Section VIII / Figure 1 boundaries).
+enum class Regime { k1D, k2D, k3D };
+Regime classify(double n, double k, double p);
+const char* regime_name(Regime r);
+
+// --- Section IV-A: recursive TRSM total cost per regime.
+Cost rec_trsm_cost(double n, double k, double p);
+
+// --- Section V-B: recursive triangular inversion on p1 x p1 x p2.
+Cost tri_inv_cost(double n, double p1, double p2);
+
+// --- Section VII: iterative TRSM component costs.
+struct ItInvBreakdown {
+  Cost inversion;
+  Cost solve;
+  Cost update;
+  Cost total() const { return inversion + solve + update; }
+};
+ItInvBreakdown it_inv_breakdown(double n, double k, double n0, double p1,
+                                double p2, double r1, double r2);
+
+// --- Section VIII: asymptotically optimal tuning parameters.
+struct Tuning {
+  Regime regime = Regime::k3D;
+  double p1 = 1;
+  double p2 = 1;
+  double n0 = 1;
+  double r1 = 1;
+  double r2 = 1;
+};
+Tuning tune(double n, double k, double p);
+
+/// Total iterative-TRSM cost with the Section VIII parameters.
+Cost it_inv_trsm_cost(double n, double k, double p);
+
+}  // namespace catrsm::model

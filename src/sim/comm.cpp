@@ -1,0 +1,82 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace catrsm::sim {
+
+Comm::Comm(Rank& rank, std::vector<int> members)
+    : rank_(&rank), members_(std::move(members)), my_index_(-1) {
+  CATRSM_CHECK(!members_.empty(), "communicator cannot be empty");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const int m = members_[i];
+    CATRSM_CHECK(m >= 0 && m < rank.nprocs(), "member outside machine");
+    if (m == rank.id()) my_index_ = static_cast<int>(i);
+  }
+}
+
+int Comm::rank() const {
+  CATRSM_CHECK(my_index_ >= 0,
+               "rank(): calling rank is not a member of this communicator");
+  return my_index_;
+}
+
+Comm Comm::world(Rank& rank) {
+  std::vector<int> all(static_cast<std::size_t>(rank.nprocs()));
+  std::iota(all.begin(), all.end(), 0);
+  return Comm(rank, std::move(all));
+}
+
+int Comm::world_rank(int r) const {
+  CATRSM_CHECK(r >= 0 && r < size(), "communicator rank out of range");
+  return members_[static_cast<std::size_t>(r)];
+}
+
+int Comm::index_of_world(int w) const {
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    if (members_[i] == w) return static_cast<int>(i);
+  return -1;
+}
+
+void Comm::send(int dst, std::span<const double> data, int tag) const {
+  rank_->send(world_rank(dst), data, tag);
+}
+
+std::vector<double> Comm::recv(int src, int tag) const {
+  return rank_->recv(world_rank(src), tag);
+}
+
+std::vector<double> Comm::sendrecv(int peer, std::span<const double> data,
+                                   int tag) const {
+  return rank_->sendrecv(world_rank(peer), data, tag);
+}
+
+std::vector<double> Comm::shift(int dst, int src,
+                                std::span<const double> data, int tag) const {
+  return rank_->shift(world_rank(dst), world_rank(src), data, tag);
+}
+
+Comm Comm::subset(const std::vector<int>& indices) const {
+  std::vector<int> world;
+  world.reserve(indices.size());
+  for (const int i : indices) world.push_back(world_rank(i));
+  return Comm(*rank_, std::move(world));
+}
+
+Comm Comm::strided_fiber(int stride) const {
+  CATRSM_CHECK(stride >= 1, "stride must be positive");
+  CATRSM_CHECK(is_member(), "strided_fiber: requires membership");
+  std::vector<int> idx;
+  for (int r = rank() % stride; r < size(); r += stride) idx.push_back(r);
+  return subset(idx);
+}
+
+Comm Comm::range(int begin, int count) const {
+  CATRSM_CHECK(begin >= 0 && count >= 1 && begin + count <= size(),
+               "range out of bounds");
+  std::vector<int> idx(static_cast<std::size_t>(count));
+  std::iota(idx.begin(), idx.end(), begin);
+  return subset(idx);
+}
+
+}  // namespace catrsm::sim

@@ -1,0 +1,64 @@
+#pragma once
+// Communicator: an ordered subgroup of simulated ranks, analogous to an MPI
+// communicator. Creating a subgroup is free of communication — processor
+// grids know the membership of every fiber arithmetically, so all members
+// construct the same group locally (the MPI_Group / MPI_Comm_create_group
+// pattern rather than MPI_Comm_split).
+
+#include <span>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace catrsm::sim {
+
+class Comm {
+ public:
+  /// Group over explicit world ranks, ordered. The constructing rank need
+  /// NOT be a member: non-members may hold a Comm purely to *describe* a
+  /// group (e.g. a distribution layout over other ranks), but any attempt
+  /// to communicate through it throws.
+  Comm(Rank& rank, std::vector<int> members);
+
+  /// True when the constructing rank belongs to the group.
+  bool is_member() const { return my_index_ >= 0; }
+
+  /// The full machine as a communicator.
+  static Comm world(Rank& rank);
+
+  /// My index within this communicator (throws for non-members).
+  int rank() const;
+  /// Number of members.
+  int size() const { return static_cast<int>(members_.size()); }
+  /// Translate a communicator rank to a world rank.
+  int world_rank(int r) const;
+  /// Inverse translation; returns -1 when `w` is not a member.
+  int index_of_world(int w) const;
+  /// The underlying simulated rank context.
+  Rank& ctx() const { return *rank_; }
+
+  /// Point-to-point within the group (ranks are communicator-relative).
+  void send(int dst, std::span<const double> data, int tag) const;
+  std::vector<double> recv(int src, int tag) const;
+  std::vector<double> sendrecv(int peer, std::span<const double> data,
+                               int tag) const;
+  std::vector<double> shift(int dst, int src, std::span<const double> data,
+                            int tag) const;
+
+  /// Subgroup from communicator-relative indices (must include my rank).
+  Comm subset(const std::vector<int>& indices) const;
+
+  /// Subgroup of every member whose index is congruent to mine modulo
+  /// `stride` (a strided fiber; used for grid axes).
+  Comm strided_fiber(int stride) const;
+
+  /// Contiguous subgroup [begin, begin + count) that contains my rank.
+  Comm range(int begin, int count) const;
+
+ private:
+  Rank* rank_;
+  std::vector<int> members_;
+  int my_index_;
+};
+
+}  // namespace catrsm::sim

@@ -1,0 +1,13 @@
+#include "sim/cost.hpp"
+
+#include <sstream>
+
+namespace catrsm::sim {
+
+std::string Cost::to_string() const {
+  std::ostringstream os;
+  os << "{S=" << msgs << ", W=" << words << ", F=" << flops << "}";
+  return os.str();
+}
+
+}  // namespace catrsm::sim

@@ -1,0 +1,51 @@
+#pragma once
+// The alpha-beta-gamma execution model of the paper (Section II-A):
+//   T = alpha * S + beta * W + gamma * F
+// S = latency units (communication rounds), W = words, F = flops, all
+// accumulated per rank along its execution; the critical path is tracked
+// separately through each rank's virtual clock.
+
+#include <string>
+
+namespace catrsm::sim {
+
+/// Machine parameters for the virtual clock. Defaults roughly model a
+/// commodity cluster: 1 us latency, 1 ns per word, 1 flop per 0.25 ns
+/// (expressed in arbitrary consistent time units; only ratios matter).
+struct MachineParams {
+  double alpha = 1.0e-6;
+  double beta = 1.0e-9;
+  double gamma = 2.5e-10;
+};
+
+/// Per-rank accumulated cost counters.
+///
+/// Counter semantics match the paper's collective cost table (Section
+/// II-C1): one butterfly exchange round charges S += 1 and
+/// W += max(words sent, words received), because the model lets a processor
+/// send and receive one message simultaneously.
+struct Cost {
+  double msgs = 0.0;   // S
+  double words = 0.0;  // W
+  double flops = 0.0;  // F
+
+  Cost& operator+=(const Cost& o) {
+    msgs += o.msgs;
+    words += o.words;
+    flops += o.flops;
+    return *this;
+  }
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+  friend Cost operator-(const Cost& a, const Cost& b) {
+    return Cost{a.msgs - b.msgs, a.words - b.words, a.flops - b.flops};
+  }
+
+  /// Model time under given machine parameters.
+  double time(const MachineParams& mp) const {
+    return mp.alpha * msgs + mp.beta * words + mp.gamma * flops;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace catrsm::sim

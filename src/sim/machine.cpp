@@ -1,0 +1,216 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace catrsm::sim {
+
+// ---------------------------------------------------------------------------
+// Rank
+
+void Rank::account(double msgs, double words, double flops) {
+  cost_.msgs += msgs;
+  cost_.words += words;
+  cost_.flops += flops;
+  for (const std::string& label : phase_stack_) {
+    Cost& bucket = phase_costs_[label];
+    bucket.msgs += msgs;
+    bucket.words += words;
+    bucket.flops += flops;
+  }
+}
+
+void Rank::pop_phase() {
+  CATRSM_CHECK(!phase_stack_.empty(), "pop_phase: no active phase");
+  phase_stack_.pop_back();
+}
+
+const std::string& Rank::phase() const {
+  static const std::string kNone;
+  return phase_stack_.empty() ? kNone : phase_stack_.back();
+}
+
+void Rank::send(int dst, std::span<const double> data, int tag) {
+  CATRSM_CHECK(dst >= 0 && dst < nprocs_, "send: bad destination rank");
+  CATRSM_CHECK(dst != id_, "send: self-sends are a bug in SPMD code");
+  Machine::Message msg;
+  msg.data.assign(data.begin(), data.end());
+  msg.sender_vtime = vtime_;
+  const double w = static_cast<double>(data.size());
+  account(1.0, w, 0.0);
+  vtime_ += params().alpha + params().beta * w;
+  machine_->deliver(id_, dst, tag, std::move(msg));
+}
+
+std::vector<double> Rank::recv(int src, int tag) {
+  CATRSM_CHECK(src >= 0 && src < nprocs_, "recv: bad source rank");
+  CATRSM_CHECK(src != id_, "recv: self-receives are a bug in SPMD code");
+  Machine::Message msg = machine_->take(id_, src, tag);
+  const double w = static_cast<double>(msg.data.size());
+  account(1.0, w, 0.0);
+  // The data exists at the receiver no earlier than alpha + beta*w after
+  // the sender's clock at send time, and no earlier than the receiver is
+  // ready to receive.
+  vtime_ = std::max(vtime_, msg.sender_vtime) + params().alpha +
+           params().beta * w;
+  return std::move(msg.data);
+}
+
+std::vector<double> Rank::sendrecv(int peer, std::span<const double> data,
+                                   int tag) {
+  return shift(peer, peer, data, tag);
+}
+
+std::vector<double> Rank::shift(int dst, int src, std::span<const double> data,
+                                int tag) {
+  CATRSM_CHECK(dst >= 0 && dst < nprocs_, "shift: bad destination rank");
+  CATRSM_CHECK(src >= 0 && src < nprocs_, "shift: bad source rank");
+  CATRSM_CHECK(dst != id_ && src != id_, "shift: peers must differ from self");
+  Machine::Message out;
+  out.data.assign(data.begin(), data.end());
+  out.sender_vtime = vtime_;
+  machine_->deliver(id_, dst, tag, std::move(out));
+  Machine::Message in = machine_->take(id_, src, tag);
+  // One simultaneous exchange round: a single latency unit, and the wire
+  // carries both directions concurrently, so the clock advances by the
+  // larger payload only (paper Section II-A: "every processor can send and
+  // receive one message at a time").
+  const double w =
+      std::max(static_cast<double>(data.size()),
+               static_cast<double>(in.data.size()));
+  account(1.0, w, 0.0);
+  vtime_ = std::max(vtime_, in.sender_vtime) + params().alpha +
+           params().beta * w;
+  return std::move(in.data);
+}
+
+void Rank::charge_flops(double f) {
+  CATRSM_CHECK(f >= 0.0, "charge_flops: negative flop count");
+  account(0.0, 0.0, f);
+  vtime_ += params().gamma * f;
+}
+
+const MachineParams& Rank::params() const { return machine_->params_; }
+
+// ---------------------------------------------------------------------------
+// RunStats
+
+double RunStats::max_msgs() const {
+  double m = 0.0;
+  for (const auto& c : per_rank) m = std::max(m, c.msgs);
+  return m;
+}
+double RunStats::max_words() const {
+  double m = 0.0;
+  for (const auto& c : per_rank) m = std::max(m, c.words);
+  return m;
+}
+double RunStats::max_flops() const {
+  double m = 0.0;
+  for (const auto& c : per_rank) m = std::max(m, c.flops);
+  return m;
+}
+double RunStats::total_words() const {
+  double s = 0.0;
+  for (const auto& c : per_rank) s += c.words;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+
+Machine::Machine(int p, MachineParams params) : p_(p), params_(params) {
+  CATRSM_CHECK(p >= 1, "machine needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Machine::~Machine() = default;
+
+void Machine::deliver(int src, int dst, int tag, Message msg) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{src, tag}].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Machine::Message Machine::take(int dst, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  auto& queue = box.queues[{src, tag}];
+  box.cv.wait(lock, [&] { return !queue.empty() || aborted_.load(); });
+  if (queue.empty()) {
+    // Another rank failed; propagate so the whole run unwinds cleanly.
+    throw Error("simulated run aborted by failure on a peer rank");
+  }
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  return msg;
+}
+
+void Machine::abort_all() {
+  aborted_.store(true);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+RunStats Machine::run(const std::function<void(Rank&)>& fn) {
+  // Fresh mailboxes each run so a failed previous run cannot leak state.
+  aborted_.store(false);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->queues.clear();
+  }
+
+  std::vector<std::unique_ptr<Rank>> ranks;
+  ranks.reserve(static_cast<std::size_t>(p_));
+  for (int i = 0; i < p_; ++i)
+    ranks.push_back(std::unique_ptr<Rank>(new Rank(this, i, p_)));
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p_));
+  for (int i = 0; i < p_; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        fn(*ranks[static_cast<std::size_t>(i)]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Wake every peer blocked in take(); they observe aborted_ and
+        // unwind, so the run never hangs after a failure.
+        abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  RunStats stats;
+  stats.per_rank.reserve(static_cast<std::size_t>(p_));
+  for (const auto& r : ranks) {
+    stats.per_rank.push_back(r->cost());
+    stats.critical_time = std::max(stats.critical_time, r->vtime());
+    for (const auto& [name, cost] : r->phase_costs()) {
+      Cost& agg = stats.phase_max[name];
+      agg.msgs = std::max(agg.msgs, cost.msgs);
+      agg.words = std::max(agg.words, cost.words);
+      agg.flops = std::max(agg.flops, cost.flops);
+    }
+  }
+  return stats;
+}
+
+}  // namespace catrsm::sim

@@ -1,0 +1,176 @@
+#pragma once
+// Simulated distributed-memory machine.
+//
+// p ranks execute a user SPMD function concurrently (one OS thread per
+// rank). Ranks exchange messages through matched (src, dst, tag) mailboxes.
+// Every transfer advances alpha-beta-gamma cost counters and a per-rank
+// *virtual clock*: a receive cannot complete before the sender's virtual
+// send time, so max-over-ranks of the final clocks is the exact critical
+// path length of the run under the machine parameters.
+//
+// This is the substitution for MPI on a real cluster (see DESIGN.md §2):
+// the paper's claims are statements about S, W, F along the critical path,
+// and this machine measures exactly those for real executions on real data.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/cost.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::sim {
+
+class Machine;
+
+/// The execution context handed to each simulated rank. Not copyable; lives
+/// for the duration of Machine::run.
+class Rank {
+ public:
+  int id() const { return id_; }
+  int nprocs() const { return nprocs_; }
+
+  /// Point-to-point send of `data` to world rank `dst` (buffered, eager:
+  /// never blocks). Charges S += 1, W += data.size().
+  void send(int dst, std::span<const double> data, int tag);
+
+  /// Blocking receive from world rank `src`. Charges S += 1, W += size and
+  /// synchronizes the virtual clock with the sender's send time.
+  std::vector<double> recv(int src, int tag);
+
+  /// Simultaneous exchange with `peer` (the butterfly primitive): one
+  /// latency unit and max(sent, received) words, matching the model's
+  /// simultaneous send+receive assumption.
+  std::vector<double> sendrecv(int peer, std::span<const double> data,
+                               int tag);
+
+  /// Simultaneous shifted exchange (the Bruck primitive): send to `dst`
+  /// while receiving from `src` (possibly different ranks). Same cost as
+  /// sendrecv: one latency unit, max(sent, received) words.
+  std::vector<double> shift(int dst, int src, std::span<const double> data,
+                            int tag);
+
+  /// Charge local computation of `f` flops (advances clock by gamma * f).
+  void charge_flops(double f);
+
+  /// Accumulated cost counters for this rank.
+  const Cost& cost() const { return cost_; }
+
+  /// Current virtual clock value.
+  double vtime() const { return vtime_; }
+
+  /// Phase-scoped accounting: while phase labels are on the stack, every
+  /// charge is attributed to each active label (so nested scopes — e.g. a
+  /// driver's "algorithm" around a solver's "solve"/"update" — both see
+  /// their charges). Algorithms use this to reproduce the paper's
+  /// per-phase cost tables in a single run. Prefer PhaseScope over the raw
+  /// push/pop.
+  void push_phase(std::string name) { phase_stack_.push_back(std::move(name)); }
+  void pop_phase();
+  /// Innermost active label, empty when none.
+  const std::string& phase() const;
+  const std::map<std::string, Cost>& phase_costs() const {
+    return phase_costs_;
+  }
+
+  const MachineParams& params() const;
+
+ private:
+  friend class Machine;
+  Rank(Machine* m, int id, int nprocs) : machine_(m), id_(id), nprocs_(nprocs) {}
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  void account(double msgs, double words, double flops);
+
+  Machine* machine_;
+  int id_;
+  int nprocs_;
+  Cost cost_;
+  double vtime_ = 0.0;
+  std::vector<std::string> phase_stack_;
+  std::map<std::string, Cost> phase_costs_;
+};
+
+/// RAII phase scope: pops its label on exit.
+class PhaseScope {
+ public:
+  PhaseScope(Rank& rank, std::string name) : rank_(rank) {
+    rank_.push_phase(std::move(name));
+  }
+  ~PhaseScope() { rank_.pop_phase(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Rank& rank_;
+};
+
+/// Aggregate statistics of one simulated run.
+struct RunStats {
+  std::vector<Cost> per_rank;
+  double critical_time = 0.0;  // max over ranks of final virtual clock
+  /// Per-phase maxima over ranks (populated from Rank::set_phase labels).
+  std::map<std::string, Cost> phase_max;
+
+  /// Max over ranks — for the load-balanced algorithms in this library
+  /// these coincide (to within the last level of a tree) with the paper's
+  /// critical-path S, W, F.
+  double max_msgs() const;
+  double max_words() const;
+  double max_flops() const;
+  double total_words() const;  // communication volume (Irony-Toledo metric)
+  Cost max_cost() const { return Cost{max_msgs(), max_words(), max_flops()}; }
+};
+
+class Machine {
+ public:
+  explicit Machine(int p, MachineParams params = MachineParams{});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int nprocs() const { return p_; }
+  const MachineParams& params() const { return params_; }
+
+  /// Execute `fn` on all p ranks concurrently; blocks until all finish.
+  /// Any exception thrown by a rank is rethrown here (first one wins).
+  /// Counters reset at the start of each run.
+  RunStats run(const std::function<void(Rank&)>& fn);
+
+ private:
+  friend class Rank;
+
+  struct Message {
+    std::vector<double> data;
+    double sender_vtime = 0.0;  // sender clock at the instant of send
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // FIFO queue per (src, tag); SPMD program order makes FIFO matching
+    // sufficient and deterministic.
+    std::map<std::pair<int, int>, std::deque<Message>> queues;
+  };
+
+  void deliver(int src, int dst, int tag, Message msg);
+  Message take(int dst, int src, int tag);
+  void abort_all();
+
+  int p_;
+  MachineParams params_;
+  std::atomic<bool> aborted_{false};
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace catrsm::sim

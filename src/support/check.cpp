@@ -1,0 +1,38 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace catrsm {
+
+namespace detail {
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "catrsm check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+int ilog2_exact(long long x) {
+  CATRSM_CHECK(is_pow2(x), "ilog2_exact requires a power of two");
+  int l = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+int ilog2_ceil(long long x) {
+  CATRSM_CHECK(x >= 1, "ilog2_ceil requires x >= 1");
+  int l = 0;
+  long long v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace catrsm

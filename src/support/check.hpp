@@ -1,0 +1,53 @@
+#pragma once
+// Lightweight precondition / invariant checking for the catrsm library.
+//
+// We follow the C++ Core Guidelines (I.6, E.12): preconditions are stated
+// at the top of each function and violations throw a typed exception rather
+// than aborting, so library users can recover and tests can assert on them.
+
+#include <stdexcept>
+#include <string>
+
+namespace catrsm {
+
+/// Exception thrown on any violated precondition or internal invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+/// CATRSM_CHECK(cond, "message"): throws catrsm::Error when cond is false.
+/// Always enabled (these guard API misuse, not hot inner loops).
+#define CATRSM_CHECK(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::catrsm::detail::throw_check_failure(#cond, __FILE__, __LINE__,      \
+                                            (msg));                         \
+    }                                                                       \
+  } while (0)
+
+/// CATRSM_ASSERT: internal invariant; compiled out in NDEBUG hot paths is
+/// deliberately NOT done — the simulator is the product, and silent
+/// corruption would invalidate measured costs. Kept identical to CHECK.
+#define CATRSM_ASSERT(cond, msg) CATRSM_CHECK(cond, msg)
+
+/// True when x is an exact power of two (x >= 1).
+constexpr bool is_pow2(long long x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Integer log2 for exact powers of two.
+int ilog2_exact(long long x);
+
+/// Ceil of log2 for any positive integer.
+int ilog2_ceil(long long x);
+
+/// Integer ceil division.
+constexpr long long ceil_div(long long a, long long b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace catrsm

@@ -1,0 +1,43 @@
+#include "support/cli.hpp"
+
+#include <string_view>
+
+#include "support/check.hpp"
+
+namespace catrsm {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      kv_[std::string(arg)] = argv[++i];
+    } else {
+      kv_[std::string(arg)] = "1";  // boolean flag
+    }
+  }
+}
+
+long long Cli::get_int(const std::string& name, long long def) const {
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::stod(it->second);
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& def) const {
+  const auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
+}
+
+bool Cli::has(const std::string& name) const { return kv_.count(name) > 0; }
+
+}  // namespace catrsm

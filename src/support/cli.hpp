@@ -1,0 +1,24 @@
+#pragma once
+// Tiny command-line flag parser for examples and bench binaries.
+// Supports "--name value" and "--name=value"; everything is optional with
+// defaults, so every binary runs stand-alone with zero arguments.
+
+#include <map>
+#include <string>
+
+namespace catrsm {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  long long get_int(const std::string& name, long long def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  bool has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace catrsm

@@ -1,0 +1,73 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace catrsm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CATRSM_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  CATRSM_CHECK(!rows_.empty(), "call row() before add()");
+  CATRSM_CHECK(rows_.back().size() < header_.size(), "row has too many cells");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+Table& Table::add(long long v) { return add(std::to_string(v)); }
+Table& Table::add(int v) { return add(std::to_string(v)); }
+Table& Table::add(std::size_t v) { return add(std::to_string(v)); }
+Table& Table::add(double v) { return add(format_double(v)); }
+
+std::string Table::format_double(double v) {
+  if (v == 0.0) return "0";
+  char buf[64];
+  const double a = std::abs(v);
+  if (a >= 1e-3 && a < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  }
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << " " << s << std::string(width[c] - s.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& r : rows_) print_row(r);
+}
+
+void Table::print() const { print(std::cout); }
+
+}  // namespace catrsm

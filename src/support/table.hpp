@@ -1,0 +1,43 @@
+#pragma once
+// Minimal ASCII table printer used by the benchmark harness to regenerate
+// the paper's tables in a readable, diffable format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace catrsm {
+
+/// Collects rows of strings and pretty-prints them with aligned columns.
+/// Numeric helpers format with fixed significant digits so bench output is
+/// stable across runs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(long long v);
+  Table& add(int v);
+  Table& add(std::size_t v);
+  /// Engineering-style formatting: 4 significant digits, switching to
+  /// scientific notation outside [1e-3, 1e6).
+  Table& add(double v);
+
+  /// Render with a header rule and column alignment.
+  void print(std::ostream& os) const;
+
+  /// Convenience: render to stdout.
+  void print() const;
+
+  static std::string format_double(double v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace catrsm

@@ -1,0 +1,247 @@
+#include "trsm/it_inv_trsm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coll/collectives.hpp"
+#include "dist/grid.hpp"
+#include "la/gemm.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::trsm {
+
+using dist::BlockCyclicDist;
+using dist::Face2D;
+using dist::ProcGrid3D;
+using la::Matrix;
+
+namespace {
+
+enum ItTag : int {
+  kTagXExchange = 901,
+  kTagCorrExchange = 902,
+  kTagBExchange = 903,
+};
+
+/// Local index range [t0, t1) of global rows in [lo, hi) within the sorted
+/// list {res, res + mod, res + 2 mod, ...}.
+std::pair<index_t, index_t> local_range(index_t lo, index_t hi, int res,
+                                        int mod) {
+  const auto first_at_least = [&](index_t bound) {
+    if (bound <= res) return static_cast<index_t>(0);
+    return ceil_div(bound - res, mod);
+  };
+  return {first_at_least(lo), first_at_least(hi)};
+}
+
+/// Number of globals in [0, n) congruent to res (mod m).
+index_t strided_count(index_t n, int m, int res) {
+  if (res >= n) return 0;
+  return (n - res - 1) / m + 1;
+}
+
+Matrix reshape(coll::Buf buf, index_t rows, index_t cols) {
+  return Matrix(rows, cols, std::move(buf));
+}
+
+}  // namespace
+
+Face2D it_inv_l_face(const sim::Comm& comm, int p1, int p2) {
+  CATRSM_CHECK(comm.size() == p1 * p1 * p2,
+               "it_inv_l_face: comm must hold the whole grid");
+  std::vector<int> idx(static_cast<std::size_t>(p1 * p1));
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  return Face2D(comm.subset(idx), p1, p1);
+}
+
+Face2D it_inv_b_face(const sim::Comm& comm, int p1, int p2) {
+  CATRSM_CHECK(comm.size() == p1 * p1 * p2,
+               "it_inv_b_face: comm must hold the whole grid");
+  std::vector<int> idx;
+  idx.reserve(static_cast<std::size_t>(p1 * p2));
+  for (int z = 0; z < p2; ++z)
+    for (int x = 0; x < p1; ++x) idx.push_back(x + p1 * p1 * z);
+  return Face2D(comm.subset(idx), p1, p2);
+}
+
+std::shared_ptr<BlockCyclicDist> it_inv_b_dist(const sim::Comm& comm, int p1,
+                                               int p2, index_t n, index_t k) {
+  return dist::row_cyclic_col_blocked(it_inv_b_face(comm, p1, p2), n, k);
+}
+
+int it_inv_auto_nblocks(index_t n, index_t k, int p) {
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  const double dp = static_cast<double>(p);
+  double n0;
+  if (dn < 4.0 * dk / dp) {
+    n0 = dn;  // 1D regime: single inverted block
+  } else if (dn > 4.0 * dk * std::sqrt(dp)) {
+    n0 = std::pow(dn * dk * dk * dk * std::sqrt(dp), 0.25);  // 2D regime
+  } else {
+    n0 = std::min(std::sqrt(dn * dk), dn);  // 3D regime
+  }
+  const int blocks = static_cast<int>(std::llround(dn / std::max(n0, 1.0)));
+  return std::clamp(blocks, 1, static_cast<int>(std::min<index_t>(n, p)));
+}
+
+DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
+                       const sim::Comm& comm, int p1, int p2,
+                       ItInvOptions opts) {
+  const index_t n = l.dist().rows();
+  const index_t k = b.dist().cols();
+  CATRSM_CHECK(l.dist().cols() == n, "it_inv_trsm: L must be square");
+  CATRSM_CHECK(b.dist().rows() == n, "it_inv_trsm: dimension mismatch");
+  CATRSM_CHECK(comm.size() == p1 * p1 * p2,
+               "it_inv_trsm: comm must equal p1^2 * p2 ranks");
+
+  const ProcGrid3D grid(comm, p1, p2);
+  const int x = grid.my_x();
+  const int y = grid.my_y();
+  const int z = grid.my_z();
+  auto& ctx = comm.ctx();
+
+  int nblocks = opts.nblocks;
+  if (nblocks <= 0) nblocks = it_inv_auto_nblocks(n, k, comm.size());
+  const index_t nb = ceil_div(n, nblocks);
+  // Recompute the real block count for ragged sizes.
+  nblocks = static_cast<int>(ceil_div(n, nb));
+
+  // --- Invert the diagonal blocks with all p ranks (Section VI-A).
+  // Phase labels reproduce the paper's Section VII cost decomposition
+  // (T = T_Inv + T_Solve + T_Upd) in RunStats::phase_max.
+  const DistMatrix ltilde = [&] {
+    sim::PhaseScope scope(ctx, "inversion");
+    return diag_inverter(l, comm, nblocks, opts.diag);
+  }();
+
+  // --- Panel geometry.
+  const index_t bc = std::max<index_t>(ceil_div(k, p2), 1);
+  const index_t kz = std::clamp<index_t>(k - static_cast<index_t>(z) * bc, 0,
+                                         bc);
+  const index_t rows_x = strided_count(n, p1, x);
+  const index_t rows_y = strided_count(n, p1, y);
+
+  const sim::Comm yf = grid.y_fiber();
+  const sim::Comm zf = grid.z_fiber();
+  const int peer = grid.at(y, x, z);  // transpose partner
+
+  auto transpose_exchange = [&](const Matrix& mine, index_t peer_rows,
+                                int tag) -> Matrix {
+    if (x == y) return mine;
+    coll::Buf got = comm.sendrecv(peer, mine.data(), tag);
+    CATRSM_ASSERT(static_cast<index_t>(got.size()) == peer_rows * kz,
+                  "it_inv_trsm: exchange size mismatch");
+    return reshape(std::move(got), peer_rows, kz);
+  };
+
+  // --- Replicate B over the y-fibers, then transpose so every rank holds
+  // the rows congruent to its own y (the contraction-ready orientation).
+  Matrix by_panel;
+  {
+    sim::PhaseScope scope(ctx, "setup");
+    const coll::Buf mine = b.participates()
+                               ? coll::Buf(b.local().data().begin(),
+                                           b.local().data().end())
+                               : coll::Buf();
+    coll::Buf bx = coll::bcast(yf, /*root=*/0, mine,
+                               static_cast<std::size_t>(rows_x * kz));
+    Matrix bx_panel = reshape(std::move(bx), rows_x, kz);
+    by_panel = transpose_exchange(bx_panel, rows_y, kTagBExchange);
+  }
+
+  Matrix x_panel(rows_x, kz);
+  Matrix u_buffer(rows_x, kz);  // lazily accumulated updates, rows ≡ x
+
+  // Extract a (row-range x col-range) piece of my ltilde block and
+  // broadcast it along the z-fiber (only z = 0 holds ltilde).
+  auto bcast_piece = [&](index_t rlo, index_t rhi, index_t clo,
+                         index_t chi) -> Matrix {
+    const auto [rx0, rx1] = local_range(rlo, rhi, x, p1);
+    const auto [cy0, cy1] = local_range(clo, chi, y, p1);
+    const index_t pr = rx1 - rx0;
+    const index_t pc = cy1 - cy0;
+    coll::Buf mine;
+    if (z == 0) {
+      CATRSM_ASSERT(ltilde.participates(),
+                    "it_inv_trsm: front face must own ltilde");
+      const Matrix piece = ltilde.local().block(rx0, cy0, pr, pc);
+      mine.assign(piece.data().begin(), piece.data().end());
+    }
+    coll::Buf out = coll::bcast(zf, /*root=*/0, mine,
+                                static_cast<std::size_t>(pr * pc));
+    return reshape(std::move(out), pr, pc);
+  };
+
+  // --- Main iteration (Section VI-B / VII).
+  for (int i = 0; i < nblocks; ++i) {
+    const index_t oi = static_cast<index_t>(i) * nb;
+    const index_t sz = std::min(nb, n - oi);
+
+    // Solve: X(Si) = Ltilde(Si, Si) * B(Si).
+    Matrix xred;
+    index_t sy_count = 0;
+    {
+      sim::PhaseScope solve_scope(ctx, "solve");
+      const Matrix diag_piece = bcast_piece(oi, oi + sz, oi, oi + sz);
+      const auto [sy0, sy1] = local_range(oi, oi + sz, y, p1);
+      sy_count = sy1 - sy0;
+      const Matrix b_slice = by_panel.block(sy0, 0, sy_count, kz);
+      Matrix xp = la::matmul(diag_piece, b_slice);
+      ctx.charge_flops(la::gemm_flops(diag_piece.rows(), kz, b_slice.rows()));
+
+      coll::Buf xsum = coll::allreduce(yf, xp.data());
+      xred = reshape(std::move(xsum), diag_piece.rows(), kz);
+      const auto [sx0, sx1] = local_range(oi, oi + sz, x, p1);
+      CATRSM_ASSERT(sx1 - sx0 == xred.rows(),
+                    "it_inv_trsm: X slice mismatch");
+      x_panel.set_block(sx0, 0, xred);
+    }
+
+    if (i + 1 >= nblocks) break;
+    const index_t o2 = oi + sz;
+    sim::PhaseScope update_scope(ctx, "update");
+
+    // Update: accumulate L(T_{i+1}, Si) * X(Si) into the lazy buffer.
+    const Matrix panel_piece = bcast_piece(o2, n, oi, oi + sz);
+    const Matrix xt = transpose_exchange(xred, sy_count, kTagXExchange);
+    const auto [tx0, tx1] = local_range(o2, n, x, p1);
+    if (panel_piece.rows() > 0 && xt.rows() > 0) {
+      Matrix contrib = la::matmul(panel_piece, xt);
+      ctx.charge_flops(
+          la::gemm_flops(panel_piece.rows(), kz, panel_piece.cols()));
+      CATRSM_ASSERT(tx1 - tx0 == contrib.rows(),
+                    "it_inv_trsm: update row mismatch");
+      for (index_t r = 0; r < contrib.rows(); ++r)
+        for (index_t c = 0; c < kz; ++c)
+          u_buffer(tx0 + r, c) += contrib(r, c);
+      ctx.charge_flops(static_cast<double>(contrib.size()));
+    }
+
+    // Reduce only the next block row of the buffer and correct B.
+    const index_t s2 = std::min(nb, n - o2);
+    const auto [nx0, nx1] = local_range(o2, o2 + s2, x, p1);
+    const Matrix useg = u_buffer.block(nx0, 0, nx1 - nx0, kz);
+    coll::Buf csum = coll::allreduce(yf, useg.data());
+    Matrix corr = reshape(std::move(csum), nx1 - nx0, kz);
+
+    const auto [ny0, ny1] = local_range(o2, o2 + s2, y, p1);
+    const Matrix corr_t =
+        transpose_exchange(corr, ny1 - ny0, kTagCorrExchange);
+    for (index_t r = 0; r < corr_t.rows(); ++r)
+      for (index_t c = 0; c < kz; ++c) by_panel(ny0 + r, c) -= corr_t(r, c);
+    ctx.charge_flops(static_cast<double>(corr_t.size()));
+  }
+
+  // --- The y = 0 plane holds the solution in B's layout.
+  DistMatrix xout(b.dist_ptr(), ctx.id());
+  if (xout.participates()) {
+    CATRSM_ASSERT(xout.local().rows() == x_panel.rows() &&
+                      xout.local().cols() == x_panel.cols(),
+                  "it_inv_trsm: output shape mismatch");
+    xout.local() = std::move(x_panel);
+  }
+  return xout;
+}
+
+}  // namespace catrsm::trsm

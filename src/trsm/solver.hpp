@@ -1,0 +1,71 @@
+#pragma once
+// The library's front door: solve L X = B on a simulated p-processor
+// machine with everything configured automatically — regime
+// classification, algorithm selection, grid factorization, block counts —
+// exactly the recommendations of the paper's Section VIII.
+//
+//   catrsm::trsm::SolveResult r = catrsm::trsm::solve(L, B, /*p=*/64);
+//   r.x          — the solution
+//   r.stats      — measured S/W/F per rank and the critical-path time
+//   r.config     — what was chosen and why (regime, algorithm, grids)
+//   r.residual   — ||L X - B|| / (||L|| ||X|| + ||B||)
+
+#include "la/matrix.hpp"
+#include "la/norms.hpp"
+#include "la/trsm.hpp"
+#include "model/tuning.hpp"
+#include "sim/machine.hpp"
+
+namespace catrsm::trsm {
+
+/// Which side the triangular operand acts on: T X = B or X T = B.
+enum class Side { kLeft, kRight };
+
+struct SolveOptions {
+  /// Triangle actually stored in the operand (upper solves reduce to the
+  /// lower kernel via the index-reversal identity: J U J is lower).
+  la::Uplo uplo = la::Uplo::kLower;
+  /// Solve with the transpose of the operand (T^T X = B) — the second
+  /// half of a Cholesky solve. For a lower operand this uses
+  /// X = J * lower_solve(J T^T J, J B) with J the reversal permutation.
+  bool transpose_l = false;
+  /// Left (T X = B) or right (X T = B) solve; right solves transpose the
+  /// system (op(T)^T X^T = B^T) and delegate.
+  Side side = Side::kLeft;
+  /// Override the automatic algorithm choice.
+  bool force_algorithm = false;
+  model::Algorithm algorithm = model::Algorithm::kIterative;
+  /// Override the diagonal block count (iterative) / base size (recursive).
+  int nblocks = 0;
+  la::index_t rec_n0 = 0;
+  /// Machine parameters for the virtual clock.
+  sim::MachineParams machine{};
+};
+
+struct SolveResult {
+  la::Matrix x;
+  /// Full-run stats. Phase buckets: "algorithm" (the distributed solve
+  /// itself — compare THIS against the paper's formulas), "input-fill"
+  /// (none: fills are local), and "output-collect" (the allgather that
+  /// materializes the global X for the caller).
+  sim::RunStats stats;
+  model::Config config;
+  double residual = 0.0;
+
+  /// Max-over-ranks cost of the distributed solve only, excluding the
+  /// driver's output gather.
+  sim::Cost algorithm_cost() const {
+    const auto it = stats.phase_max.find("algorithm");
+    return it == stats.phase_max.end() ? sim::Cost{} : it->second;
+  }
+};
+
+/// Solve with a fresh machine of p ranks.
+SolveResult solve(const la::Matrix& l, const la::Matrix& b, int p,
+                  SolveOptions opts = {});
+
+/// Solve on an existing machine (reuses threads-per-run semantics).
+SolveResult solve_on(sim::Machine& machine, const la::Matrix& l,
+                     const la::Matrix& b, SolveOptions opts = {});
+
+}  // namespace catrsm::trsm

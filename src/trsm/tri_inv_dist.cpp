@@ -1,0 +1,96 @@
+#include "trsm/tri_inv_dist.hpp"
+
+#include "dist/redistribute.hpp"
+#include "la/tri_inv.hpp"
+#include "mm/mm3d.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::trsm {
+
+using dist::BlockCyclicDist;
+using dist::Face2D;
+
+namespace {
+
+/// Redundant base case: gather L onto every rank of `comm`, invert locally
+/// (each rank charges the flops — the computation is replicated, exactly
+/// like the paper's 1D base case), keep my cyclic piece.
+DistMatrix tri_inv_base(const DistMatrix& l, const sim::Comm& comm) {
+  const la::Matrix lfull = dist::collect(l, comm);
+  comm.ctx().charge_flops(la::tri_inv_flops(lfull.rows()));
+  const la::Matrix inv = la::tri_inv(la::Uplo::kLower, lfull);
+  DistMatrix out(l.dist_ptr(), l.me());
+  out.fill_from_global(inv);
+  return out;
+}
+
+}  // namespace
+
+DistMatrix tri_inv_dist(const DistMatrix& l, const sim::Comm& comm,
+                        TriInvOptions opts) {
+  const auto* ld = dynamic_cast<const BlockCyclicDist*>(&l.dist());
+  CATRSM_CHECK(ld != nullptr && ld->br() == 1 && ld->bc() == 1,
+               "tri_inv_dist: requires a unit-block cyclic layout");
+  const index_t n = l.dist().rows();
+  CATRSM_CHECK(l.dist().cols() == n, "tri_inv_dist: matrix must be square");
+  const int p = comm.size();
+  auto& ctx = comm.ctx();
+
+  if (p == 1 || n <= opts.base_size || n < 2) {
+    return tri_inv_base(l, comm);
+  }
+
+  const index_t h = n / 2;
+  const DistMatrix l11 = dist::cyclic_subblock(l, 0, 0, h, h);
+  const DistMatrix l21 = dist::cyclic_subblock(l, h, 0, n - h, h);
+  const DistMatrix l22 = dist::cyclic_subblock(l, h, h, n - h, n - h);
+
+  // Split the ranks in half; each half recurses on one diagonal block.
+  const int pa = p / 2;
+  const int pb = p - pa;
+  std::vector<int> half_a, half_b;
+  for (int r = 0; r < pa; ++r) half_a.push_back(comm.world_rank(r));
+  for (int r = pa; r < p; ++r) half_b.push_back(comm.world_rank(r));
+  sim::Comm comm_a(ctx, half_a);
+  sim::Comm comm_b(ctx, half_b);
+
+  const auto [par, pac] = dist::balanced_factors(pa);
+  const auto [pbr, pbc] = dist::balanced_factors(pb);
+  Face2D face_a(comm_a, par, pac);
+  Face2D face_b(comm_b, pbr, pbc);
+  auto l11_dist = dist::cyclic_on(face_a, h, h);
+  auto l22_dist = dist::cyclic_on(face_b, n - h, n - h);
+
+  // Move each diagonal block to its half (everyone participates in both
+  // exchanges: the data must leave the ranks of the other half too).
+  DistMatrix l11_half = dist::redistribute(l11, l11_dist, comm);
+  DistMatrix l22_half = dist::redistribute(l22, l22_dist, comm);
+
+  // Concurrent recursion: SPMD code diverges by half, then rejoins.
+  DistMatrix inv11_half(l11_dist, ctx.id());
+  DistMatrix inv22_half(l22_dist, ctx.id());
+  if (comm_a.is_member()) {
+    inv11_half = tri_inv_dist(l11_half, comm_a, opts);
+  } else {
+    inv22_half = tri_inv_dist(l22_half, comm_b, opts);
+  }
+
+  // Bring both inverses back onto the full communicator's layout.
+  DistMatrix inv11 = dist::redistribute(inv11_half, l11.dist_ptr(), comm);
+  DistMatrix inv22 = dist::redistribute(inv22_half, l22.dist_ptr(), comm);
+
+  // L21' = -(L22^-1 L21);  inv21 = L21' * L11^-1   (paper lines 12-13).
+  const mm::MMGrid g1 = mm::choose_mm_grid(n - h, n - h, h, p);
+  DistMatrix l21p =
+      mm::mm3d(inv22, l21, l21.dist_ptr(), comm, g1, /*alpha=*/-1.0);
+  const mm::MMGrid g2 = mm::choose_mm_grid(n - h, h, h, p);
+  DistMatrix inv21 = mm::mm3d(l21p, inv11, l21.dist_ptr(), comm, g2);
+
+  DistMatrix out(l.dist_ptr(), l.me());
+  dist::set_cyclic_subblock(out, 0, 0, inv11);
+  dist::set_cyclic_subblock(out, h, 0, inv21);
+  dist::set_cyclic_subblock(out, h, h, inv22);
+  return out;
+}
+
+}  // namespace catrsm::trsm

@@ -1,0 +1,38 @@
+#pragma once
+// The paper's Section V: parallel recursive triangular matrix inversion
+// with the first communication cost analysis.
+//
+//   [ L11  0  ]^-1   [  L11^-1            0     ]
+//   [ L21 L22 ]    = [ -L22^-1 L21 L11^-1 L22^-1 ]
+//
+// The two half-size inversions are *independent*, so the processor set is
+// split in half and both recurse concurrently; the off-diagonal block then
+// needs two matrix multiplications with all p ranks. Since the recursion
+// depth is log p and each level costs O(log p) latency (redistributions
+// and MM collectives), the total synchronization cost is O(log^2 p) —
+// logarithmic rather than polynomial in p, which is the property the
+// iterative TRSM algorithm of Section VI inherits.
+//
+// Leading-order costs (paper Section V-B, nu = 2^{1/3}/(2^{1/3}-1)):
+//   W = nu * (n^2/(8 p1^2) + n^2/(2 p1 p2)),  F = nu * n^3 / (8p),
+//   S = O(log^2 p).
+
+#include "dist/dist_matrix.hpp"
+#include "sim/comm.hpp"
+
+namespace catrsm::trsm {
+
+using dist::DistMatrix;
+using la::index_t;
+
+struct TriInvOptions {
+  /// Stop recursing and invert redundantly below this matrix size.
+  index_t base_size = 16;
+};
+
+/// Invert a lower-triangular matrix distributed cyclically (unit blocks,
+/// any shift) on a face over `comm`. The result has the same distribution.
+DistMatrix tri_inv_dist(const DistMatrix& l, const sim::Comm& comm,
+                        TriInvOptions opts = {});
+
+}  // namespace catrsm::trsm

@@ -1,0 +1,139 @@
+#include "trsm/trsm2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coll/collectives.hpp"
+#include "dist/redistribute.hpp"
+#include "la/gemm.hpp"
+#include "la/trsm.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::trsm {
+
+using dist::BlockCyclicDist;
+using dist::Face2D;
+using la::Matrix;
+
+DistMatrix trsm2d(const DistMatrix& l, const DistMatrix& b,
+                  const sim::Comm& comm, index_t nb) {
+  const auto* ld = dynamic_cast<const BlockCyclicDist*>(&l.dist());
+  const auto* bd = dynamic_cast<const BlockCyclicDist*>(&b.dist());
+  CATRSM_CHECK(ld != nullptr && bd != nullptr && ld->br() == 1 &&
+                   ld->bc() == 1 && bd->br() == 1 && bd->bc() == 1,
+               "trsm2d: requires unit-block cyclic layouts");
+  const index_t n = l.dist().rows();
+  const index_t k = b.dist().cols();
+  CATRSM_CHECK(l.dist().cols() == n && b.dist().rows() == n,
+               "trsm2d: dimension mismatch");
+  const Face2D& face = ld->face();
+  const int pr = face.pr();
+  const int pc = face.pc();
+  auto& ctx = comm.ctx();
+  if (nb <= 0)
+    nb = std::max<index_t>(
+        1, n / std::max<index_t>(4 * static_cast<index_t>(
+                                          std::lround(std::sqrt(
+                                              static_cast<double>(pr * pc)))),
+                                 1));
+
+  const sim::Comm colc = face.col_comm();  // my grid column (pr ranks)
+
+  DistMatrix x(b.dist_ptr(), b.me());
+  Matrix bcur = b.local();  // running RHS, updated in place
+  const auto& my_rows = b.my_rows();
+  const auto& my_cols = b.my_cols();
+  const auto& l_rows = l.my_rows();
+  const auto& l_cols = l.my_cols();
+
+  for (index_t o = 0; o < n; o += nb) {
+    const index_t sz = std::min(nb, n - o);
+
+    // (1) Diagonal block to everyone.
+    const Matrix ldiag = dist::gather_region(l.dist(), l.local(), l.me(),
+                                             comm, o, o + sz, o, o + sz);
+
+    // (2) B(Si) rows of my column group, assembled down the grid column
+    //     from the *current* working values. The grid column collectively
+    //     owns only my column part, so extract exactly those columns.
+    const Matrix bsi = dist::gather_region(b.dist(), bcur, b.me(), colc, o,
+                                           o + sz, 0, k);
+    Matrix bsi_mine(sz, static_cast<index_t>(my_cols.size()));
+    for (std::size_t c = 0; c < my_cols.size(); ++c)
+      for (index_t r = 0; r < sz; ++r)
+        bsi_mine(r, static_cast<index_t>(c)) = bsi(r, my_cols[c]);
+
+    // (3) Redundant solve within the column group.
+    la::trsm_left(la::Uplo::kLower, la::Diag::kNonUnit, ldiag, bsi_mine);
+    ctx.charge_flops(la::trsm_flops(sz, bsi_mine.cols()));
+
+    // Write my rows of X(Si).
+    for (std::size_t r = 0; r < my_rows.size(); ++r) {
+      const index_t gi = my_rows[r];
+      if (gi < o || gi >= o + sz) continue;
+      for (std::size_t c = 0; c < my_cols.size(); ++c)
+        x.local()(static_cast<index_t>(r), static_cast<index_t>(c)) =
+            bsi_mine(gi - o, static_cast<index_t>(c));
+    }
+
+    if (o + sz >= n) break;
+
+    // (4) Trailing panel L(T, Si) pieces across my grid row, then a fully
+    // local update of my rows/columns of B.
+    const sim::Comm rowc = face.row_comm();
+    // My trailing rows.
+    std::vector<index_t> trail_rows;
+    for (const index_t gi : l_rows)
+      if (gi >= o + sz) trail_rows.push_back(gi);
+    // Assemble L(my trailing rows, Si): allgather column pieces across the
+    // grid row (each member owns a column subset of Si for the same rows).
+    coll::Counts counts(static_cast<std::size_t>(pc));
+    std::vector<std::vector<index_t>> cols_of(static_cast<std::size_t>(pc));
+    for (index_t j = o; j < o + sz; ++j)
+      cols_of[static_cast<std::size_t>(l.dist().part_of_col(j))].push_back(j);
+    for (int q = 0; q < pc; ++q)
+      counts[static_cast<std::size_t>(q)] =
+          cols_of[static_cast<std::size_t>(q)].size() * trail_rows.size();
+    coll::Buf mine;
+    for (const index_t gi : trail_rows) {
+      const auto lr = static_cast<index_t>(
+          std::lower_bound(l_rows.begin(), l_rows.end(), gi) -
+          l_rows.begin());
+      for (const index_t j : cols_of[static_cast<std::size_t>(face.my_gj())]) {
+        const auto lc = static_cast<index_t>(
+            std::lower_bound(l_cols.begin(), l_cols.end(), j) -
+            l_cols.begin());
+        mine.push_back(l.local()(lr, lc));
+      }
+    }
+    const coll::Buf all = coll::allgather(rowc, mine, counts);
+    Matrix lpanel(static_cast<index_t>(trail_rows.size()), sz);
+    std::size_t pos = 0;
+    for (int q = 0; q < pc; ++q) {
+      for (index_t r = 0; r < static_cast<index_t>(trail_rows.size()); ++r)
+        for (const index_t j : cols_of[static_cast<std::size_t>(q)])
+          lpanel(r, j - o) = all[pos++];
+    }
+    CATRSM_ASSERT(pos == all.size(), "trsm2d: panel size mismatch");
+
+    // Local update: bcur(my trailing rows, my cols) -= lpanel * X(Si, my
+    // cols); X(Si, my cols) is bsi_mine.
+    if (!trail_rows.empty()) {
+      const Matrix upd = la::matmul(lpanel, bsi_mine);
+      ctx.charge_flops(la::gemm_flops(lpanel.rows(), bsi_mine.cols(), sz));
+      for (std::size_t tr = 0; tr < trail_rows.size(); ++tr) {
+        const auto lr = static_cast<index_t>(
+            std::lower_bound(my_rows.begin(), my_rows.end(),
+                             trail_rows[tr]) -
+            my_rows.begin());
+        for (index_t c = 0; c < static_cast<index_t>(my_cols.size()); ++c)
+          bcur(lr, c) -= upd(static_cast<index_t>(tr), c);
+      }
+      ctx.charge_flops(static_cast<double>(trail_rows.size()) *
+                       static_cast<double>(my_cols.size()));
+    }
+  }
+  return x;
+}
+
+}  // namespace catrsm::trsm

@@ -1,0 +1,32 @@
+#pragma once
+// ScaLAPACK-style 2D block fan-out TRSM: the conventional distributed
+// solver a production library would have used before the paper's
+// algorithms. Right-looking over column panels of width nb:
+//
+//   for each block row Si (width nb):
+//     every rank obtains L(Si, Si) (allgather) and the B(Si) rows of its
+//     column group (allgather down the grid column), solves redundantly
+//     within each column group, and applies the trailing update with its
+//     own locally-held L(T, Si) panel piece (allgathered across the row).
+//
+//   S = O((n / nb) log p),
+//   W = O(n^2 / pr + n k / pc + n nb),
+//   F = n^2 k / p + redundant-solve overhead n nb k / pc.
+//
+// Included as the "2D reference" ablation: it shows the latency wall
+// ((n/nb) log p with nb tied to memory) that selective inversion removes.
+
+#include "dist/dist_matrix.hpp"
+#include "sim/comm.hpp"
+
+namespace catrsm::trsm {
+
+using dist::DistMatrix;
+using la::index_t;
+
+/// Solve L X = B with both operands cyclic (unit blocks) on the same
+/// pr x pc face. `nb` is the panel width (0 = automatic).
+DistMatrix trsm2d(const DistMatrix& l, const DistMatrix& b,
+                  const sim::Comm& comm, index_t nb = 0);
+
+}  // namespace catrsm::trsm

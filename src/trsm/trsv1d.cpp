@@ -1,0 +1,76 @@
+#include "trsm/trsv1d.hpp"
+
+#include "dist/layout.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::trsm {
+
+using dist::BlockCyclicDist;
+
+namespace {
+constexpr int kTagRing = 911;
+}
+
+DistMatrix trsv1d(const DistMatrix& l, const DistMatrix& b,
+                  const sim::Comm& comm) {
+  const auto* ld = dynamic_cast<const BlockCyclicDist*>(&l.dist());
+  const auto* bd = dynamic_cast<const BlockCyclicDist*>(&b.dist());
+  CATRSM_CHECK(ld != nullptr && bd != nullptr &&
+                   ld->face().pc() == 1 && bd->face().pc() == 1 &&
+                   ld->br() == 1 && bd->br() == 1,
+               "trsv1d: requires 1D row-cyclic layouts");
+  const index_t n = l.dist().rows();
+  const index_t k = b.dist().cols();
+  CATRSM_CHECK(l.dist().cols() == n && b.dist().rows() == n,
+               "trsv1d: dimension mismatch");
+  const int p = comm.size();
+  const int me = comm.rank();
+  auto& ctx = comm.ctx();
+
+  DistMatrix x(b.dist_ptr(), b.me());
+  // Running right-hand side: b minus already-applied column updates.
+  la::Matrix partial = b.local();
+  const auto& my_rows = x.my_rows();
+
+  const int next = (me + 1) % p;
+  const int prev = (me - 1 + p) % p;
+
+  for (index_t j = 0; j < n; ++j) {
+    const int owner = static_cast<int>(j % p);
+    std::vector<double> xj;
+    if (owner == me) {
+      // All updates from columns < j have been applied; finish row j.
+      const index_t lr = j / p;  // my local index of global row j
+      const double diag = l.local()(lr, j);
+      CATRSM_CHECK(diag != 0.0, "trsv1d: singular matrix");
+      xj.resize(static_cast<std::size_t>(k));
+      for (index_t c = 0; c < k; ++c) {
+        xj[static_cast<std::size_t>(c)] = partial(lr, c) / diag;
+        x.local()(lr, c) = xj[static_cast<std::size_t>(c)];
+      }
+      ctx.charge_flops(static_cast<double>(k));
+    } else if (p > 1) {
+      xj = comm.recv(prev, kTagRing);
+    }
+    // Forward along the ring unless the next rank is the original owner
+    // (the value has then completed its full circle).
+    if (p > 1 && next != owner) comm.send(next, xj, kTagRing);
+
+    // Fold x_j into the partial sums of my rows below j.
+    double updated_rows = 0.0;
+    for (std::size_t r = 0; r < my_rows.size(); ++r) {
+      const index_t gi = my_rows[r];
+      if (gi <= j) continue;
+      const double lij = l.local()(static_cast<index_t>(r), j);
+      if (lij == 0.0) continue;
+      for (index_t c = 0; c < k; ++c)
+        partial(static_cast<index_t>(r), c) -=
+            lij * xj[static_cast<std::size_t>(c)];
+      updated_rows += 1.0;
+    }
+    ctx.charge_flops(2.0 * updated_rows * static_cast<double>(k));
+  }
+  return x;
+}
+
+}  // namespace catrsm::trsm

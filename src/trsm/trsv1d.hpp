@@ -1,0 +1,27 @@
+#pragma once
+// Heath-Romine style pipelined substitution (paper Section II-C3): the
+// classic communication-efficient algorithm for a triangular solve with a
+// single (or few) right-hand sides on a 1D row-cyclic layout.
+//
+// Solutions x_i travel around a ring; every rank folds each arriving x_i
+// into the partial sums of its own rows. The latency chain is O(n + p) —
+// optimal for k = 1 (Solomonik et al. lower bound) but hopeless for large
+// k, which is exactly the regime the paper's algorithms target. Included
+// as the historical baseline for the benchmark suite.
+//
+//   S = O(n) per rank,  W = O(n k),  F = O(n^2 k / p).
+
+#include "dist/dist_matrix.hpp"
+#include "sim/comm.hpp"
+
+namespace catrsm::trsm {
+
+using dist::DistMatrix;
+using la::index_t;
+
+/// Solve L X = B with L n x n cyclic over a p x 1 face (row-cyclic 1D) and
+/// B n x k in the matching row-cyclic layout. Returns X in B's layout.
+DistMatrix trsv1d(const DistMatrix& l, const DistMatrix& b,
+                  const sim::Comm& comm);
+
+}  // namespace catrsm::trsm

@@ -1,0 +1,186 @@
+// Tests for the baseline solvers: Heath-Romine 1D ring (trsv1d) and the
+// conventional 2D block fan-out (trsm2d).
+
+#include <gtest/gtest.h>
+
+#include "dist/redistribute.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "la/trsm.hpp"
+#include "sim/machine.hpp"
+#include "trsm/trsm2d.hpp"
+#include "trsm/trsv1d.hpp"
+
+namespace catrsm::trsm {
+namespace {
+
+using dist::Face2D;
+using la::Matrix;
+using sim::Comm;
+using sim::Machine;
+using sim::Rank;
+using sim::RunStats;
+
+struct V1Case {
+  index_t n, k;
+  int p;
+};
+
+class Trsv1dSweep : public ::testing::TestWithParam<V1Case> {};
+
+TEST_P(Trsv1dSweep, MatchesSequentialSolve) {
+  const V1Case tc = GetParam();
+  Machine m(tc.p);
+  const Matrix l = la::make_lower_triangular(61, tc.n);
+  const Matrix b = la::make_rhs(62, tc.n, tc.k);
+  const Matrix ref = la::solve_lower(l, b);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, tc.p, 1);
+    auto ld = dist::cyclic_on(face, tc.n, tc.n);
+    auto bd = dist::cyclic_on(face, tc.n, tc.k);
+    DistMatrix dl(ld, r.id());
+    dl.fill_from_global(l);
+    DistMatrix db(bd, r.id());
+    db.fill_from_global(b);
+    DistMatrix dx = trsv1d(dl, db, world);
+    EXPECT_LT(la::max_abs_diff(collect(dx, world), ref), 1e-10)
+        << "n=" << tc.n << " k=" << tc.k << " p=" << tc.p;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Trsv1dSweep,
+                         ::testing::Values(V1Case{8, 1, 1},
+                                           V1Case{16, 1, 2},
+                                           V1Case{16, 1, 4},
+                                           V1Case{17, 1, 4},
+                                           V1Case{32, 3, 4},
+                                           V1Case{12, 1, 12},
+                                           V1Case{64, 2, 8}));
+
+TEST(Trsv1d, LatencyIsLinearInN) {
+  // The latency wall: S grows linearly with n, which is why this classic
+  // algorithm loses for k > 1. Doubling n should roughly double S.
+  auto measure = [&](index_t n) {
+    Machine m(4);
+    const Matrix l = la::make_lower_triangular(63, n);
+    const Matrix b = la::make_rhs(64, n, 1);
+    return m.run([&](Rank& r) {
+      Comm world = Comm::world(r);
+      Face2D face(world, 4, 1);
+      auto ld = dist::cyclic_on(face, n, n);
+      auto bd = dist::cyclic_on(face, n, 1);
+      DistMatrix dl(ld, r.id());
+      dl.fill_from_global(l);
+      DistMatrix db(bd, r.id());
+      db.fill_from_global(b);
+      (void)trsv1d(dl, db, world);
+    });
+  };
+  const RunStats s32 = measure(32);
+  const RunStats s64 = measure(64);
+  EXPECT_GT(s64.max_msgs(), 1.7 * s32.max_msgs());
+  EXPECT_LT(s64.max_msgs(), 2.3 * s32.max_msgs());
+}
+
+TEST(Trsv1d, SingularThrows) {
+  Machine m(2);
+  EXPECT_THROW(m.run([](Rank& r) {
+                 Comm world = Comm::world(r);
+                 Face2D face(world, 2, 1);
+                 const index_t n = 4;
+                 auto ld = dist::cyclic_on(face, n, n);
+                 auto bd = dist::cyclic_on(face, n, 1);
+                 DistMatrix dl(ld, r.id());
+                 dl.fill([&](index_t i, index_t j) {
+                   return i == j ? 0.0 : (j < i ? 1.0 : 0.0);
+                 });
+                 DistMatrix db(bd, r.id());
+                 (void)trsv1d(dl, db, world);
+               }),
+               Error);
+}
+
+struct T2Case {
+  index_t n, k;
+  int pr, pc;
+  index_t nb;
+};
+
+class Trsm2dSweep : public ::testing::TestWithParam<T2Case> {};
+
+TEST_P(Trsm2dSweep, MatchesSequentialSolve) {
+  const T2Case tc = GetParam();
+  Machine m(tc.pr * tc.pc);
+  const Matrix l = la::make_lower_triangular(71, tc.n);
+  const Matrix b = la::make_rhs(72, tc.n, tc.k);
+  const Matrix ref = la::solve_lower(l, b);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, tc.pr, tc.pc);
+    auto ld = dist::cyclic_on(face, tc.n, tc.n);
+    auto bd = dist::cyclic_on(face, tc.n, tc.k);
+    DistMatrix dl(ld, r.id());
+    dl.fill_from_global(l);
+    DistMatrix db(bd, r.id());
+    db.fill_from_global(b);
+    DistMatrix dx = trsm2d(dl, db, world, tc.nb);
+    EXPECT_LT(la::max_abs_diff(collect(dx, world), ref), 1e-10)
+        << "n=" << tc.n << " grid=" << tc.pr << "x" << tc.pc;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Trsm2dSweep,
+                         ::testing::Values(T2Case{8, 4, 1, 1, 4},
+                                           T2Case{16, 8, 2, 2, 4},
+                                           T2Case{16, 8, 2, 2, 16},
+                                           T2Case{17, 5, 2, 2, 4},
+                                           T2Case{24, 8, 2, 3, 6},
+                                           T2Case{32, 16, 4, 2, 8},
+                                           T2Case{32, 4, 1, 4, 8}));
+
+TEST(Trsm2d, AutoPanelWidthSolves) {
+  const index_t n = 32, k = 8;
+  Machine m(4);
+  const Matrix l = la::make_lower_triangular(73, n);
+  const Matrix b = la::make_rhs(74, n, k);
+  const Matrix ref = la::solve_lower(l, b);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, 2, 2);
+    auto ld = dist::cyclic_on(face, n, n);
+    auto bd = dist::cyclic_on(face, n, k);
+    DistMatrix dl(ld, r.id());
+    dl.fill_from_global(l);
+    DistMatrix db(bd, r.id());
+    db.fill_from_global(b);
+    DistMatrix dx = trsm2d(dl, db, world);
+    EXPECT_LT(la::max_abs_diff(collect(dx, world), ref), 1e-10);
+  });
+}
+
+TEST(Trsm2d, LatencyScalesWithPanelCount) {
+  const index_t n = 64, k = 16;
+  auto measure = [&](index_t nb) {
+    Machine m(4);
+    const Matrix l = la::make_lower_triangular(75, n);
+    const Matrix b = la::make_rhs(76, n, k);
+    return m.run([&](Rank& r) {
+      Comm world = Comm::world(r);
+      Face2D face(world, 2, 2);
+      auto ld = dist::cyclic_on(face, n, n);
+      auto bd = dist::cyclic_on(face, n, k);
+      DistMatrix dl(ld, r.id());
+      dl.fill_from_global(l);
+      DistMatrix db(bd, r.id());
+      db.fill_from_global(b);
+      (void)trsm2d(dl, db, world, nb);
+    });
+  };
+  const RunStats coarse = measure(32);
+  const RunStats fine = measure(4);
+  EXPECT_GT(fine.max_msgs(), 3.0 * coarse.max_msgs());
+}
+
+}  // namespace
+}  // namespace catrsm::trsm

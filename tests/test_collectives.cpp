@@ -1,0 +1,375 @@
+// Collective correctness and — crucially — cost-signature tests: the
+// measured S and W of every collective must match the paper's Section
+// II-C1 table, because every downstream TRSM cost claim builds on them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "coll/alltoall.hpp"
+#include "coll/collectives.hpp"
+#include "sim/machine.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::coll {
+namespace {
+
+using sim::Comm;
+using sim::Machine;
+using sim::Rank;
+using sim::RunStats;
+
+// All group sizes exercised: powers of two and awkward sizes.
+class CollectiveGroup : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CollectiveGroup,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16));
+
+TEST_P(CollectiveGroup, AllgatherConcatenatesInRankOrder) {
+  const int p = GetParam();
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    // Rank i contributes i+1 values, all equal to i.
+    Counts counts(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) counts[i] = static_cast<std::size_t>(i + 1);
+    Buf mine(static_cast<std::size_t>(r.id() + 1),
+             static_cast<double>(r.id()));
+    Buf all = allgather(world, mine, counts);
+    std::size_t pos = 0;
+    for (int i = 0; i < p; ++i)
+      for (int c = 0; c <= i; ++c)
+        ASSERT_DOUBLE_EQ(all[pos++], static_cast<double>(i));
+    ASSERT_EQ(pos, all.size());
+  });
+}
+
+TEST_P(CollectiveGroup, AllgatherCostMatchesPaperFormula) {
+  const int p = GetParam();
+  if (p == 1) return;
+  const std::size_t each = 24;
+  Machine m(p);
+  RunStats stats = m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Buf mine(each, 1.0);
+    (void)allgather_equal(world, mine);
+  });
+  // S = ceil(log2 p) rounds exactly; W = n - n/p received words
+  // (n = total gathered size), counted once per round as max(sent, recv).
+  const double total = static_cast<double>(each * p);
+  EXPECT_DOUBLE_EQ(stats.max_msgs(), ilog2_ceil(p));
+  if (is_pow2(p)) {
+    EXPECT_DOUBLE_EQ(stats.max_words(), total - each);
+  } else {
+    EXPECT_LE(stats.max_words(), total);  // Bruck may be mildly asymmetric
+    EXPECT_GE(stats.max_words(), total - each - 1);
+  }
+}
+
+TEST_P(CollectiveGroup, ReduceScatterSumsAndSplits) {
+  const int p = GetParam();
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    Counts counts(static_cast<std::size_t>(p));
+    std::size_t total = 0;
+    for (int i = 0; i < p; ++i) {
+      counts[i] = static_cast<std::size_t>(2 * i + 1);
+      total += counts[i];
+    }
+    // Rank r contributes full[j] = r + j; segment sums are p*j + p(p-1)/2.
+    Buf full(total);
+    for (std::size_t j = 0; j < total; ++j)
+      full[j] = static_cast<double>(r.id()) + static_cast<double>(j);
+    Buf seg = reduce_scatter(world, full, counts);
+    ASSERT_EQ(seg.size(), counts[static_cast<std::size_t>(r.id())]);
+    std::size_t off = 0;
+    for (int i = 0; i < r.id(); ++i) off += counts[i];
+    const double rank_sum = static_cast<double>(p) * (p - 1) / 2.0;
+    for (std::size_t c = 0; c < seg.size(); ++c) {
+      const double expect =
+          static_cast<double>(p) * static_cast<double>(off + c) + rank_sum;
+      ASSERT_DOUBLE_EQ(seg[c], expect);
+    }
+  });
+}
+
+TEST_P(CollectiveGroup, ReduceScatterCostPow2Exact) {
+  const int p = GetParam();
+  if (!is_pow2(p) || p == 1) return;
+  const std::size_t each = 16;
+  Machine m(p);
+  RunStats stats = m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Buf full(each * static_cast<std::size_t>(p), 1.0);
+    (void)reduce_scatter(world, full,
+                         Counts(static_cast<std::size_t>(p), each));
+  });
+  const double total = static_cast<double>(each * p);
+  EXPECT_DOUBLE_EQ(stats.max_msgs(), ilog2_exact(p));
+  EXPECT_DOUBLE_EQ(stats.max_words(), total - each);
+  EXPECT_DOUBLE_EQ(stats.max_flops(), total - each);
+}
+
+TEST_P(CollectiveGroup, ScatterDistributesBlocks) {
+  const int p = GetParam();
+  Machine m(p);
+  for (int root = 0; root < p; root += std::max(1, p / 3)) {
+    m.run([p, root](Rank& r) {
+      Comm world = Comm::world(r);
+      Counts counts(static_cast<std::size_t>(p));
+      std::size_t total = 0;
+      for (int i = 0; i < p; ++i) {
+        counts[i] = static_cast<std::size_t>((i % 3) + 1);
+        total += counts[i];
+      }
+      Buf all;
+      if (r.id() == root) {
+        for (int i = 0; i < p; ++i)
+          for (std::size_t c = 0; c < counts[i]; ++c)
+            all.push_back(static_cast<double>(i * 100 + static_cast<int>(c)));
+      }
+      Buf mine = scatter(world, root, all, counts);
+      ASSERT_EQ(mine.size(), counts[static_cast<std::size_t>(r.id())]);
+      for (std::size_t c = 0; c < mine.size(); ++c)
+        ASSERT_DOUBLE_EQ(mine[c],
+                         static_cast<double>(r.id() * 100 +
+                                             static_cast<int>(c)));
+    });
+  }
+}
+
+TEST_P(CollectiveGroup, GatherInvertsScatter) {
+  const int p = GetParam();
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    const int root = p - 1;
+    Counts counts(static_cast<std::size_t>(p), 3);
+    Buf mine(3, static_cast<double>(r.id()));
+    Buf all = gather(world, root, mine, counts);
+    if (r.id() == root) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(3 * p));
+      for (int i = 0; i < p; ++i)
+        for (int c = 0; c < 3; ++c)
+          ASSERT_DOUBLE_EQ(all[static_cast<std::size_t>(3 * i + c)],
+                           static_cast<double>(i));
+    } else {
+      ASSERT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveGroup, ScatterGatherCostLogLatency) {
+  const int p = GetParam();
+  if (p == 1) return;
+  const std::size_t each = 32;
+  Machine m(p);
+  RunStats stats = m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Counts counts(static_cast<std::size_t>(p), each);
+    Buf all;
+    if (r.id() == 0) all.assign(each * static_cast<std::size_t>(p), 1.0);
+    Buf mine = scatter(world, 0, all, counts);
+    (void)gather(world, 0, mine, counts);
+  });
+  const double total = static_cast<double>(each * p);
+  // Root does ceil(log p) sends in scatter plus ceil(log p) recvs in
+  // gather, moving (n - n/p) words each way.
+  EXPECT_DOUBLE_EQ(stats.max_msgs(), 2.0 * ilog2_ceil(p));
+  EXPECT_DOUBLE_EQ(stats.max_words(), 2.0 * (total - each));
+}
+
+TEST_P(CollectiveGroup, BcastDeliversEverywhere) {
+  const int p = GetParam();
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    const int root = p / 2;
+    const std::size_t count = 13;
+    Buf data;
+    if (r.id() == root)
+      for (std::size_t i = 0; i < count; ++i)
+        data.push_back(static_cast<double>(i) * 0.5);
+    Buf out = bcast(world, root, data, count);
+    ASSERT_EQ(out.size(), count);
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+  });
+}
+
+TEST_P(CollectiveGroup, BcastCostTwoLogRounds) {
+  const int p = GetParam();
+  if (p == 1) return;
+  const std::size_t count = 64;
+  Machine m(p);
+  RunStats stats = m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Buf data;
+    if (r.id() == 0) data.assign(count, 2.0);
+    (void)bcast(world, 0, data, count);
+  });
+  EXPECT_DOUBLE_EQ(stats.max_msgs(), 2.0 * ilog2_ceil(p));
+  // W <= 2n (scatter moves ~n at the root, allgather ~n at every rank).
+  EXPECT_LE(stats.max_words(), 2.0 * static_cast<double>(count) + 1);
+}
+
+TEST_P(CollectiveGroup, AllreduceSumsEverywhere) {
+  const int p = GetParam();
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    Buf full(10);
+    for (std::size_t j = 0; j < full.size(); ++j)
+      full[j] = static_cast<double>(r.id() + 1) * static_cast<double>(j);
+    Buf sum = allreduce(world, full);
+    const double ranks_total = static_cast<double>(p) * (p + 1) / 2.0;
+    for (std::size_t j = 0; j < sum.size(); ++j)
+      ASSERT_DOUBLE_EQ(sum[j], ranks_total * static_cast<double>(j));
+  });
+}
+
+TEST_P(CollectiveGroup, ReduceSumsAtRootOnly) {
+  const int p = GetParam();
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    Buf full(7, 1.0);
+    Buf sum = reduce(world, 0, full);
+    if (r.id() == 0) {
+      ASSERT_EQ(sum.size(), 7u);
+      for (double v : sum) ASSERT_DOUBLE_EQ(v, static_cast<double>(p));
+    } else {
+      ASSERT_TRUE(sum.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveGroup, AllreduceCostTwoLogRounds) {
+  const int p = GetParam();
+  if (!is_pow2(p) || p == 1) return;
+  const std::size_t count = 32;
+  Machine m(p);
+  RunStats stats = m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Buf full(count, 1.0);
+    (void)allreduce(world, full);
+  });
+  const double n = static_cast<double>(count);
+  EXPECT_DOUBLE_EQ(stats.max_msgs(), 2.0 * ilog2_exact(p));
+  EXPECT_DOUBLE_EQ(stats.max_words(), 2.0 * (n - n / p));
+  EXPECT_DOUBLE_EQ(stats.max_flops(), n - n / p);
+}
+
+TEST_P(CollectiveGroup, BarrierLatencyOnly) {
+  const int p = GetParam();
+  if (p == 1) return;
+  Machine m(p);
+  RunStats stats = m.run([](Rank& r) {
+    Comm world = Comm::world(r);
+    barrier(world);
+  });
+  EXPECT_DOUBLE_EQ(stats.max_msgs(), ilog2_ceil(p));
+  EXPECT_DOUBLE_EQ(stats.max_words(), 0.0);
+}
+
+TEST_P(CollectiveGroup, AlltoallvBruckRoutesEverything) {
+  const int p = GetParam();
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    std::vector<Buf> to_send(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      // Variable sizes: rank s sends (s + d) % 3 + 1 values "s*1000 + d".
+      const int cnt = (r.id() + d) % 3 + 1;
+      to_send[d].assign(static_cast<std::size_t>(cnt),
+                        static_cast<double>(r.id() * 1000 + d));
+    }
+    auto got = alltoallv(world, std::move(to_send), AlltoallAlgo::kBruck);
+    for (int s = 0; s < p; ++s) {
+      const int cnt = (s + r.id()) % 3 + 1;
+      ASSERT_EQ(got[s].size(), static_cast<std::size_t>(cnt));
+      for (double v : got[s])
+        ASSERT_DOUBLE_EQ(v, static_cast<double>(s * 1000 + r.id()));
+    }
+  });
+}
+
+TEST_P(CollectiveGroup, AlltoallvDirectMatchesBruck) {
+  const int p = GetParam();
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    auto make = [&] {
+      std::vector<Buf> to_send(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d)
+        to_send[d].assign(2, static_cast<double>(r.id() * 10 + d));
+      return to_send;
+    };
+    auto a = alltoallv(world, make(), AlltoallAlgo::kBruck);
+    auto b = alltoallv(world, make(), AlltoallAlgo::kDirect);
+    for (int s = 0; s < p; ++s) ASSERT_EQ(a[s], b[s]);
+  });
+}
+
+TEST(Alltoallv, BruckLatencyIsLogDirectIsLinear) {
+  const int p = 16;
+  const std::size_t each = 8;
+  Machine m(p);
+  auto job = [&](AlltoallAlgo algo) {
+    return m.run([&, algo](Rank& r) {
+      Comm world = Comm::world(r);
+      std::vector<Buf> to_send(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d) to_send[d].assign(each, 1.0);
+      (void)alltoallv(world, std::move(to_send), algo);
+    });
+  };
+  RunStats bruck = job(AlltoallAlgo::kBruck);
+  RunStats direct = job(AlltoallAlgo::kDirect);
+
+  EXPECT_DOUBLE_EQ(bruck.max_msgs(), ilog2_exact(p));
+  EXPECT_DOUBLE_EQ(direct.max_msgs(), p - 1);
+  // Bruck words ~ (total/2) log p plus 3-word headers; direct is minimal.
+  const double total = static_cast<double>(each) * (p - 1);
+  EXPECT_DOUBLE_EQ(direct.max_words(), total);
+  EXPECT_GT(bruck.max_words(), total);
+  EXPECT_LE(bruck.max_words(),
+            (static_cast<double>(each) + 3.0) * p / 2.0 * ilog2_exact(p));
+}
+
+TEST(Collectives, EvenCountsCoverTotal) {
+  const Counts c = even_counts(10, 4);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(std::accumulate(c.begin(), c.end(), std::size_t{0}), 10u);
+  EXPECT_EQ(c[0], 3u);
+  EXPECT_EQ(c[3], 2u);
+}
+
+TEST(Collectives, SizeMismatchThrows) {
+  Machine m(2);
+  EXPECT_THROW(m.run([](Rank& r) {
+                 Comm world = Comm::world(r);
+                 Buf mine(3, 0.0);
+                 Counts counts{2, 2};  // lies about my size
+                 (void)allgather(world, mine, counts);
+               }),
+               Error);
+}
+
+TEST(Collectives, SubcommunicatorCollectivesAreIndependent) {
+  // Two disjoint halves run allreduce concurrently; sums must not mix.
+  const int p = 8;
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    const int half = r.id() < p / 2 ? 0 : 1;
+    Comm mine = world.range(half * p / 2, p / 2);
+    Buf full{static_cast<double>(half + 1)};
+    Buf sum = allreduce(mine, full);
+    ASSERT_DOUBLE_EQ(sum[0], static_cast<double>((half + 1) * p / 2));
+  });
+}
+
+}  // namespace
+}  // namespace catrsm::coll

@@ -1,0 +1,252 @@
+// Tests for the distributed index-remap primitives (transpose, reversals)
+// and the distributed blocked Cholesky factorization built on them.
+
+#include <gtest/gtest.h>
+
+#include "dist/redistribute.hpp"
+#include "factor/cholesky_dist.hpp"
+#include "la/generate.hpp"
+#include "la/gemm.hpp"
+#include "la/norms.hpp"
+#include "sim/machine.hpp"
+#include "trsm/it_inv_trsm.hpp"
+
+namespace catrsm {
+namespace {
+
+using dist::BlockCyclicDist;
+using dist::DistMatrix;
+using dist::Face2D;
+using la::index_t;
+using la::Matrix;
+using sim::Comm;
+using sim::Machine;
+using sim::Rank;
+
+struct RemapCase {
+  index_t rows, cols;
+  int p;
+  index_t src_b, dst_b;
+};
+
+class RemapSweep : public ::testing::TestWithParam<RemapCase> {};
+
+TEST_P(RemapSweep, TransposeMatchesSequential) {
+  const RemapCase tc = GetParam();
+  Machine m(tc.p);
+  const Matrix ref = la::make_dense(55, tc.rows, tc.cols);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    const auto [pr, pc] = dist::balanced_factors(tc.p);
+    Face2D face(world, pr, pc);
+    auto sd = std::make_shared<BlockCyclicDist>(face, tc.rows, tc.cols,
+                                                tc.src_b, tc.src_b);
+    // Destination on the transposed face shape for extra generality.
+    Face2D dface(world, pc, pr);
+    auto dd = std::make_shared<BlockCyclicDist>(dface, tc.cols, tc.rows,
+                                                tc.dst_b, tc.dst_b);
+    DistMatrix src(sd, r.id());
+    src.fill_from_global(ref);
+    DistMatrix dst = dist::transpose(src, dd, world);
+    EXPECT_LT(la::max_abs_diff(collect(dst, world), ref.transposed()),
+              1e-15);
+  });
+}
+
+TEST_P(RemapSweep, ReversalsMatchSequential) {
+  const RemapCase tc = GetParam();
+  Machine m(tc.p);
+  const Matrix ref = la::make_dense(56, tc.rows, tc.cols);
+  Matrix rev_both(tc.rows, tc.cols), rev_rows(tc.rows, tc.cols);
+  for (index_t i = 0; i < tc.rows; ++i)
+    for (index_t j = 0; j < tc.cols; ++j) {
+      rev_both(i, j) = ref(tc.rows - 1 - i, tc.cols - 1 - j);
+      rev_rows(i, j) = ref(tc.rows - 1 - i, j);
+    }
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    const auto [pr, pc] = dist::balanced_factors(tc.p);
+    Face2D face(world, pr, pc);
+    auto sd = std::make_shared<BlockCyclicDist>(face, tc.rows, tc.cols,
+                                                tc.src_b, tc.src_b);
+    auto dd = std::make_shared<BlockCyclicDist>(face, tc.rows, tc.cols,
+                                                tc.dst_b, tc.dst_b);
+    DistMatrix src(sd, r.id());
+    src.fill_from_global(ref);
+    EXPECT_LT(la::max_abs_diff(
+                  collect(dist::reverse_both(src, dd, world), world),
+                  rev_both),
+              1e-15);
+    EXPECT_LT(la::max_abs_diff(
+                  collect(dist::reverse_rows(src, dd, world), world),
+                  rev_rows),
+              1e-15);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RemapSweep,
+                         ::testing::Values(RemapCase{6, 6, 1, 1, 1},
+                                           RemapCase{8, 8, 4, 1, 1},
+                                           RemapCase{9, 7, 4, 1, 2},
+                                           RemapCase{12, 10, 6, 2, 1},
+                                           RemapCase{16, 5, 8, 3, 2},
+                                           RemapCase{11, 13, 12, 1, 1}));
+
+TEST(Remap, TransposeOfTransposeIsIdentity) {
+  const index_t n = 10, k = 7;
+  Machine m(4);
+  const Matrix ref = la::make_dense(57, n, k);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, 2, 2);
+    auto d_nk = dist::cyclic_on(face, n, k);
+    auto d_kn = dist::cyclic_on(face, k, n);
+    DistMatrix src(d_nk, r.id());
+    src.fill_from_global(ref);
+    DistMatrix t = dist::transpose(src, d_kn, world);
+    DistMatrix back = dist::transpose(t, d_nk, world);
+    EXPECT_TRUE(back.local().equals(src.local()));
+  });
+}
+
+TEST(Remap, DistributedTransposedSolveViaReversal) {
+  // The fully distributed back-substitution: X = J lower_solve(J L^T J, J B)
+  // without any global matrix on any rank.
+  const index_t n = 32, k = 8;
+  const int p1 = 2, p2 = 2;
+  Machine m(p1 * p1 * p2);
+  const Matrix l = la::make_lower_triangular(58, n);
+  const Matrix b = la::make_rhs(59, n, k);
+  Matrix lt = l.transposed();
+  const Matrix ref = la::solve_upper(lt, b);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D lface = trsm::it_inv_l_face(world, p1, p2);
+    auto ld = dist::cyclic_on(lface, n, n);
+    DistMatrix dl(ld, r.id());
+    if (dl.participates()) dl.fill_from_global(l);
+    auto bd = trsm::it_inv_b_dist(world, p1, p2, n, k);
+    DistMatrix db(bd, r.id());
+    if (db.participates()) db.fill_from_global(b);
+
+    // J L^T J = reverse_both(transpose(L)); J B = reverse_rows(B).
+    DistMatrix lt_d = dist::transpose(dl, ld, world);
+    DistMatrix ltr = dist::reverse_both(lt_d, ld, world);
+    DistMatrix brev = dist::reverse_rows(db, bd, world);
+    trsm::ItInvOptions opts;
+    opts.nblocks = 4;
+    DistMatrix y = trsm::it_inv_trsm(ltr, brev, world, p1, p2, opts);
+    DistMatrix x = dist::reverse_rows(y, bd, world);
+    EXPECT_LT(la::max_abs_diff(collect(x, world), ref), 1e-9);
+  });
+}
+
+struct CholCase {
+  index_t n;
+  int q;  // q x q grid
+  index_t nb;
+};
+
+class CholSweep : public ::testing::TestWithParam<CholCase> {};
+
+TEST_P(CholSweep, FactorsSpdMatrix) {
+  const CholCase tc = GetParam();
+  Machine m(tc.q * tc.q);
+  const Matrix a = la::make_spd(71, tc.n);
+  const Matrix lref = la::cholesky(a);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, tc.q, tc.q);
+    auto ad = dist::cyclic_on(face, tc.n, tc.n);
+    DistMatrix da(ad, r.id());
+    da.fill_from_global(a);
+    DistMatrix dl = factor::cholesky_dist(da, world, tc.nb);
+    const Matrix lgot = collect(dl, world);
+    EXPECT_LT(la::max_abs_diff(lgot, lref), 1e-9)
+        << "n=" << tc.n << " grid=" << tc.q << "x" << tc.q;
+    // Reconstruction residual.
+    const Matrix rebuilt = la::matmul(lgot, lgot.transposed());
+    EXPECT_LT(la::max_abs_diff(rebuilt, a) / la::max_abs(a), 1e-11);
+    // Strictly upper part is zero.
+    for (index_t i = 0; i < tc.n; ++i)
+      for (index_t j = i + 1; j < tc.n; ++j)
+        EXPECT_DOUBLE_EQ(lgot(i, j), 0.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CholSweep,
+                         ::testing::Values(CholCase{8, 1, 4},
+                                           CholCase{16, 2, 4},
+                                           CholCase{24, 2, 8},
+                                           CholCase{17, 2, 5},
+                                           CholCase{32, 4, 8},
+                                           CholCase{30, 3, 6},
+                                           CholCase{32, 2, 0}));
+
+TEST(CholeskyDist, NonSquareGridRejected) {
+  Machine m(2);
+  EXPECT_THROW(m.run([](Rank& r) {
+                 Comm world = Comm::world(r);
+                 Face2D face(world, 1, 2);
+                 auto ad = dist::cyclic_on(face, 8, 8);
+                 DistMatrix da(ad, r.id());
+                 (void)factor::cholesky_dist(da, world);
+               }),
+               Error);
+}
+
+TEST(CholeskyDist, NotPositiveDefiniteThrows) {
+  const index_t n = 12;
+  Machine m(4);
+  EXPECT_THROW(m.run([&](Rank& r) {
+                 Comm world = Comm::world(r);
+                 Face2D face(world, 2, 2);
+                 auto ad = dist::cyclic_on(face, n, n);
+                 DistMatrix da(ad, r.id());
+                 // Symmetric but indefinite: -identity.
+                 da.fill([&](index_t i, index_t j) {
+                   return i == j ? -1.0 : 0.0;
+                 });
+                 (void)factor::cholesky_dist(da, world);
+               }),
+               Error);
+}
+
+TEST(CholeskyDist, EndToEndSpdPipelineFullyDistributed) {
+  // factor -> forward solve -> transposed back solve, all on DistMatrix.
+  const index_t n = 32, k = 8;
+  Machine m(4);  // 2x2 factor grid doubles as the it_inv (p1=2, p2=1) front face
+  const Matrix a = la::make_spd(73, n);
+  const Matrix b = la::make_rhs(74, n, k);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, 2, 2);
+    auto ad = dist::cyclic_on(face, n, n);
+    DistMatrix da(ad, r.id());
+    da.fill_from_global(a);
+    DistMatrix dl = factor::cholesky_dist(da, world);
+
+    // Forward solve L Y = B on the same 2x2 face (p2 = 1 grid).
+    auto bd = trsm::it_inv_b_dist(world, 2, 1, n, k);
+    DistMatrix db(bd, r.id());
+    if (db.participates()) db.fill_from_global(b);
+    trsm::ItInvOptions opts;
+    opts.nblocks = 4;
+    DistMatrix y = trsm::it_inv_trsm(dl, db, world, 2, 1, opts);
+
+    // Back solve L^T X = Y via the distributed reversal reduction.
+    DistMatrix lt = dist::transpose(dl, ad, world);
+    DistMatrix ltr = dist::reverse_both(lt, ad, world);
+    DistMatrix yrev = dist::reverse_rows(y, bd, world);
+    DistMatrix xrev = trsm::it_inv_trsm(ltr, yrev, world, 2, 1, opts);
+    DistMatrix x = dist::reverse_rows(xrev, bd, world);
+
+    const Matrix xfull = collect(x, world);
+    Matrix resid = la::matmul(a, xfull);
+    resid.sub(b);
+    EXPECT_LT(la::frobenius_norm(resid) / la::frobenius_norm(b), 1e-11);
+  });
+}
+
+}  // namespace
+}  // namespace catrsm

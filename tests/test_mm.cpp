@@ -1,0 +1,300 @@
+// Tests for distributed matrix multiplication: numerical agreement with the
+// sequential kernel plus cost-bound checks against the Section III model.
+
+#include <gtest/gtest.h>
+
+#include "dist/redistribute.hpp"
+#include "la/generate.hpp"
+#include "la/gemm.hpp"
+#include "la/norms.hpp"
+#include "mm/mm3d.hpp"
+#include "mm/summa2d.hpp"
+#include "sim/machine.hpp"
+
+namespace catrsm::mm {
+namespace {
+
+using dist::BlockCyclicDist;
+using dist::Face2D;
+using la::index_t;
+using la::Matrix;
+using sim::Comm;
+using sim::Machine;
+using sim::Rank;
+using sim::RunStats;
+
+struct MMCase {
+  index_t n, k;
+  int p1, p2;
+};
+
+class MM3DSweep : public ::testing::TestWithParam<MMCase> {};
+
+TEST_P(MM3DSweep, MatchesSequentialGemm) {
+  const MMCase tc = GetParam();
+  const int p = tc.p1 * tc.p1 * tc.p2;
+  Machine m(p);
+  const Matrix a = la::make_lower_triangular(7, tc.n);
+  const Matrix x = la::make_rhs(8, tc.n, tc.k);
+  const Matrix ref = la::matmul(a, x);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    const auto [pr, pc] = dist::balanced_factors(p);
+    Face2D face(world, pr, pc);
+    auto ad = dist::cyclic_on(face, tc.n, tc.n);
+    auto xd = dist::cyclic_on(face, tc.n, tc.k);
+    DistMatrix da(ad, r.id());
+    da.fill_from_global(a);
+    DistMatrix dx(xd, r.id());
+    dx.fill_from_global(x);
+    DistMatrix db = mm3d(da, dx, xd, world, MMGrid{tc.p1, tc.p2});
+    Matrix got = collect(db, world);
+    EXPECT_LT(la::max_abs_diff(got, ref), 1e-11)
+        << "n=" << tc.n << " k=" << tc.k << " p1=" << tc.p1
+        << " p2=" << tc.p2;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MM3DSweep,
+    ::testing::Values(MMCase{8, 8, 1, 1},      // trivial
+                      MMCase{16, 8, 2, 1},     // 2D square
+                      MMCase{16, 8, 2, 2},     // true 3D
+                      MMCase{16, 16, 2, 4},    // deep replication
+                      MMCase{12, 4, 1, 4},     // 1D (replicated A)
+                      MMCase{17, 5, 2, 2},     // ragged dims
+                      MMCase{24, 36, 2, 2},    // k > n
+                      MMCase{9, 3, 3, 1},      // non-pow2 grid
+                      MMCase{32, 8, 2, 8}));   // tall z
+
+struct RectCase {
+  index_t m, n, k;
+  int p1, p2;
+};
+
+class MM3DRectangular : public ::testing::TestWithParam<RectCase> {};
+
+TEST_P(MM3DRectangular, RectangularAMatchesSequential) {
+  // A: m x n (the shape of every off-diagonal TRSM update panel).
+  const RectCase tc = GetParam();
+  const int p = tc.p1 * tc.p1 * tc.p2;
+  Machine mach(p);
+  const Matrix a = la::make_dense(21, tc.m, tc.n);
+  const Matrix x = la::make_dense(22, tc.n, tc.k);
+  const Matrix ref = la::matmul(a, x);
+  mach.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    const auto [pr, pc] = dist::balanced_factors(p);
+    Face2D face(world, pr, pc);
+    auto ad = dist::cyclic_on(face, tc.m, tc.n);
+    auto xd = dist::cyclic_on(face, tc.n, tc.k);
+    auto od = dist::cyclic_on(face, tc.m, tc.k);
+    DistMatrix da(ad, r.id());
+    da.fill_from_global(a);
+    DistMatrix dx(xd, r.id());
+    dx.fill_from_global(x);
+    DistMatrix db = mm3d(da, dx, od, world, MMGrid{tc.p1, tc.p2});
+    EXPECT_LT(la::max_abs_diff(collect(db, world), ref), 1e-11)
+        << "m=" << tc.m << " n=" << tc.n << " k=" << tc.k;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MM3DRectangular,
+                         ::testing::Values(RectCase{24, 8, 6, 2, 2},
+                                           RectCase{8, 24, 6, 2, 2},
+                                           RectCase{5, 17, 9, 2, 1},
+                                           RectCase{32, 16, 4, 2, 4},
+                                           RectCase{3, 3, 40, 1, 4},
+                                           RectCase{13, 1, 1, 2, 2}));
+
+TEST(MM3D, AlphaScalesResult) {
+  const index_t n = 8, k = 4;
+  Machine m(4);
+  const Matrix a = la::make_dense(1, n, n);
+  const Matrix x = la::make_dense(2, n, k);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, 2, 2);
+    auto ad = dist::cyclic_on(face, n, n);
+    auto xd = dist::cyclic_on(face, n, k);
+    DistMatrix da(ad, r.id());
+    da.fill_from_global(a);
+    DistMatrix dx(xd, r.id());
+    dx.fill_from_global(x);
+    DistMatrix db = mm3d(da, dx, xd, world, MMGrid{2, 1}, -2.0);
+    Matrix ref = la::matmul(a, x);
+    ref.scale(-2.0);
+    EXPECT_LT(la::max_abs_diff(collect(db, world), ref), 1e-12);
+  });
+}
+
+TEST(MM3D, OutputDistributionCanDiffer) {
+  const index_t n = 12, k = 6;
+  Machine m(8);
+  const Matrix a = la::make_dense(3, n, n);
+  const Matrix x = la::make_dense(4, n, k);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, 2, 4);
+    auto ad = dist::cyclic_on(face, n, n);
+    auto xd = dist::cyclic_on(face, n, k);
+    // Output on a different face shape with blocked layout.
+    Face2D oface(world, 4, 2);
+    auto od = std::make_shared<BlockCyclicDist>(oface, n, k, 3, 3);
+    DistMatrix da(ad, r.id());
+    da.fill_from_global(a);
+    DistMatrix dx(xd, r.id());
+    dx.fill_from_global(x);
+    DistMatrix db = mm3d(da, dx, od, world, MMGrid{2, 2});
+    EXPECT_LT(la::max_abs_diff(collect(db, world), la::matmul(a, x)), 1e-12);
+  });
+}
+
+TEST(MM3D, FlopsBalancedAcrossRanks) {
+  const index_t n = 32, k = 16;
+  const int p1 = 2, p2 = 2;
+  Machine m(p1 * p1 * p2);
+  const Matrix a = la::make_dense(5, n, n);
+  const Matrix x = la::make_dense(6, n, k);
+  RunStats stats = m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    const auto [pr, pc] = dist::balanced_factors(world.size());
+    Face2D face(world, pr, pc);
+    auto ad = dist::cyclic_on(face, n, n);
+    auto xd = dist::cyclic_on(face, n, k);
+    DistMatrix da(ad, r.id());
+    da.fill_from_global(a);
+    DistMatrix dx(xd, r.id());
+    dx.fill_from_global(x);
+    (void)mm3d(da, dx, xd, world, MMGrid{p1, p2});
+  });
+  // gemm flops: 2 n^2 k / p per rank, plus reduce-scatter adds.
+  const double gemm_per_rank =
+      2.0 * static_cast<double>(n) * n * k / (p1 * p1 * p2);
+  EXPECT_GE(stats.max_flops(), gemm_per_rank);
+  EXPECT_LE(stats.max_flops(), 1.5 * gemm_per_rank);
+}
+
+TEST(MM3D, BandwidthWithinModelBound) {
+  // Measured per-rank words should track the Section III model:
+  // n^2/p1^2 (A allgather) + 2nk/(p1 p2) (X allgather + B reduce-scatter)
+  // + lower-order Bruck transition terms.
+  const index_t n = 64, k = 32;
+  const int p1 = 2, p2 = 4;
+  const int p = p1 * p1 * p2;
+  Machine m(p);
+  RunStats stats = m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    const auto [pr, pc] = dist::balanced_factors(p);
+    Face2D face(world, pr, pc);
+    auto ad = dist::cyclic_on(face, n, n);
+    auto xd = dist::cyclic_on(face, n, k);
+    DistMatrix da(ad, r.id());
+    da.fill([&](index_t i, index_t j) { return la::tri_entry(1, i, j, n); });
+    DistMatrix dx(xd, r.id());
+    dx.fill([&](index_t i, index_t j) { return la::rhs_entry(2, i, j); });
+    (void)mm3d(da, dx, xd, world, MMGrid{p1, p2});
+  });
+  const double model = mm3d_model_words(n, n, k, p1, p2);
+  const double logp = ilog2_ceil(p);
+  const double transitions =
+      (static_cast<double>(n) * n + 2.0 * n * k) / p * logp;
+  EXPECT_GE(stats.max_words(), 0.5 * model);
+  EXPECT_LE(stats.max_words(), 1.5 * (model + 4.0 * transitions));
+  // Latency: a handful of log-p collectives, far below any linear-in-p
+  // schedule.
+  EXPECT_LE(stats.max_msgs(), 12.0 * logp + 16.0);
+}
+
+TEST(MMGridChoice, PicksExpectedRegimes) {
+  // Two large dimensions (n >> k sqrt(p)): 2D grid, p2 == 1.
+  MMGrid g2d = choose_mm_grid(4096, 4096, 4, 64);
+  EXPECT_EQ(g2d.p2, 1);
+  EXPECT_EQ(g2d.p1, 8);
+  // One large dimension (n < k/p): 1D grid, p1 == 1.
+  MMGrid g1d = choose_mm_grid(4, 4, 4096, 64);
+  EXPECT_EQ(g1d.p1, 1);
+  EXPECT_EQ(g1d.p2, 64);
+  // Three large dimensions (n ~ k): true 3D grid.
+  MMGrid g3d = choose_mm_grid(1024, 1024, 1024, 64);
+  EXPECT_GT(g3d.p1, 1);
+  EXPECT_GT(g3d.p2, 1);
+  EXPECT_EQ(g3d.p1 * g3d.p1 * g3d.p2, 64);
+}
+
+TEST(MMGridChoice, AlwaysFactorizesP) {
+  for (int p : {1, 2, 3, 4, 6, 8, 12, 16, 27, 36, 64, 100, 128, 256}) {
+    for (index_t n : {4, 64, 1024}) {
+      for (index_t k : {1, 64, 4096}) {
+        MMGrid g = choose_mm_grid(n, n, k, p);
+        EXPECT_EQ(g.p1 * g.p1 * g.p2, p);
+      }
+    }
+  }
+}
+
+struct SummaCase {
+  index_t n, k;
+  int pr, pc;
+  index_t nb;
+};
+
+class SummaSweep : public ::testing::TestWithParam<SummaCase> {};
+
+TEST_P(SummaSweep, MatchesSequentialGemm) {
+  const SummaCase tc = GetParam();
+  Machine m(tc.pr * tc.pc);
+  const Matrix a = la::make_dense(11, tc.n, tc.n);
+  const Matrix x = la::make_dense(12, tc.n, tc.k);
+  const Matrix ref = la::matmul(a, x);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, tc.pr, tc.pc);
+    auto ad = dist::cyclic_on(face, tc.n, tc.n);
+    auto xd = dist::cyclic_on(face, tc.n, tc.k);
+    DistMatrix da(ad, r.id());
+    da.fill_from_global(a);
+    DistMatrix dx(xd, r.id());
+    dx.fill_from_global(x);
+    DistMatrix dc = summa2d(da, dx, tc.nb);
+    EXPECT_LT(la::max_abs_diff(collect(dc, world), ref), 1e-11);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SummaSweep,
+                         ::testing::Values(SummaCase{8, 8, 1, 1, 4},
+                                           SummaCase{16, 8, 2, 2, 4},
+                                           SummaCase{15, 7, 2, 3, 5},
+                                           SummaCase{16, 16, 4, 2, 0},
+                                           SummaCase{20, 4, 4, 4, 2}));
+
+TEST(Summa2D, CostScalesWithGridShape) {
+  const index_t n = 48, k = 48;
+  auto run_once = [&](int pr, int pc) {
+    Machine m(pr * pc);
+    return m.run([&](Rank& r) {
+      Comm world = Comm::world(r);
+      Face2D face(world, pr, pc);
+      auto ad = dist::cyclic_on(face, n, n);
+      auto xd = dist::cyclic_on(face, n, k);
+      DistMatrix da(ad, r.id());
+      da.fill([&](index_t i, index_t j) { return la::element_hash(1, i, j); });
+      DistMatrix dx(xd, r.id());
+      dx.fill([&](index_t i, index_t j) { return la::element_hash(2, i, j); });
+      (void)summa2d(da, dx, 8);
+    });
+  };
+  // W ~ n^2/pr + nk/pc: a 4x1 grid moves fewer A words than 1x4.
+  RunStats tall = run_once(4, 1);
+  RunStats wide = run_once(1, 4);
+  // tall: W ~ n^2/4 + nk; wide: W ~ n^2 + nk/4. With n == k both matrices
+  // are the same size, so the two shapes are symmetric; just check both
+  // stay below the sequential volume and above the lower bound.
+  for (const RunStats* s : {&tall, &wide}) {
+    EXPECT_GT(s->max_words(), 0.0);
+    EXPECT_LT(s->max_words(), 2.0 * static_cast<double>(n) * (n + k));
+  }
+}
+
+}  // namespace
+}  // namespace catrsm::mm

@@ -1,0 +1,232 @@
+// Tests for the analytic cost model: formula sanity, regime boundaries,
+// tuning-parameter validity, and the Section IX comparison properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/compare.hpp"
+#include "model/costs.hpp"
+#include "model/tuning.hpp"
+
+namespace catrsm::model {
+namespace {
+
+TEST(Regimes, BoundariesMatchSectionVIII) {
+  const double p = 64;
+  // n < 4k/p -> 1D.
+  EXPECT_EQ(classify(10, 1000, p), Regime::k1D);
+  // n > 4k sqrt(p) -> 2D.
+  EXPECT_EQ(classify(100000, 100, p), Regime::k2D);
+  // Between -> 3D.
+  EXPECT_EQ(classify(1000, 1000, p), Regime::k3D);
+  // Exactly at the boundaries: closed on the 3D side.
+  EXPECT_EQ(classify(4 * 1000 / p, 1000, p), Regime::k3D);
+  EXPECT_EQ(classify(4 * 100 * std::sqrt(p), 100, p), Regime::k3D);
+}
+
+TEST(Collectives, FormulasMatchPaperTable) {
+  const double n = 1024, p = 64;
+  EXPECT_DOUBLE_EQ(allgather_cost(n, p).msgs, 6);
+  EXPECT_DOUBLE_EQ(allgather_cost(n, p).words, n);
+  EXPECT_DOUBLE_EQ(bcast_cost(n, p).msgs, 12);
+  EXPECT_DOUBLE_EQ(bcast_cost(n, p).words, 2 * n);
+  EXPECT_DOUBLE_EQ(reduce_scatter_cost(n, p).flops, n);
+  EXPECT_DOUBLE_EQ(allreduction_cost(n, p).words, 2 * n);
+  EXPECT_DOUBLE_EQ(alltoall_cost(n, p).words, n / 2 * 6);
+  // Single rank: no communication.
+  EXPECT_DOUBLE_EQ(allgather_cost(n, 1).words, 0);
+}
+
+TEST(MMCost, ReducesToKnownShapes) {
+  const double n = 4096, k = 4096;
+  // 2D (p2 = 1): no A-replication term.
+  const Cost c2d = mm_cost(n, k, 8, 1);
+  EXPECT_DOUBLE_EQ(c2d.flops, 2 * n * n * k / 64);
+  EXPECT_GT(c2d.words, 2 * n * k / 8 - 1);
+  // 1D (p1 = 1): A replicated, words ~ n^2.
+  const Cost c1d = mm_cost(n, k, 1, 64);
+  EXPECT_GE(c1d.words, n * n);
+  // 3D beats 2D on bandwidth at equal p when n == k.
+  const Cost c3d = mm_cost(n, k, 4, 4);
+  EXPECT_LT(c3d.words, mm_cost(n, k, 8, 1).words);
+}
+
+TEST(RecTrsmCost, MatchesConclusionTableShapes) {
+  const double p = 4096;
+  // 2D: S ~ sqrt(p).
+  const Cost c2d = rec_trsm_cost(1 << 20, 4, p);
+  EXPECT_NEAR(c2d.msgs, std::sqrt(p), 1e-9);
+  // 3D: S ~ (np/k)^{2/3} log p.
+  const double n = 1 << 14, k = 1 << 14;
+  const Cost c3d = rec_trsm_cost(n, k, p);
+  EXPECT_NEAR(c3d.msgs, std::pow(n * p / k, 2.0 / 3.0) * 12, 1e-6);
+  // Flops are always the optimal n^2 k / p.
+  EXPECT_DOUBLE_EQ(c3d.flops, n * n * k / p);
+}
+
+TEST(TriInvCost, LogSquaredLatencyAndGeometricConstant) {
+  const double n = 1 << 14;
+  const Cost c = tri_inv_cost(n, 8, 4);  // p = 256
+  EXPECT_DOUBLE_EQ(c.msgs, 64.0);        // log^2(256) = 8^2
+  const double expected_w = nu() * (n * n / (8.0 * 64) + n * n / (2.0 * 32));
+  EXPECT_DOUBLE_EQ(c.words, expected_w);
+  EXPECT_DOUBLE_EQ(c.flops, nu() * n * n * n / (8.0 * 256));
+}
+
+TEST(ItInvBreakdown, ComponentsArePositiveAndSumBounded) {
+  const ItInvBreakdown b = it_inv_breakdown(1 << 14, 1 << 10, 1 << 12, 8, 4,
+                                            8, 8);
+  EXPECT_GT(b.inversion.words, 0);
+  EXPECT_GT(b.solve.words, 0);
+  EXPECT_GT(b.update.words, 0);
+  const Cost t = b.total();
+  EXPECT_NEAR(t.msgs, b.inversion.msgs + b.solve.msgs + b.update.msgs, 1e-9);
+  EXPECT_NEAR(t.words, b.inversion.words + b.solve.words + b.update.words,
+              1e-9);
+}
+
+TEST(Tuning, ParametersSatisfyRegimeTables) {
+  const double p = 4096;
+  // 1D: p1 = 1, p2 = p, n0 = n.
+  const Tuning t1 = tune(16, 1 << 22, p);
+  EXPECT_EQ(t1.regime, Regime::k1D);
+  EXPECT_DOUBLE_EQ(t1.p1, 1);
+  EXPECT_DOUBLE_EQ(t1.p2, p);
+  EXPECT_DOUBLE_EQ(t1.n0, 16);
+  // 2D: p1 = sqrt(p), p2 = 1.
+  const Tuning t2 = tune(1 << 22, 16, p);
+  EXPECT_EQ(t2.regime, Regime::k2D);
+  EXPECT_DOUBLE_EQ(t2.p1, 64);
+  EXPECT_DOUBLE_EQ(t2.p2, 1);
+  EXPECT_GT(t2.n0, 1);
+  EXPECT_LT(t2.n0, 1 << 22);
+  // 3D: p1^2 p2 == p (up to rounding) and n0 = sqrt(nk).
+  const double n = 1 << 16, k = 1 << 14;
+  const Tuning t3 = tune(n, k, p);
+  EXPECT_EQ(t3.regime, Regime::k3D);
+  EXPECT_NEAR(t3.p1 * t3.p1 * t3.p2, p, p * 0.1);
+  EXPECT_DOUBLE_EQ(t3.n0, std::sqrt(n * k));
+}
+
+TEST(Tuning, NearestGridAlwaysValid) {
+  for (int p : {1, 2, 4, 8, 12, 16, 64, 100, 256, 1024}) {
+    for (double ideal : {0.5, 1.0, 2.0, 7.3, 100.0}) {
+      const auto [p1, p2] = nearest_grid(p, ideal);
+      EXPECT_EQ(p1 * p1 * p2, p);
+      EXPECT_GE(p1, 1);
+      EXPECT_GE(p2, 1);
+    }
+  }
+}
+
+TEST(Configure, ProducesRunnableIntegerParameters) {
+  for (long long n : {16, 1024, 1 << 20}) {
+    for (long long k : {1LL, 64LL, static_cast<long long>(1) << 22}) {
+      for (int p : {1, 4, 16, 64, 256}) {
+        const Config cfg = configure(n, k, p);
+        EXPECT_EQ(cfg.p1 * cfg.p1 * cfg.p2, p);
+        EXPECT_EQ(cfg.pr * cfg.pc, p);
+        EXPECT_EQ(cfg.pc % cfg.pr, 0);
+        EXPECT_GE(cfg.nblocks, 1);
+        EXPECT_LE(cfg.nblocks, std::min<long long>(n, p));
+      }
+    }
+  }
+}
+
+TEST(Configure, PicksRingForSingleVectorAndIterativeIn3D) {
+  EXPECT_EQ(configure(1 << 16, 1, 64).algorithm, Algorithm::kTrsv1D);
+  // A latency-dominated 3D shape (large p relative to the flop volume):
+  // the iterative method's predicted time wins. (At flop-heavy shapes the
+  // recursive method can win back on the gamma term because the new
+  // method pays 2 n^2 k / p flops — the paper's own F column.)
+  EXPECT_EQ(configure(4096, 1024, 4096).algorithm, Algorithm::kIterative);
+  // Deep in the 2D regime at modest p the recursive baseline's predicted
+  // time is lower (the 2D iterative gain is asymptotic; see
+  // Comparison.TwoLargeDimsGainIsAsymptotic) — the tuner must honor that.
+  EXPECT_EQ(configure(1 << 16, 64, 64).algorithm, Algorithm::kRecursive);
+}
+
+TEST(Comparison, HeadlineLatencyGain3D) {
+  // Section IX: in the 3D regime the new method wins by
+  // ~ (n/k)^{1/6} p^{2/3} (up to log factors).
+  const double p = 4096;
+  const ComparisonRow row = compare(1 << 16, 1 << 12, p);
+  ASSERT_EQ(row.regime, Regime::k3D);
+  EXPECT_GT(row.latency_gain(), 10.0);
+  // The measured-model gain should be within a polylog factor of the
+  // asymptotic prediction.
+  const double predicted = row.predicted_gain_3d();
+  EXPECT_GT(row.latency_gain(), predicted / 50.0);
+  EXPECT_LT(row.latency_gain(), predicted * 50.0);
+}
+
+TEST(Comparison, BandwidthAndFlopsStayComparable) {
+  // The new method must NOT give up bandwidth or flops (Section IX): W and
+  // F stay within constant factors across regimes (the paper's table has
+  // the same asymptotic entries; the model carries constants ~4-10).
+  for (const ComparisonRow& row : section9_rows(4096)) {
+    EXPECT_LT(row.novel.words, 12.0 * row.standard.words + 1)
+        << row_label(row);
+    EXPECT_LT(row.novel.flops, 4.0 * row.standard.flops + 1)
+        << row_label(row);
+  }
+}
+
+TEST(Comparison, GainGrowsWithP) {
+  // Scalability: the latency advantage widens as p grows (3D regime).
+  const double n = 1 << 16, k = 1 << 12;
+  double prev_gain = 0.0;
+  for (double p : {64.0, 512.0, 4096.0}) {
+    if (classify(n, k, p) != Regime::k3D) continue;
+    const double gain = compare(n, k, p).latency_gain();
+    EXPECT_GT(gain, prev_gain);
+    prev_gain = gain;
+  }
+  EXPECT_GT(prev_gain, 1.0);
+}
+
+TEST(Comparison, ThreeLargeDimsWinsOnLatencyWhenNAtLeastK) {
+  // In the 3D regime with n >= k (the common TRSM shape the paper
+  // emphasizes) the new method's modeled latency is strictly better once p
+  // is non-trivial; for k >> n the standard method's (np/k)^{2/3} log p can
+  // dip below the inverter's additive log^2 p, so allow that term.
+  for (double n : {1 << 12, 1 << 16, 1 << 20}) {
+    for (double k : {16.0, 1024.0, 65536.0}) {
+      for (double p : {64.0, 1024.0, 16384.0}) {
+        const ComparisonRow row = compare(n, k, p);
+        if (row.regime != Regime::k3D) continue;
+        const double slack = 1.2 * log2p(p) * log2p(p);
+        if (n >= k) {
+          EXPECT_LT(row.novel.msgs, row.standard.msgs * 1.05 + slack)
+              << row_label(row);
+        }
+      }
+    }
+  }
+}
+
+TEST(Comparison, TwoLargeDimsGainIsAsymptotic) {
+  // Section VIII's 2D claim — latency improvement by at least
+  // p^{1/4}/log p — is asymptotic: at the regime boundary (n ~ 8k sqrt p)
+  // the modeled gain sqrt(p) / (c p^{1/4} log p) crosses 1 only at very
+  // large p. Assert (a) the gain is monotonically increasing in p and
+  // (b) it exceeds 1 at extreme scale, matching the paper's asymptotics.
+  const double k = 256.0;
+  double prev = 0.0;
+  for (double p : {256.0, 4096.0, 65536.0, 1048576.0}) {
+    const double n = 8.0 * k * std::sqrt(p);
+    const ComparisonRow row = compare(n, k, p);
+    ASSERT_EQ(row.regime, Regime::k2D) << row_label(row);
+    EXPECT_GT(row.latency_gain(), prev) << row_label(row);
+    prev = row.latency_gain();
+  }
+  const double huge_p = std::pow(2.0, 40);
+  const ComparisonRow asymptotic =
+      compare(8.0 * k * std::sqrt(huge_p), k, huge_p);
+  EXPECT_GT(asymptotic.latency_gain(), 1.0);
+}
+
+}  // namespace
+}  // namespace catrsm::model

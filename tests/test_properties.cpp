@@ -1,0 +1,234 @@
+// Property-based tests: invariants that must hold across randomized
+// configurations — conservation through redistribution chains, cost
+// accounting symmetries, linearity of the solvers, and model consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coll/collectives.hpp"
+#include "dist/redistribute.hpp"
+#include "la/generate.hpp"
+#include "la/gemm.hpp"
+#include "la/norms.hpp"
+#include "la/trsm.hpp"
+#include "mm/mm3d.hpp"
+#include "model/costs.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+#include "trsm/solver.hpp"
+
+namespace catrsm {
+namespace {
+
+using dist::BlockCyclicDist;
+using dist::DistMatrix;
+using dist::Face2D;
+using la::index_t;
+using la::Matrix;
+using sim::Comm;
+using sim::Machine;
+using sim::Rank;
+using sim::RunStats;
+
+// ---------------------------------------------------------------------------
+// Redistribution chains: any random sequence of layouts preserves the
+// matrix exactly (values are only moved, never transformed).
+
+class RedistChain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RedistChain, RandomLayoutWalkPreservesMatrix) {
+  Rng rng(GetParam());
+  const int p = 12;
+  const index_t n = 1 + rng.uniform_int(5, 30);
+  const index_t k = 1 + rng.uniform_int(1, 25);
+  const Matrix ref = la::make_dense(GetParam(), n, k);
+
+  // Pre-generate the random layout walk so every rank builds the same one.
+  struct Step {
+    int pr, pc;
+    index_t br, bc;
+  };
+  std::vector<Step> steps;
+  for (int s = 0; s < 5; ++s) {
+    // Random factorization of p and random block sizes.
+    const std::vector<std::pair<int, int>> facs = {
+        {1, 12}, {2, 6}, {3, 4}, {4, 3}, {6, 2}, {12, 1}};
+    const auto [pr, pc] = facs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<long long>(facs.size()) - 1))];
+    steps.push_back({pr, pc, 1 + rng.uniform_int(0, 4),
+                     1 + rng.uniform_int(0, 4)});
+  }
+
+  Machine m(p);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face0(world, 3, 4);
+    auto d0 = dist::cyclic_on(face0, n, k);
+    DistMatrix cur(d0, r.id());
+    cur.fill_from_global(ref);
+    for (const Step& s : steps) {
+      Face2D face(world, s.pr, s.pc);
+      auto d = std::make_shared<BlockCyclicDist>(face, n, k, s.br, s.bc);
+      cur = dist::redistribute(cur, d, world);
+    }
+    EXPECT_LT(la::max_abs_diff(collect(cur, world), ref), 1e-15);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedistChain,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Cost accounting invariants.
+
+TEST(CostAccounting, WordsConservedPointToPoint) {
+  // For pure one-sided traffic, total words sent == total words received,
+  // so total_words is exactly twice the wire volume.
+  Machine m(4);
+  RunStats stats = m.run([](Rank& r) {
+    if (r.id() == 0) {
+      for (int d = 1; d < 4; ++d)
+        r.send(d, std::vector<double>(static_cast<std::size_t>(d * 10), 1.0),
+               5);
+    } else {
+      (void)r.recv(0, 5);
+    }
+  });
+  EXPECT_DOUBLE_EQ(stats.total_words(), 2.0 * (10 + 20 + 30));
+}
+
+TEST(CostAccounting, CriticalTimeAtLeastAnyRankTime) {
+  Machine m(8);
+  RunStats stats = m.run([](Rank& r) {
+    r.charge_flops(100.0 * (r.id() + 1));
+    Comm world = Comm::world(r);
+    coll::Buf v{1.0};
+    (void)coll::allreduce(world, v);
+  });
+  const sim::MachineParams mp;
+  for (const auto& c : stats.per_rank) {
+    // vtime >= gamma * F for each rank; the critical path dominates all.
+    EXPECT_GE(stats.critical_time + 1e-15, mp.gamma * c.flops);
+  }
+  EXPECT_GT(stats.critical_time, 0.0);
+}
+
+TEST(CostAccounting, FlopChargesMatchAlgebraicCounts) {
+  // The solve's charged flops must be within a small factor of the
+  // sequential operation count n^2 k (multiply+add), independent of p.
+  const index_t n = 40, k = 10;
+  const Matrix l = la::make_lower_triangular(77, n);
+  const Matrix b = la::make_rhs(78, n, k);
+  const double sequential = static_cast<double>(n) * n * k;
+  for (int p : {1, 4, 16}) {
+    trsm::SolveOptions opts;
+    opts.force_algorithm = true;
+    opts.algorithm = model::Algorithm::kRecursive;
+    const trsm::SolveResult r = trsm::solve(l, b, p, opts);
+    double total_flops = 0.0;
+    for (const auto& c : r.stats.per_rank) total_flops += c.flops;
+    EXPECT_GT(total_flops, 0.5 * sequential);
+    EXPECT_LT(total_flops, 8.0 * sequential) << "p=" << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver linearity: solve(L, a*B1 + b*B2) == a*solve(L,B1) + b*solve(L,B2).
+
+TEST(SolverProperties, LinearityInRhs) {
+  const index_t n = 24, k = 4;
+  const Matrix l = la::make_lower_triangular(91, n);
+  const Matrix b1 = la::make_rhs(92, n, k);
+  const Matrix b2 = la::make_rhs(93, n, k);
+  Matrix combo = b1;
+  combo.scale(2.5);
+  Matrix b2s = b2;
+  b2s.scale(-1.25);
+  combo.add(b2s);
+
+  const Matrix x1 = trsm::solve(l, b1, 8).x;
+  const Matrix x2 = trsm::solve(l, b2, 8).x;
+  const Matrix xc = trsm::solve(l, combo, 8).x;
+
+  Matrix expect = x1;
+  expect.scale(2.5);
+  Matrix x2s = x2;
+  x2s.scale(-1.25);
+  expect.add(x2s);
+  EXPECT_LT(la::max_abs_diff(xc, expect), 1e-10);
+}
+
+TEST(SolverProperties, IdentityRhsGivesInverseColumns) {
+  const index_t n = 16;
+  const Matrix l = la::make_lower_triangular(94, n);
+  const Matrix x = trsm::solve(l, Matrix::identity(n), 4).x;
+  EXPECT_LT(la::inv_residual(l, x), 1e-12);
+}
+
+TEST(SolverProperties, SolutionInvariantUnderP) {
+  // The *answer* must not depend on the machine size (only the costs do).
+  const index_t n = 30, k = 6;
+  const Matrix l = la::make_lower_triangular(95, n);
+  const Matrix b = la::make_rhs(96, n, k);
+  const Matrix ref = la::solve_lower(l, b);
+  for (int p : {1, 2, 4, 9, 16}) {
+    const Matrix x = trsm::solve(l, b, p).x;
+    EXPECT_LT(la::max_abs_diff(x, ref), 1e-9) << "p=" << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model consistency properties.
+
+TEST(ModelProperties, CostsMonotoneInProblemSize) {
+  for (double p : {64.0, 1024.0}) {
+    double prev_w = 0.0;
+    for (double n : {1024.0, 4096.0, 16384.0, 65536.0}) {
+      const sim::Cost c = model::rec_trsm_cost(n, n, p);
+      EXPECT_GT(c.words, prev_w);
+      prev_w = c.words;
+    }
+  }
+}
+
+TEST(ModelProperties, FlopsScaleInverselyWithP) {
+  const double n = 1 << 14, k = 1 << 10;
+  const double f64 = model::rec_trsm_cost(n, k, 64).flops;
+  const double f256 = model::rec_trsm_cost(n, k, 256).flops;
+  EXPECT_NEAR(f64 / f256, 4.0, 1e-9);
+}
+
+TEST(ModelProperties, TuningContinuousAcrossRegimeBoundaries) {
+  // Crossing a regime boundary must not produce wild discontinuities in
+  // the predicted total time (factor < 4 across the seam).
+  const double p = 4096, k = 1024;
+  const sim::MachineParams mp;
+  const double just_3d = 4.0 * k * std::sqrt(p) * 0.99;
+  const double just_2d = 4.0 * k * std::sqrt(p) * 1.01;
+  const double t3 = model::it_inv_trsm_cost(just_3d, k, p).time(mp);
+  const double t2 = model::it_inv_trsm_cost(just_2d, k, p).time(mp);
+  EXPECT_LT(std::max(t3, t2) / std::min(t3, t2), 4.0);
+}
+
+TEST(ModelProperties, MMGridChooserNeverBeatenByPaperChoice) {
+  // The brute-force chooser must be at least as good (in modeled words)
+  // as the paper's closed-form p1 = p^{1/3} (n/k)^{1/3} suggestion,
+  // whenever the latter is realizable.
+  for (index_t n : {256, 4096}) {
+    for (index_t k : {16, 256, 4096}) {
+      for (int p : {64, 512}) {
+        const mm::MMGrid g = mm::choose_mm_grid(n, n, k, p);
+        const double chosen = mm::mm3d_model_words(n, n, k, g.p1, g.p2);
+        for (int p1 = 1; p1 * p1 <= p; ++p1) {
+          if (p % (p1 * p1) != 0) continue;
+          const double w = mm::mm3d_model_words(n, n, k, p1, p / (p1 * p1));
+          EXPECT_LE(chosen, w + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace catrsm

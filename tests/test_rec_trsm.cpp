@@ -1,0 +1,172 @@
+// Correctness and cost-shape tests for the recursive TRSM (Section IV).
+
+#include <gtest/gtest.h>
+
+#include "dist/redistribute.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "la/trsm.hpp"
+#include "sim/machine.hpp"
+#include "trsm/rec_trsm.hpp"
+
+namespace catrsm::trsm {
+namespace {
+
+using dist::Face2D;
+using la::Matrix;
+using sim::Comm;
+using sim::Machine;
+using sim::Rank;
+using sim::RunStats;
+
+struct RecCase {
+  index_t n, k;
+  int pr, pc;
+  index_t n0;
+};
+
+class RecSweep : public ::testing::TestWithParam<RecCase> {};
+
+TEST_P(RecSweep, MatchesSequentialSolve) {
+  const RecCase tc = GetParam();
+  Machine m(tc.pr * tc.pc);
+  const Matrix l = la::make_lower_triangular(5, tc.n);
+  const Matrix b = la::make_rhs(6, tc.n, tc.k);
+  const Matrix ref = la::solve_lower(l, b);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, tc.pr, tc.pc);
+    auto ld = dist::cyclic_on(face, tc.n, tc.n);
+    auto bd = dist::cyclic_on(face, tc.n, tc.k);
+    DistMatrix dl(ld, r.id());
+    dl.fill_from_global(l);
+    DistMatrix db(bd, r.id());
+    db.fill_from_global(b);
+    RecTrsmOptions opts;
+    opts.n0 = tc.n0;
+    DistMatrix dx = rec_trsm(dl, db, world, opts);
+    const Matrix got = collect(dx, world);
+    EXPECT_LT(la::max_abs_diff(got, ref), 1e-9)
+        << "n=" << tc.n << " k=" << tc.k << " grid=" << tc.pr << "x" << tc.pc
+        << " n0=" << tc.n0;
+    // Residual is the stability-relevant metric.
+    EXPECT_LT(la::trsm_residual(l, got, b), 1e-12);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecSweep,
+    ::testing::Values(RecCase{16, 4, 1, 1, 4},     // sequential fallback
+                      RecCase{16, 8, 2, 2, 4},     // square grid
+                      RecCase{32, 8, 2, 2, 8},     // deeper recursion
+                      RecCase{24, 12, 2, 2, 6},    // ragged halving
+                      RecCase{17, 3, 2, 2, 4},     // odd n
+                      RecCase{16, 32, 2, 4, 8},    // column split q=2
+                      RecCase{12, 48, 1, 4, 4},    // column split pr=1
+                      RecCase{16, 64, 2, 8, 8},    // column split q=4
+                      RecCase{32, 16, 4, 4, 8},    // 16 ranks
+                      RecCase{20, 20, 3, 3, 5}));  // non-pow2 grid
+
+TEST(RecTrsm, AutoN0ProducesCorrectSolve) {
+  const index_t n = 40, k = 12;
+  Machine m(4);
+  const Matrix l = la::make_lower_triangular(7, n);
+  const Matrix b = la::make_rhs(8, n, k);
+  const Matrix ref = la::solve_lower(l, b);
+  m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, 2, 2);
+    auto ld = dist::cyclic_on(face, n, n);
+    auto bd = dist::cyclic_on(face, n, k);
+    DistMatrix dl(ld, r.id());
+    dl.fill_from_global(l);
+    DistMatrix db(bd, r.id());
+    db.fill_from_global(b);
+    DistMatrix dx = rec_trsm(dl, db, world);  // automatic n0
+    EXPECT_LT(la::max_abs_diff(collect(dx, world), ref), 1e-9);
+  });
+}
+
+TEST(RecTrsm, AutoN0RegimeFormulas) {
+  // 1D regime: no recursion (n0 == n).
+  EXPECT_EQ(rec_trsm_auto_n0(8, 4096, 4, 4), 8);
+  // 2D regime: n0 grows with n log p / sqrt p.
+  const index_t n0_2d = rec_trsm_auto_n0(1 << 14, 8, 4, 4);
+  EXPECT_GT(n0_2d, 1);
+  EXPECT_LE(n0_2d, 1 << 14);
+  // 3D regime: n0 between 1 and n.
+  const index_t n0_3d = rec_trsm_auto_n0(1024, 1024, 8, 8);
+  EXPECT_GT(n0_3d, 1);
+  EXPECT_LT(n0_3d, 1024);
+}
+
+TEST(RecTrsm, LatencyGrowsWithRecursionDepth) {
+  // Halving n0 doubles the number of base cases and MM calls, so S grows
+  // roughly linearly in n/n0 — the latency wall the paper attacks.
+  const index_t n = 64, k = 16;
+  Machine m(4);
+  const Matrix l = la::make_lower_triangular(9, n);
+  const Matrix b = la::make_rhs(10, n, k);
+  auto run_with_n0 = [&](index_t n0) {
+    return m.run([&](Rank& r) {
+      Comm world = Comm::world(r);
+      Face2D face(world, 2, 2);
+      auto ld = dist::cyclic_on(face, n, n);
+      auto bd = dist::cyclic_on(face, n, k);
+      DistMatrix dl(ld, r.id());
+      dl.fill_from_global(l);
+      DistMatrix db(bd, r.id());
+      db.fill_from_global(b);
+      RecTrsmOptions opts;
+      opts.n0 = n0;
+      (void)rec_trsm(dl, db, world, opts);
+    });
+  };
+  RunStats coarse = run_with_n0(32);
+  RunStats fine = run_with_n0(4);
+  EXPECT_GT(fine.max_msgs(), 2.0 * coarse.max_msgs());
+}
+
+TEST(RecTrsm, FlopsNearOptimal) {
+  const index_t n = 64, k = 32;
+  const int p = 4;
+  Machine m(p);
+  const Matrix l = la::make_lower_triangular(11, n);
+  const Matrix b = la::make_rhs(12, n, k);
+  RunStats stats = m.run([&](Rank& r) {
+    Comm world = Comm::world(r);
+    Face2D face(world, 2, 2);
+    auto ld = dist::cyclic_on(face, n, n);
+    auto bd = dist::cyclic_on(face, n, k);
+    DistMatrix dl(ld, r.id());
+    dl.fill_from_global(l);
+    DistMatrix db(bd, r.id());
+    db.fill_from_global(b);
+    RecTrsmOptions opts;
+    opts.n0 = 16;
+    (void)rec_trsm(dl, db, world, opts);
+  });
+  // Ideal: n^2 k / p flops per rank (multiply-add counted as 2);
+  // base-case column solves and reductions add modest overhead.
+  const double ideal = static_cast<double>(n) * n * k / p;
+  EXPECT_GE(stats.max_flops(), ideal);
+  EXPECT_LE(stats.max_flops(), 6.0 * ideal);
+}
+
+TEST(RecTrsm, RaisesOnBadInputs) {
+  Machine m(4);
+  EXPECT_THROW(
+      m.run([](Rank& r) {
+        Comm world = Comm::world(r);
+        Face2D face(world, 2, 2);
+        auto ld = dist::cyclic_on(face, 8, 8);
+        auto bd = dist::cyclic_on(face, 10, 4);  // mismatched rows
+        DistMatrix dl(ld, r.id());
+        DistMatrix db(bd, r.id());
+        (void)rec_trsm(dl, db, world);
+      }),
+      Error);
+}
+
+}  // namespace
+}  // namespace catrsm::trsm

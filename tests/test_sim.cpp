@@ -1,0 +1,228 @@
+// Tests for the simulated machine: point-to-point semantics, cost counter
+// accounting, virtual-clock critical path, and failure propagation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+
+namespace catrsm::sim {
+namespace {
+
+TEST(Machine, PingPongDeliversDataAndCharges) {
+  Machine m(2);
+  RunStats stats = m.run([](Rank& r) {
+    if (r.id() == 0) {
+      std::vector<double> payload{1.0, 2.0, 3.0};
+      r.send(1, payload, 7);
+      auto back = r.recv(1, 8);
+      ASSERT_EQ(back.size(), 1u);
+      EXPECT_DOUBLE_EQ(back[0], 6.0);
+    } else {
+      auto got = r.recv(0, 7);
+      ASSERT_EQ(got.size(), 3u);
+      std::vector<double> reply{got[0] + got[1] + got[2]};
+      r.send(0, reply, 8);
+    }
+  });
+  // Each rank sent one message and received one.
+  EXPECT_DOUBLE_EQ(stats.per_rank[0].msgs, 2.0);
+  EXPECT_DOUBLE_EQ(stats.per_rank[1].msgs, 2.0);
+  EXPECT_DOUBLE_EQ(stats.per_rank[0].words, 4.0);  // 3 sent + 1 received
+  EXPECT_DOUBLE_EQ(stats.per_rank[1].words, 4.0);
+}
+
+TEST(Machine, VirtualClockTracksLatencyChain) {
+  MachineParams mp;
+  mp.alpha = 1.0;
+  mp.beta = 0.0;
+  mp.gamma = 0.0;
+  Machine m(4, mp);
+  // A relay 0 -> 1 -> 2 -> 3: three hops, critical path 3 alpha.
+  RunStats stats = m.run([](Rank& r) {
+    std::vector<double> token{42.0};
+    if (r.id() == 0) {
+      r.send(1, token, 1);
+    } else {
+      auto t = r.recv(r.id() - 1, 1);
+      if (r.id() < 3) r.send(r.id() + 1, t, 1);
+    }
+  });
+  EXPECT_DOUBLE_EQ(stats.critical_time, 3.0);
+}
+
+TEST(Machine, VirtualClockIncludesBandwidthAndFlops) {
+  MachineParams mp;
+  mp.alpha = 1.0;
+  mp.beta = 0.5;
+  mp.gamma = 0.25;
+  Machine m(2, mp);
+  RunStats stats = m.run([](Rank& r) {
+    if (r.id() == 0) {
+      r.charge_flops(8.0);  // t = 2.0
+      std::vector<double> data(4, 1.0);
+      r.send(1, data, 1);  // t = 2 + 1 + 2 = 5
+    } else {
+      auto d = r.recv(0, 1);  // arrives at max(0, 2) + 1 + 2 = 5
+      (void)d;
+      r.charge_flops(4.0);  // t = 6
+    }
+  });
+  EXPECT_DOUBLE_EQ(stats.critical_time, 6.0);
+}
+
+TEST(Machine, SendrecvChargesOneRoundBothSides) {
+  Machine m(2);
+  RunStats stats = m.run([](Rank& r) {
+    std::vector<double> mine(10, static_cast<double>(r.id()));
+    auto got = r.sendrecv(1 - r.id(), mine, 3);
+    ASSERT_EQ(got.size(), 10u);
+    EXPECT_DOUBLE_EQ(got[0], static_cast<double>(1 - r.id()));
+  });
+  for (const auto& c : stats.per_rank) {
+    EXPECT_DOUBLE_EQ(c.msgs, 1.0);
+    EXPECT_DOUBLE_EQ(c.words, 10.0);
+  }
+}
+
+TEST(Machine, ShiftExchangesOnARing) {
+  const int p = 5;
+  Machine m(p);
+  m.run([p](Rank& r) {
+    std::vector<double> mine{static_cast<double>(r.id())};
+    auto got = r.shift((r.id() + 1) % p, (r.id() + p - 1) % p, mine, 4);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_DOUBLE_EQ(got[0], static_cast<double>((r.id() + p - 1) % p));
+  });
+}
+
+TEST(Machine, MessagesMatchByTagIndependently) {
+  Machine m(2);
+  m.run([](Rank& r) {
+    if (r.id() == 0) {
+      r.send(1, std::vector<double>{1.0}, 10);
+      r.send(1, std::vector<double>{2.0}, 20);
+    } else {
+      // Receive in the opposite order of sending: tags must disambiguate.
+      auto b = r.recv(0, 20);
+      auto a = r.recv(0, 10);
+      EXPECT_DOUBLE_EQ(a[0], 1.0);
+      EXPECT_DOUBLE_EQ(b[0], 2.0);
+    }
+  });
+}
+
+TEST(Machine, FifoOrderWithinSameTag) {
+  Machine m(2);
+  m.run([](Rank& r) {
+    if (r.id() == 0) {
+      for (int i = 0; i < 5; ++i)
+        r.send(1, std::vector<double>{static_cast<double>(i)}, 1);
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        auto v = r.recv(0, 1);
+        EXPECT_DOUBLE_EQ(v[0], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(Machine, RankFailurePropagatesWithoutHanging) {
+  Machine m(4);
+  EXPECT_THROW(m.run([](Rank& r) {
+                 if (r.id() == 2) throw Error("injected failure");
+                 if (r.id() == 0) (void)r.recv(3, 1);  // would block forever
+                 if (r.id() == 3) (void)r.recv(0, 1);
+               }),
+               Error);
+  // The machine must be reusable after a failed run.
+  RunStats stats = m.run([](Rank& r) { r.charge_flops(1.0); });
+  EXPECT_DOUBLE_EQ(stats.per_rank[0].flops, 1.0);
+}
+
+TEST(Machine, SelfSendIsRejected) {
+  Machine m(2);
+  EXPECT_THROW(m.run([](Rank& r) {
+                 r.send(r.id(), std::vector<double>{1.0}, 1);
+               }),
+               Error);
+}
+
+TEST(Machine, CountersResetBetweenRuns) {
+  Machine m(2);
+  auto job = [](Rank& r) {
+    if (r.id() == 0) {
+      r.send(1, std::vector<double>(5, 0.0), 1);
+    } else {
+      (void)r.recv(0, 1);
+    }
+  };
+  RunStats s1 = m.run(job);
+  RunStats s2 = m.run(job);
+  EXPECT_DOUBLE_EQ(s1.max_words(), s2.max_words());
+  EXPECT_DOUBLE_EQ(s1.critical_time, s2.critical_time);
+}
+
+TEST(Cost, ArithmeticAndTime) {
+  Cost a{1, 10, 100};
+  Cost b{2, 20, 200};
+  Cost c = a + b;
+  EXPECT_DOUBLE_EQ(c.msgs, 3.0);
+  EXPECT_DOUBLE_EQ(c.words, 30.0);
+  EXPECT_DOUBLE_EQ(c.flops, 300.0);
+  MachineParams mp{1.0, 0.1, 0.01};
+  EXPECT_DOUBLE_EQ(c.time(mp), 3.0 + 3.0 + 3.0);
+}
+
+TEST(Comm, SubsetTranslationAndFibers) {
+  Machine m(6);
+  m.run([](Rank& r) {
+    Comm world = Comm::world(r);
+    EXPECT_EQ(world.size(), 6);
+    EXPECT_EQ(world.rank(), r.id());
+    EXPECT_EQ(world.index_of_world(r.id()), r.id());
+
+    Comm fiber = world.strided_fiber(2);
+    EXPECT_EQ(fiber.size(), 3);
+    EXPECT_EQ(fiber.world_rank(fiber.rank()), r.id());
+
+    Comm rng = world.range(r.id() < 3 ? 0 : 3, 3);
+    EXPECT_EQ(rng.size(), 3);
+  });
+}
+
+TEST(Comm, NonMembersMayDescribeButNotCommunicate) {
+  Machine m(4);
+  m.run([](Rank& r) {
+    // Every rank builds a comm excluding itself: allowed (layouts over
+    // other ranks must be describable), but rank() and traffic throw.
+    std::vector<int> members{(r.id() + 1) % 4};
+    Comm c(r, members);
+    EXPECT_FALSE(c.is_member());
+    EXPECT_EQ(c.size(), 1);
+    EXPECT_THROW((void)c.rank(), Error);
+  });
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  Machine m(8);
+  auto job = [](Rank& r) {
+    Comm world = Comm::world(r);
+    std::vector<double> v{static_cast<double>(r.id()) * 1.5};
+    for (int i = 0; i < 3; ++i) {
+      v = r.sendrecv(r.id() ^ 1, v, 9);
+      v[0] += 0.25;
+    }
+  };
+  RunStats s1 = m.run(job);
+  RunStats s2 = m.run(job);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(s1.per_rank[i].msgs, s2.per_rank[i].msgs);
+    EXPECT_DOUBLE_EQ(s1.per_rank[i].words, s2.per_rank[i].words);
+  }
+}
+
+}  // namespace
+}  // namespace catrsm::sim

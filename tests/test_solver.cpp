@@ -1,0 +1,124 @@
+// Integration tests for the public solve() driver: every algorithm,
+// automatic configuration, and end-to-end residuals.
+
+#include <gtest/gtest.h>
+
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "trsm/solver.hpp"
+
+namespace catrsm::trsm {
+namespace {
+
+using la::Matrix;
+using la::index_t;
+
+struct DriverCase {
+  index_t n, k;
+  int p;
+  model::Algorithm algo;
+};
+
+class DriverSweep : public ::testing::TestWithParam<DriverCase> {};
+
+TEST_P(DriverSweep, SolvesWithTinyResidual) {
+  const DriverCase tc = GetParam();
+  const Matrix l = la::make_lower_triangular(81, tc.n);
+  const Matrix b = la::make_rhs(82, tc.n, tc.k);
+  SolveOptions opts;
+  opts.force_algorithm = true;
+  opts.algorithm = tc.algo;
+  const SolveResult r = solve(l, b, tc.p, opts);
+  EXPECT_LT(r.residual, 1e-12)
+      << "n=" << tc.n << " k=" << tc.k << " p=" << tc.p << " algo="
+      << model::algorithm_name(tc.algo);
+  const Matrix ref = la::solve_lower(l, b);
+  EXPECT_LT(la::max_abs_diff(r.x, ref), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, DriverSweep,
+    ::testing::Values(
+        DriverCase{32, 8, 8, model::Algorithm::kIterative},
+        DriverCase{32, 8, 8, model::Algorithm::kRecursive},
+        DriverCase{32, 8, 8, model::Algorithm::kTrsm2D},
+        DriverCase{32, 8, 8, model::Algorithm::kTrsv1D},
+        DriverCase{33, 7, 6, model::Algorithm::kIterative},
+        DriverCase{33, 7, 6, model::Algorithm::kRecursive},
+        DriverCase{33, 7, 6, model::Algorithm::kTrsm2D},
+        DriverCase{48, 1, 4, model::Algorithm::kTrsv1D},
+        DriverCase{16, 48, 16, model::Algorithm::kIterative},
+        DriverCase{16, 48, 16, model::Algorithm::kRecursive},
+        DriverCase{64, 16, 1, model::Algorithm::kIterative},
+        DriverCase{64, 16, 1, model::Algorithm::kRecursive}));
+
+TEST(Solver, AutoConfigurationSolves) {
+  const index_t n = 48, k = 12;
+  const Matrix l = la::make_lower_triangular(83, n);
+  const Matrix b = la::make_rhs(84, n, k);
+  const SolveResult r = solve(l, b, 8);
+  EXPECT_LT(r.residual, 1e-12);
+  EXPECT_EQ(r.config.algorithm, model::Algorithm::kIterative);
+  EXPECT_EQ(r.config.p1 * r.config.p1 * r.config.p2, 8);
+}
+
+TEST(Solver, SingleVectorPrefersRing) {
+  const index_t n = 32;
+  const Matrix l = la::make_lower_triangular(85, n);
+  const Matrix b = la::make_rhs(86, n, 1);
+  const SolveResult r = solve(l, b, 4);
+  EXPECT_EQ(r.config.algorithm, model::Algorithm::kTrsv1D);
+  EXPECT_LT(r.residual, 1e-12);
+}
+
+TEST(Solver, StatsArePopulated) {
+  const index_t n = 32, k = 8;
+  const Matrix l = la::make_lower_triangular(87, n);
+  const Matrix b = la::make_rhs(88, n, k);
+  const SolveResult r = solve(l, b, 8);
+  EXPECT_EQ(r.stats.per_rank.size(), 8u);
+  EXPECT_GT(r.stats.max_flops(), 0.0);
+  EXPECT_GT(r.stats.max_words(), 0.0);
+  EXPECT_GT(r.stats.critical_time, 0.0);
+}
+
+TEST(Solver, MachineReuseAcrossSolves) {
+  sim::Machine machine(4);
+  const Matrix l = la::make_lower_triangular(89, 16);
+  const Matrix b1 = la::make_rhs(90, 16, 4);
+  const Matrix b2 = la::make_rhs(91, 16, 4);
+  const SolveResult r1 = solve_on(machine, l, b1);
+  const SolveResult r2 = solve_on(machine, l, b2);
+  EXPECT_LT(r1.residual, 1e-12);
+  EXPECT_LT(r2.residual, 1e-12);
+}
+
+TEST(Solver, RejectsNonSquareL) {
+  const Matrix l(4, 5);
+  const Matrix b(4, 2);
+  EXPECT_THROW(solve(l, b, 2), Error);
+}
+
+TEST(Solver, NblocksOverrideRespected) {
+  const index_t n = 32, k = 8;
+  const Matrix l = la::make_lower_triangular(92, n);
+  const Matrix b = la::make_rhs(93, n, k);
+  SolveOptions opts;
+  opts.force_algorithm = true;
+  opts.algorithm = model::Algorithm::kIterative;
+  opts.nblocks = 4;
+  const SolveResult r = solve(l, b, 8, opts);
+  EXPECT_EQ(r.config.nblocks, 4);
+  EXPECT_LT(r.residual, 1e-12);
+}
+
+TEST(Solver, IdentityMatrixIsExact) {
+  const index_t n = 16, k = 4;
+  const Matrix l = Matrix::identity(n);
+  const Matrix b = la::make_rhs(94, n, k);
+  const SolveResult r = solve(l, b, 4);
+  EXPECT_LT(la::max_abs_diff(r.x, b), 1e-14);
+}
+
+}  // namespace
+}  // namespace catrsm::trsm

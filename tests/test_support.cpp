@@ -1,0 +1,111 @@
+// Tests for the support utilities: checks, integer log helpers, RNG
+// streams, the table printer, and the CLI parser.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace catrsm {
+namespace {
+
+TEST(Check, MacroThrowsWithContext) {
+  try {
+    CATRSM_CHECK(1 == 2, "the message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the message"), std::string::npos);
+  }
+}
+
+TEST(Check, IntegerHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(ilog2_exact(1), 0);
+  EXPECT_EQ(ilog2_exact(1024), 10);
+  EXPECT_THROW(ilog2_exact(12), Error);
+  EXPECT_EQ(ilog2_ceil(1), 0);
+  EXPECT_EQ(ilog2_ceil(5), 3);
+  EXPECT_EQ(ilog2_ceil(8), 3);
+  EXPECT_EQ(ceil_div(7, 3), 3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+}
+
+TEST(Rng, DeterministicAndChildStreamsIndependent) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  Rng parent(9);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  // Different children produce different streams.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    any_diff |= c1.uniform(0, 1) != c2.uniform(0, 1);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+    const long long v = r.uniform_int(4, 9);
+    EXPECT_GE(v, 4);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Table, AlignsColumnsAndFormatsNumbers) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(3.14159);
+  t.row().add("big").add(1.0e9);
+  t.row().add("tiny").add(1.0e-9);
+  t.row().add("count").add(static_cast<long long>(42));
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("3.142"), std::string::npos);
+  EXPECT_NE(out.find("1.000e+09"), std::string::npos);
+  EXPECT_NE(out.find("1.000e-09"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  // Every line has the same width.
+  std::istringstream lines(out);
+  std::string line, first;
+  std::getline(lines, first);
+  while (std::getline(lines, line)) EXPECT_EQ(line.size(), first.size());
+}
+
+TEST(Table, OverfilledRowThrows) {
+  Table t({"one"});
+  t.row().add("a");
+  EXPECT_THROW(t.add("b"), Error);
+  Table t2({"x"});
+  EXPECT_THROW(t2.add("no row yet"), Error);
+}
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog",      "--n",       "32",   "--k=7",
+                        "--verbose", "--rate",    "2.5",  "--name",
+                        "hello",     "--trailing"};
+  Cli cli(10, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 32);
+  EXPECT_EQ(cli.get_int("k", 0), 7);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(cli.get_string("name", ""), "hello");
+  EXPECT_TRUE(cli.has("trailing"));
+  EXPECT_EQ(cli.get_int("absent", -3), -3);
+}
+
+}  // namespace
+}  // namespace catrsm
