@@ -9,8 +9,8 @@
 
 #include "bench_util.hpp"
 
+#include "api/catrsm.hpp"
 #include "model/tuning.hpp"
-#include "trsm/solver.hpp"
 
 namespace {
 
@@ -22,15 +22,16 @@ struct Measured {
   double s = 0.0;
 };
 
-Measured run_algo(const la::Matrix& l, const la::Matrix& b, int p,
+Measured run_algo(api::Context& ctx, const la::Matrix& l, const la::Matrix& b,
                   model::Algorithm a) {
-  trsm::SolveOptions opts;
-  opts.force_algorithm = true;
-  opts.algorithm = a;
-  const trsm::SolveResult r = trsm::solve(l, b, p, opts);
+  api::TrsmSpec spec;
+  spec.force_algorithm = true;
+  spec.algorithm = a;
+  const api::ExecResult r =
+      ctx.plan(api::trsm_op(l.rows(), b.cols(), spec))->execute(l, b);
   // Score on the solve itself (excludes the driver's output gather).
   const sim::Cost c = r.algorithm_cost();
-  return {c.time(opts.machine), c.msgs};
+  return {c.time(ctx.params()), c.msgs};
 }
 
 }  // namespace
@@ -50,9 +51,10 @@ int main() {
                         Shape{128, 32}, Shape{192, 12}, Shape{256, 4}}) {
     const la::Matrix l = la::make_lower_triangular(1, s.n);
     const la::Matrix b = la::make_rhs(2, s.n, s.k);
-    const Measured mit = run_algo(l, b, p, model::Algorithm::kIterative);
-    const Measured mrec = run_algo(l, b, p, model::Algorithm::kRecursive);
-    const Measured m2d = run_algo(l, b, p, model::Algorithm::kTrsm2D);
+    api::Context ctx(p);
+    const Measured mit = run_algo(ctx, l, b, model::Algorithm::kIterative);
+    const Measured mrec = run_algo(ctx, l, b, model::Algorithm::kRecursive);
+    const Measured m2d = run_algo(ctx, l, b, model::Algorithm::kTrsm2D);
     const char* winner = mit.time <= mrec.time && mit.time <= m2d.time
                              ? "iterative"
                          : mrec.time <= m2d.time ? "recursive"

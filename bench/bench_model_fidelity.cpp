@@ -9,8 +9,8 @@
 
 #include "bench_util.hpp"
 
+#include "api/catrsm.hpp"
 #include "model/tuning.hpp"
-#include "trsm/solver.hpp"
 
 namespace {
 using namespace catrsm;
@@ -43,14 +43,15 @@ int main() {
     std::cout << "\n-- " << rg.name << " --\n";
     Table table({"algorithm", "critical path (s)", "a*S+b*W+g*F (s)",
                  "model predicted (s)", "meas/model"});
+    api::Context ctx(p, rg.mp);
     for (const model::Algorithm a :
          {model::Algorithm::kIterative, model::Algorithm::kRecursive,
           model::Algorithm::kTrsm2D}) {
-      trsm::SolveOptions opts;
-      opts.force_algorithm = true;
-      opts.algorithm = a;
-      opts.machine = rg.mp;
-      const trsm::SolveResult r = trsm::solve(l, b, p, opts);
+      api::TrsmSpec spec;
+      spec.force_algorithm = true;
+      spec.algorithm = a;
+      const api::ExecResult r =
+          ctx.plan(api::trsm_op(n, k, spec))->execute(l, b);
       const sim::Cost meas = r.algorithm_cost();
       const double counters_time = meas.time(rg.mp);
       const double predicted = r.config.predicted.time(rg.mp);

@@ -16,12 +16,12 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/catrsm.hpp"
 #include "la/generate.hpp"
 #include "model/compare.hpp"
 #include "model/tuning.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
-#include "trsm/solver.hpp"
 
 int main(int argc, char** argv) {
   using namespace catrsm;
@@ -84,11 +84,14 @@ int main(int argc, char** argv) {
     const la::Matrix b =
         la::make_rhs(2, static_cast<la::index_t>(n),
                      static_cast<la::index_t>(k));
-    trsm::SolveOptions opts;
-    opts.force_algorithm = true;
-    opts.algorithm = best;
-    opts.machine = mp;
-    const trsm::SolveResult r = trsm::solve(l, b, p, opts);
+    api::Context ctx(p, mp);
+    api::TrsmSpec spec;
+    spec.force_algorithm = true;
+    spec.algorithm = best;
+    const api::ExecResult r =
+        ctx.plan(api::trsm_op(static_cast<la::index_t>(n),
+                              static_cast<la::index_t>(k), spec))
+            ->execute(l, b);
     std::cout << "measured: S=" << r.stats.max_msgs()
               << " W=" << r.stats.max_words() << " F=" << r.stats.max_flops()
               << " critical-path time="

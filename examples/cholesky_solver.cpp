@@ -1,7 +1,7 @@
 // Cholesky solve: the workload the paper's introduction motivates. Solve a
 // symmetric positive-definite system A X = B with many right-hand sides by
 // factoring A = L L^T once and then running TWO distributed triangular
-// solves:
+// solves through one Context (one machine, two cached plans):
 //
 //     L Y   = B      (forward substitution  — lower solve)
 //     L^T X = Y      (back substitution     — transposed lower solve)
@@ -13,12 +13,12 @@
 
 #include <iostream>
 
-#include "la/generate.hpp"
+#include "api/catrsm.hpp"
 #include "la/gemm.hpp"
+#include "la/generate.hpp"
 #include "la/norms.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
-#include "trsm/solver.hpp"
 
 int main(int argc, char** argv) {
   using namespace catrsm;
@@ -33,18 +33,23 @@ int main(int argc, char** argv) {
   const la::Matrix a = la::make_spd(/*seed=*/7, n);
   const la::Matrix b = la::make_rhs(/*seed=*/8, n, k);
 
-  // Factor A = L L^T (sequentially here; the factorization itself is a
-  // different paper — TRSM is what we distribute).
+  // Factor A = L L^T (sequentially here; see distributed_spd_pipeline for
+  // the fully distributed factor — TRSM is what we distribute).
   const la::Matrix l = la::cholesky(a);
 
-  // Forward solve L Y = B.
-  sim::Machine machine(p);
-  const trsm::SolveResult fwd = trsm::solve_on(machine, l, b);
+  // One Context = one machine + one plan cache for both substitutions.
+  api::Context ctx(p);
 
-  // Back solve L^T X = Y on the same machine.
-  trsm::SolveOptions back_opts;
-  back_opts.transpose_l = true;
-  const trsm::SolveResult back = trsm::solve_on(machine, l, fwd.x, back_opts);
+  // Forward solve L Y = B.
+  auto fwd_plan = ctx.plan(api::trsm_op(n, k));
+  const api::ExecResult fwd = fwd_plan->execute(l, b);
+
+  // Back solve L^T X = Y on the same machine, planned separately (the
+  // transposed variant is its own cache entry).
+  api::TrsmSpec back_spec;
+  back_spec.transpose = true;
+  const api::ExecResult back =
+      ctx.plan(api::trsm_op(n, k, back_spec))->execute(l, fwd.x);
 
   // Verify against the original SPD system.
   la::Matrix residual = b;

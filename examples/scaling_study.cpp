@@ -10,10 +10,10 @@
 
 #include <iostream>
 
+#include "api/catrsm.hpp"
 #include "la/generate.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
-#include "trsm/solver.hpp"
 
 int main(int argc, char** argv) {
   using namespace catrsm;
@@ -29,14 +29,18 @@ int main(int argc, char** argv) {
 
   Table table({"p", "algorithm", "S", "W", "F", "model time (us)",
                "residual"});
+  const sim::MachineParams mp{};
   for (const int p : {1, 4, 16, 64}) {
+    // One Context per machine size; all three algorithm plans share it.
+    api::Context ctx(p, mp);
     for (const model::Algorithm a :
          {model::Algorithm::kIterative, model::Algorithm::kRecursive,
           model::Algorithm::kTrsm2D}) {
-      trsm::SolveOptions opts;
-      opts.force_algorithm = true;
-      opts.algorithm = a;
-      const trsm::SolveResult r = trsm::solve(l, b, p, opts);
+      api::TrsmSpec spec;
+      spec.force_algorithm = true;
+      spec.algorithm = a;
+      const api::ExecResult r =
+          ctx.plan(api::trsm_op(n, k, spec))->execute(l, b);
       // Report the solve itself (phase "algorithm"), excluding the
       // driver's final gather of the global solution.
       const sim::Cost solve_cost = r.algorithm_cost();
@@ -46,7 +50,7 @@ int main(int argc, char** argv) {
           .add(solve_cost.msgs)
           .add(solve_cost.words)
           .add(solve_cost.flops)
-          .add(solve_cost.time(opts.machine) * 1e6)
+          .add(solve_cost.time(mp) * 1e6)
           .add(r.residual);
     }
   }

@@ -1,0 +1,227 @@
+#pragma once
+// The handle-based front door of catrsm: plan once, execute many times.
+//
+// A Context owns a simulated machine (or borrows an existing one) plus an
+// LRU cache of Plans keyed on (op, shape, p, operation options, machine
+// parameters). A Plan is a frozen configuration — the Section VIII regime
+// classification, algorithm choice, grid factorization and block counts
+// are decided exactly once, at plan time — plus reusable execution state:
+// grid membership and, for the iterative TRSM, the inverted diagonal
+// blocks, which are computed on the first execute against an operand and
+// reused for every further solve against the same matrix (the FFTW /
+// cuBLAS plan-and-execute pattern the paper's a-priori cost analysis
+// enables).
+//
+//   catrsm::api::Context ctx(/*p=*/64);
+//   auto plan = ctx.plan(catrsm::api::trsm_op(n, k));
+//   auto r1 = plan->execute(l, b1);        // inverts the diagonal blocks
+//   auto r2 = plan->execute(l, b2);        // reuses them
+//   auto rs = plan->execute_batch(l, bs);  // ... across a whole batch
+//
+// Supported operations: TRSM in all BLAS variants (uplo / side /
+// transpose) over all four distributed algorithms, triangular inversion,
+// the fully distributed Cholesky factor + two-solve pipeline, and 3D / 2D
+// matrix multiplication.
+//
+// Lifetime: a Plan must not outlive the Context that created it (and a
+// borrowed machine must outlive both). Handles are not thread-safe; one
+// Context per client thread.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/trsm.hpp"
+#include "model/tuning.hpp"
+#include "sim/machine.hpp"
+
+namespace catrsm::api {
+
+using la::index_t;
+
+enum class Op {
+  kTrsm,           // op(T) X = B (left) or X op(T) = B (right)
+  kTriInv,         // X = L^-1
+  kCholeskySolve,  // A = L L^T; L Y = B; L^T X = Y — fully distributed
+  kMatmul3D,       // C = A * X on a p1 x p1 x p2 grid (Section III)
+  kMatmul2D,       // C = A * X via 2D SUMMA (baseline)
+};
+
+const char* op_name(Op op);
+
+/// Which side the triangular operand acts on: T X = B or X T = B.
+enum class Side { kLeft, kRight };
+
+/// BLAS-style variant selection plus tuning overrides for a TRSM plan.
+struct TrsmSpec {
+  /// Triangle actually stored in the operand (upper solves reduce to the
+  /// lower kernel via the index-reversal identity: J U J is lower).
+  la::Uplo uplo = la::Uplo::kLower;
+  /// Solve with the transpose of the operand (T^T X = B) — the second
+  /// half of a Cholesky solve.
+  bool transpose = false;
+  Side side = Side::kLeft;
+  /// Override the automatic algorithm choice.
+  bool force_algorithm = false;
+  model::Algorithm algorithm = model::Algorithm::kIterative;
+  /// Override the diagonal block count (iterative) / base size (recursive).
+  int nblocks = 0;
+  index_t rec_n0 = 0;
+};
+
+/// What to plan. (n, k) is the shape of the normalized lower-left kernel:
+/// n is the triangular dimension, k the number of right-hand-side columns
+/// (for side == kRight that is the number of B *rows*). For matmul ops,
+/// A is n x inner and X is inner x k.
+struct OpDesc {
+  Op op = Op::kTrsm;
+  index_t n = 0;
+  index_t k = 0;
+  index_t inner = 0;
+  TrsmSpec trsm;
+};
+
+/// Convenience descriptor builders.
+OpDesc trsm_op(index_t n, index_t k, TrsmSpec spec = {});
+OpDesc tri_inv_op(index_t n);
+OpDesc cholesky_solve_op(index_t n, index_t k, int nblocks = 0);
+OpDesc matmul3d_op(index_t m, index_t inner, index_t k);
+OpDesc matmul2d_op(index_t n, index_t k);
+
+struct ExecResult {
+  la::Matrix x;
+  /// Full-run stats. Phase buckets: "algorithm" (the distributed
+  /// computation itself — compare THIS against the paper's formulas) and
+  /// "output-collect" (the gather that materializes the global result for
+  /// the caller); the iterative TRSM additionally reports "inversion" /
+  /// "solve" / "update", and the Cholesky pipeline "cholesky" /
+  /// "forward-trsm" / "backward-trsm".
+  sim::RunStats stats;
+  model::Config config;
+  /// Relative residual of the solve (0 for the matmul ops, whose result
+  /// the caller can check directly against a reference product).
+  double residual = 0.0;
+
+  /// Max-over-ranks cost of the distributed computation only, excluding
+  /// the driver's output gather.
+  sim::Cost algorithm_cost() const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+class Context;
+
+class Plan {
+ public:
+  const OpDesc& desc() const { return desc_; }
+  /// The frozen configuration decided at plan time. A cache-hit plan is
+  /// the same object, so its Config is bit-identical by construction.
+  const model::Config& config() const { return config_; }
+
+  /// Execute the planned op. Operand roles per op:
+  ///   kTrsm:          a = T (n x n), b = B
+  ///   kTriInv:        a = L (n x n), b ignored
+  ///   kCholeskySolve: a = SPD A (n x n), b = B (n x k)
+  ///   kMatmul3D/2D:   a = A (n x inner), b = X (inner x k)
+  ExecResult execute(const la::Matrix& a, const la::Matrix& b = {});
+
+  /// Execute over many right-hand-side panels, amortizing planning and —
+  /// for the iterative TRSM — the diagonal-block inversion, which runs
+  /// exactly once per distinct operand matrix.
+  std::vector<ExecResult> execute_batch(const la::Matrix& a,
+                                        const std::vector<la::Matrix>& bs);
+
+  /// Element generator over GLOBAL indices: pure functions of (i, j), so
+  /// a rank can materialize exactly the entries it owns.
+  using Gen = std::function<double(index_t, index_t)>;
+
+  /// kCholeskySolve only: generator-fed execution. Each rank fills only
+  /// the elements it owns from the (i, j) generators, so no rank ever
+  /// holds a global operand during the computation. With `verify` true
+  /// the driver materializes the global system once, outside the
+  /// simulated machine, purely to compute the residual; pass false to
+  /// skip that O(n^2 k) host-side check (residual stays 0) when the
+  /// problem is too large to materialize.
+  ExecResult execute_generated(const Gen& a_gen, const Gen& b_gen,
+                               bool verify = true);
+
+  /// Number of times this plan has run the Diagonal-Inverter — observable
+  /// evidence that repeated executes and batches reuse the inverted
+  /// diagonal blocks.
+  std::uint64_t diag_inversions() const { return diag_inversions_; }
+
+ private:
+  friend class Context;
+  Plan(Context& ctx, OpDesc desc);
+
+  ExecResult run_trsm(const la::Matrix& t, const la::Matrix& b,
+                      const TrsmSpec& spec);
+  ExecResult run_trsm_kernel(const la::Matrix& l, const la::Matrix& b);
+  ExecResult run_tri_inv(const la::Matrix& l);
+  ExecResult run_cholesky_solve(const Gen& a_gen, const Gen& b_gen);
+  ExecResult run_matmul(const la::Matrix& a, const la::Matrix& x);
+
+  Context* ctx_;
+  OpDesc desc_;
+  model::Config config_;
+
+  // Iterative-TRSM diagonal-inverse cache: each rank's local Ltilde block,
+  // valid for the kernel operand identified by the fingerprint.
+  std::vector<la::Matrix> diag_locals_;
+  std::uint64_t diag_fp_ = 0;
+  bool diag_valid_ = false;
+  std::uint64_t diag_inversions_ = 0;
+};
+
+class Context {
+ public:
+  /// Own a fresh machine of p ranks.
+  explicit Context(int p, sim::MachineParams params = sim::MachineParams{},
+                   std::size_t plan_cache_capacity = 64);
+  /// Borrow an existing machine (the caller keeps ownership; the machine
+  /// must outlive this Context and every Plan created from it).
+  explicit Context(sim::Machine& machine,
+                   std::size_t plan_cache_capacity = 64);
+
+  /// Pinned: outstanding Plans hold a pointer back to their Context, so
+  /// moving or copying it would dangle every handle.
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+  Context(Context&&) = delete;
+  Context& operator=(Context&&) = delete;
+
+  sim::Machine& machine() { return *machine_; }
+  const sim::MachineParams& params() const { return machine_->params(); }
+  int nprocs() const { return machine_->nprocs(); }
+
+  /// Return the cached Plan for `desc` or build, cache, and return a new
+  /// one. Planning twice for the same (op, shape, options) on the same
+  /// machine hits the cache and returns the SAME Plan handle.
+  std::shared_ptr<Plan> plan(const OpDesc& desc);
+
+  CacheStats cache_stats() const { return stats_; }
+  void clear_cache();
+
+ private:
+  friend class Plan;
+
+  std::unique_ptr<sim::Machine> owned_;
+  sim::Machine* machine_;
+  std::size_t capacity_;
+  CacheStats stats_;
+  // LRU: most recently used at the front.
+  std::list<std::pair<std::string, std::shared_ptr<Plan>>> lru_;
+  std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+};
+
+}  // namespace catrsm::api

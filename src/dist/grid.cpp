@@ -1,0 +1,95 @@
+#include "dist/grid.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace catrsm::dist {
+
+std::pair<int, int> balanced_factors(int p) {
+  CATRSM_CHECK(p >= 1, "balanced_factors: p must be positive");
+  for (int pr = static_cast<int>(std::sqrt(static_cast<double>(p))) + 1;
+       pr >= 1; --pr) {
+    if (pr * pr <= p && p % pr == 0) return {pr, p / pr};
+  }
+  return {1, p};
+}
+
+Face2D::Face2D(sim::Comm comm, int pr, int pc)
+    : comm_(std::move(comm)), pr_(pr), pc_(pc) {
+  CATRSM_CHECK(pr >= 1 && pc >= 1, "Face2D: grid dims must be positive");
+  CATRSM_CHECK(comm_.size() == pr * pc,
+               "Face2D: communicator size must equal pr * pc");
+}
+
+int Face2D::at(int gi, int gj) const {
+  CATRSM_CHECK(gi >= 0 && gi < pr_ && gj >= 0 && gj < pc_,
+               "Face2D: grid position out of range");
+  return gi + pr_ * gj;
+}
+
+int Face2D::my_gi() const { return comm_.rank() % pr_; }
+int Face2D::my_gj() const { return comm_.rank() / pr_; }
+
+sim::Comm Face2D::row_comm() const {
+  const int gi = my_gi();
+  std::vector<int> idx;
+  idx.reserve(static_cast<std::size_t>(pc_));
+  for (int gj = 0; gj < pc_; ++gj) idx.push_back(gi + pr_ * gj);
+  return comm_.subset(idx);
+}
+
+sim::Comm Face2D::col_comm() const {
+  const int gj = my_gj();
+  std::vector<int> idx;
+  idx.reserve(static_cast<std::size_t>(pr_));
+  for (int gi = 0; gi < pr_; ++gi) idx.push_back(gi + pr_ * gj);
+  return comm_.subset(idx);
+}
+
+ProcGrid3D::ProcGrid3D(sim::Comm comm, int p1, int p2)
+    : comm_(std::move(comm)), p1_(p1), p2_(p2) {
+  CATRSM_CHECK(p1 >= 1 && p2 >= 1, "ProcGrid3D: grid dims must be positive");
+  CATRSM_CHECK(comm_.size() == p1 * p1 * p2,
+               "ProcGrid3D: communicator size must equal p1^2 * p2");
+}
+
+int ProcGrid3D::at(int x, int y, int z) const {
+  CATRSM_CHECK(x >= 0 && x < p1_ && y >= 0 && y < p1_ && z >= 0 && z < p2_,
+               "ProcGrid3D: grid position out of range");
+  return x + p1_ * y + p1_ * p1_ * z;
+}
+
+int ProcGrid3D::my_x() const { return comm_.rank() % p1_; }
+int ProcGrid3D::my_y() const { return (comm_.rank() / p1_) % p1_; }
+int ProcGrid3D::my_z() const { return comm_.rank() / (p1_ * p1_); }
+
+sim::Comm ProcGrid3D::x_fiber() const {
+  const int y = my_y();
+  const int z = my_z();
+  std::vector<int> idx;
+  idx.reserve(static_cast<std::size_t>(p1_));
+  for (int x = 0; x < p1_; ++x) idx.push_back(x + p1_ * y + p1_ * p1_ * z);
+  return comm_.subset(idx);
+}
+
+sim::Comm ProcGrid3D::y_fiber() const {
+  const int x = my_x();
+  const int z = my_z();
+  std::vector<int> idx;
+  idx.reserve(static_cast<std::size_t>(p1_));
+  for (int y = 0; y < p1_; ++y) idx.push_back(x + p1_ * y + p1_ * p1_ * z);
+  return comm_.subset(idx);
+}
+
+sim::Comm ProcGrid3D::z_fiber() const {
+  const int x = my_x();
+  const int y = my_y();
+  std::vector<int> idx;
+  idx.reserve(static_cast<std::size_t>(p2_));
+  for (int z = 0; z < p2_; ++z) idx.push_back(x + p1_ * y + p1_ * p1_ * z);
+  return comm_.subset(idx);
+}
+
+}  // namespace catrsm::dist

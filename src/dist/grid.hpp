@@ -1,0 +1,91 @@
+#pragma once
+// Processor grids over simulated communicators.
+//
+// A Face2D is a pr x pc arrangement of the members of a communicator in
+// column-major order: the member with communicator index t sits at grid
+// position (gi = t % pr, gj = t / pr). A ProcGrid3D is the paper's
+// p1 x p1 x p2 grid with index t -> (x = t % p1, y = (t / p1) % p1,
+// z = t / p1^2). Both are pure arithmetic views — constructing one performs
+// no communication, and fibers (rows, columns, x/y/z lines) are ordinary
+// communicators built from the known membership.
+//
+// A rank may hold a grid it is not a member of (to *describe* a layout that
+// lives on other ranks); only position queries (my_gi etc.) and fiber
+// construction require membership.
+
+#include <utility>
+
+#include "la/matrix.hpp"
+#include "sim/comm.hpp"
+
+namespace catrsm::dist {
+
+using la::index_t;
+
+/// Factor p = pr * pc with pr <= pc and pr as large as possible (the most
+/// square grid): balanced_factors(12) == {3, 4}, balanced_factors(7) ==
+/// {1, 7}.
+std::pair<int, int> balanced_factors(int p);
+
+class Face2D {
+ public:
+  /// `comm` must hold exactly pr * pc members.
+  Face2D(sim::Comm comm, int pr, int pc);
+
+  int pr() const { return pr_; }
+  int pc() const { return pc_; }
+  const sim::Comm& comm() const { return comm_; }
+
+  /// Communicator-relative index of the member at grid position (gi, gj)
+  /// — suitable for comm().subset() and comm()-level point-to-point.
+  int at(int gi, int gj) const;
+
+  bool is_member() const { return comm_.is_member(); }
+  /// My grid position (requires membership).
+  int my_gi() const;
+  int my_gj() const;
+
+  /// My grid row (gi fixed, all gj), ordered by gj — rank() == my_gj().
+  sim::Comm row_comm() const;
+  /// My grid column (gj fixed, all gi), ordered by gi — rank() == my_gi().
+  sim::Comm col_comm() const;
+
+ private:
+  sim::Comm comm_;
+  int pr_;
+  int pc_;
+};
+
+class ProcGrid3D {
+ public:
+  /// `comm` must hold exactly p1 * p1 * p2 members.
+  ProcGrid3D(sim::Comm comm, int p1, int p2);
+
+  int p1() const { return p1_; }
+  int p2() const { return p2_; }
+  int size() const { return p1_ * p1_ * p2_; }
+  const sim::Comm& comm() const { return comm_; }
+
+  /// Communicator-relative index of the member at grid position (x, y, z)
+  /// — suitable for comm().subset() and comm()-level point-to-point.
+  int at(int x, int y, int z) const;
+
+  bool is_member() const { return comm_.is_member(); }
+  int my_x() const;
+  int my_y() const;
+  int my_z() const;
+
+  /// The p1 members sharing my (y, z), ordered by x — rank() == my_x().
+  sim::Comm x_fiber() const;
+  /// The p1 members sharing my (x, z), ordered by y — rank() == my_y().
+  sim::Comm y_fiber() const;
+  /// The p2 members sharing my (x, y), ordered by z — rank() == my_z().
+  sim::Comm z_fiber() const;
+
+ private:
+  sim::Comm comm_;
+  int p1_;
+  int p2_;
+};
+
+}  // namespace catrsm::dist

@@ -129,6 +129,12 @@ struct RunStats {
   double max_flops() const;
   double total_words() const;  // communication volume (Irony-Toledo metric)
   Cost max_cost() const { return Cost{max_msgs(), max_words(), max_flops()}; }
+
+  /// Max-over-ranks cost of one labeled phase; zero when absent.
+  Cost phase_cost(const std::string& name) const {
+    const auto it = phase_max.find(name);
+    return it == phase_max.end() ? Cost{} : it->second;
+  }
 };
 
 class Machine {

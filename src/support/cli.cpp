@@ -1,10 +1,26 @@
 #include "support/cli.hpp"
 
+#include <cstdlib>
 #include <string_view>
 
 #include "support/check.hpp"
 
 namespace catrsm {
+
+namespace {
+
+/// True when the whole token parses as a numeric literal — so a value
+/// like "-3" after "--shift" is taken as the flag's value rather than
+/// being mistaken for the next flag. Anything starting with "--" is
+/// always a flag, never a value.
+bool looks_numeric(const char* s) {
+  if (s[0] == '-' && s[1] == '-') return false;
+  char* end = nullptr;
+  (void)std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -14,7 +30,8 @@ Cli::Cli(int argc, char** argv) {
     const auto eq = arg.find('=');
     if (eq != std::string_view::npos) {
       kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
-    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+    } else if (i + 1 < argc &&
+               (argv[i + 1][0] != '-' || looks_numeric(argv[i + 1]))) {
       kv_[std::string(arg)] = argv[++i];
     } else {
       kv_[std::string(arg)] = "1";  // boolean flag
@@ -24,12 +41,40 @@ Cli::Cli(int argc, char** argv) {
 
 long long Cli::get_int(const std::string& name, long long def) const {
   const auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::stoll(it->second);
+  if (it == kv_.end()) return def;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(it->second, &pos);
+    CATRSM_CHECK(pos == it->second.size(),
+                 "--" + name + " expects an integer, got \"" + it->second +
+                     "\"");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    CATRSM_CHECK(false, "--" + name + " expects an integer, got \"" +
+                            it->second + "\"");
+  }
+  return def;  // unreachable
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   const auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::stod(it->second);
+  if (it == kv_.end()) return def;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    CATRSM_CHECK(pos == it->second.size(),
+                 "--" + name + " expects a number, got \"" + it->second +
+                     "\"");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    CATRSM_CHECK(false, "--" + name + " expects a number, got \"" +
+                            it->second + "\"");
+  }
+  return def;  // unreachable
 }
 
 std::string Cli::get_string(const std::string& name,

@@ -107,12 +107,29 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
   // Recompute the real block count for ragged sizes.
   nblocks = static_cast<int>(ceil_div(n, nb));
 
-  // --- Invert the diagonal blocks with all p ranks (Section VI-A).
+  // --- Invert the diagonal blocks with all p ranks (Section VI-A), or
+  // rehydrate them from a caller-managed store (plan reuse: repeated
+  // solves against the same L skip the inversion entirely).
   // Phase labels reproduce the paper's Section VII cost decomposition
   // (T = T_Inv + T_Solve + T_Upd) in RunStats::phase_max.
   const DistMatrix ltilde = [&] {
+    if (opts.ltilde_store != nullptr && opts.reuse_ltilde) {
+      DistMatrix lt(l.dist_ptr(), ctx.id());
+      if (lt.participates()) {
+        const la::Matrix& stored =
+            (*opts.ltilde_store)[static_cast<std::size_t>(ctx.id())];
+        CATRSM_CHECK(stored.rows() == lt.local().rows() &&
+                         stored.cols() == lt.local().cols(),
+                     "it_inv_trsm: stored ltilde shape mismatch");
+        lt.local() = stored;
+      }
+      return lt;
+    }
     sim::PhaseScope scope(ctx, "inversion");
-    return diag_inverter(l, comm, nblocks, opts.diag);
+    DistMatrix lt = diag_inverter(l, comm, nblocks, opts.diag);
+    if (opts.ltilde_store != nullptr)
+      (*opts.ltilde_store)[static_cast<std::size_t>(ctx.id())] = lt.local();
+    return lt;
   }();
 
   // --- Panel geometry.

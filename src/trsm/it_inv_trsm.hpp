@@ -28,6 +28,7 @@
 //   X is returned with B's distribution.
 
 #include <memory>
+#include <vector>
 
 #include "dist/dist_matrix.hpp"
 #include "sim/comm.hpp"
@@ -39,6 +40,16 @@ struct ItInvOptions {
   /// Number of inverted diagonal blocks; 0 = automatic (Section VIII).
   int nblocks = 0;
   DiagInvOptions diag;
+  /// Cross-run reuse of the inverted diagonal blocks (what makes repeated
+  /// solves against the same L cheap — the Plan cache hooks in here).
+  /// When non-null, slot [world rank] holds that rank's local block of
+  /// Ltilde on the L face. With `reuse_ltilde` true the store is consumed
+  /// instead of running the Diagonal-Inverter; otherwise the freshly
+  /// inverted blocks are exported into the store. The caller must size the
+  /// vector to the machine's rank count and is responsible for only
+  /// requesting reuse against the same L and nblocks.
+  std::vector<la::Matrix>* ltilde_store = nullptr;
+  bool reuse_ltilde = false;
 };
 
 /// The canonical L face (front face of the grid) for it_inv_trsm inputs.

@@ -1,178 +1,38 @@
 #include "trsm/solver.hpp"
 
-#include <mutex>
-
-#include "dist/redistribute.hpp"
-#include "la/gemm.hpp"
-#include "trsm/it_inv_trsm.hpp"
-#include "trsm/rec_trsm.hpp"
-#include "trsm/trsm2d.hpp"
-#include "trsm/trsv1d.hpp"
 #include "support/check.hpp"
 
 namespace catrsm::trsm {
 
-using dist::DistMatrix;
-using dist::Face2D;
 using la::Matrix;
 
-namespace {
-
-/// Reverse the rows of a matrix (the J permutation).
-Matrix reversed_rows(const Matrix& m) {
-  Matrix out(m.rows(), m.cols());
-  for (index_t i = 0; i < m.rows(); ++i)
-    for (index_t j = 0; j < m.cols(); ++j)
-      out(i, j) = m(m.rows() - 1 - i, j);
-  return out;
+api::OpDesc solve_desc(const Matrix& l, const Matrix& b,
+                       const SolveOptions& opts) {
+  api::TrsmSpec spec;
+  spec.uplo = opts.uplo;
+  spec.transpose = opts.transpose_l;
+  spec.side = opts.side;
+  spec.force_algorithm = opts.force_algorithm;
+  spec.algorithm = opts.algorithm;
+  spec.nblocks = opts.nblocks;
+  spec.rec_n0 = opts.rec_n0;
+  // The planner keys on the normalized lower-left kernel shape: right-side
+  // solves transpose the system, so their RHS count is B's row count.
+  const la::index_t n = l.rows();
+  const la::index_t k = opts.side == Side::kRight ? b.rows() : b.cols();
+  return api::trsm_op(n, k, spec);
 }
-
-/// J T J: reverse both index sets. Maps upper triangles to lower ones and
-/// vice versa.
-Matrix reversed_both(const Matrix& t) {
-  const index_t n = t.rows();
-  Matrix out(n, n);
-  for (index_t i = 0; i < n; ++i)
-    for (index_t j = 0; j < n; ++j)
-      out(i, j) = t(n - 1 - i, n - 1 - j);
-  return out;
-}
-
-/// The operand actually applied to X, op(T) in BLAS terms.
-Matrix effective_operand(const Matrix& t, const SolveOptions& opts) {
-  return opts.transpose_l ? t.transposed() : t;
-}
-
-}  // namespace
 
 SolveResult solve_on(sim::Machine& machine, const Matrix& l, const Matrix& b,
                      SolveOptions opts) {
-  // --- Normalize right-side solves: X op(T) = B  <=>  op(T)^T X^T = B^T.
-  if (opts.side == Side::kRight) {
-    SolveOptions inner = opts;
-    inner.side = Side::kLeft;
-    inner.transpose_l = !opts.transpose_l;
-    SolveResult r = solve_on(machine, l, b.transposed(), inner);
-    r.x = r.x.transposed();
-    Matrix prod = la::matmul(r.x, effective_operand(l, opts));
-    prod.sub(b);
-    r.residual = la::frobenius_norm(prod) /
-                 (la::frobenius_norm(l) * la::frobenius_norm(r.x) +
-                  la::frobenius_norm(b) + 1e-300);
-    return r;
-  }
-
-  // --- Normalize upper operands.
-  if (opts.uplo == la::Uplo::kUpper) {
-    SolveOptions inner = opts;
-    inner.uplo = la::Uplo::kLower;
-    if (opts.transpose_l) {
-      // U^T is already lower-triangular: solve directly with it.
-      inner.transpose_l = false;
-      SolveResult r = solve_on(machine, l.transposed(), b, inner);
-      r.residual = la::trsm_residual(l.transposed(), r.x, b);
-      return r;
-    }
-    // U X = B: J U J is lower, X = J * lower_solve(J U J, J B).
-    SolveResult r =
-        solve_on(machine, reversed_both(l), reversed_rows(b), inner);
-    r.x = reversed_rows(r.x);
-    r.residual = la::trsm_residual(l, r.x, b);
-    return r;
-  }
-
-  // --- Lower transposed: X = J * lower_solve(J L^T J, J B).
-  if (opts.transpose_l) {
-    SolveOptions inner = opts;
-    inner.transpose_l = false;
-    SolveResult r = solve_on(machine, reversed_both(l.transposed()),
-                             reversed_rows(b), inner);
-    r.x = reversed_rows(r.x);
-    r.residual = la::trsm_residual(l.transposed(), r.x, b);
-    return r;
-  }
-
-  const index_t n = l.rows();
-  const index_t k = b.cols();
-  CATRSM_CHECK(l.cols() == n, "solve: L must be square");
-  CATRSM_CHECK(b.rows() == n, "solve: dimension mismatch");
-  const int p = machine.nprocs();
-
-  SolveResult result;
-  result.config = opts.force_algorithm
-                      ? model::configure_forced(n, k, p, opts.algorithm)
-                      : model::configure(n, k, p);
-  if (opts.nblocks > 0) result.config.nblocks = opts.nblocks;
-  const model::Config& cfg = result.config;
-
-  Matrix x_out(n, k);
-  std::mutex x_mu;  // rank 0 writes once; mutex documents the intent
-
-  result.stats = machine.run([&](sim::Rank& r) {
-    sim::Comm world = sim::Comm::world(r);
-    sim::PhaseScope algorithm_scope(r, "algorithm");
-    DistMatrix x = [&]() -> DistMatrix {
-      switch (cfg.algorithm) {
-        case model::Algorithm::kIterative: {
-          Face2D lface = it_inv_l_face(world, cfg.p1, cfg.p2);
-          auto ldist = dist::cyclic_on(lface, n, n);
-          DistMatrix dl(ldist, r.id());
-          dl.fill([&](index_t i, index_t j) { return l(i, j); });
-          auto bdist = it_inv_b_dist(world, cfg.p1, cfg.p2, n, k);
-          DistMatrix db(bdist, r.id());
-          db.fill([&](index_t i, index_t j) { return b(i, j); });
-          ItInvOptions iio;
-          iio.nblocks = cfg.nblocks;
-          return it_inv_trsm(dl, db, world, cfg.p1, cfg.p2, iio);
-        }
-        case model::Algorithm::kRecursive: {
-          Face2D face(world, cfg.pr, cfg.pc);
-          auto ldist = dist::cyclic_on(face, n, n);
-          auto bdist = dist::cyclic_on(face, n, k);
-          DistMatrix dl(ldist, r.id());
-          dl.fill([&](index_t i, index_t j) { return l(i, j); });
-          DistMatrix db(bdist, r.id());
-          db.fill([&](index_t i, index_t j) { return b(i, j); });
-          RecTrsmOptions ro;
-          ro.n0 = opts.rec_n0;
-          return rec_trsm(dl, db, world, ro);
-        }
-        case model::Algorithm::kTrsm2D: {
-          const auto [pr, pc] = dist::balanced_factors(p);
-          Face2D face(world, pr, pc);
-          auto ldist = dist::cyclic_on(face, n, n);
-          auto bdist = dist::cyclic_on(face, n, k);
-          DistMatrix dl(ldist, r.id());
-          dl.fill([&](index_t i, index_t j) { return l(i, j); });
-          DistMatrix db(bdist, r.id());
-          db.fill([&](index_t i, index_t j) { return b(i, j); });
-          return trsm2d(dl, db, world);
-        }
-        case model::Algorithm::kTrsv1D: {
-          Face2D face(world, p, 1);
-          auto ldist = dist::cyclic_on(face, n, n);
-          auto bdist = dist::cyclic_on(face, n, k);
-          DistMatrix dl(ldist, r.id());
-          dl.fill([&](index_t i, index_t j) { return l(i, j); });
-          DistMatrix db(bdist, r.id());
-          db.fill([&](index_t i, index_t j) { return b(i, j); });
-          return trsv1d(dl, db, world);
-        }
-      }
-      throw Error("solve: unknown algorithm");
-    }();
-
-    sim::PhaseScope output_scope(r, "output-collect");
-    const Matrix full = dist::collect(x, world);
-    if (r.id() == 0) {
-      std::lock_guard<std::mutex> guard(x_mu);
-      x_out = full;
-    }
-  });
-
-  result.x = std::move(x_out);
-  result.residual = la::trsm_residual(l, result.x, b);
-  return result;
+  api::Context ctx(machine);
+  api::ExecResult r = ctx.plan(solve_desc(l, b, opts))->execute(l, b);
+  SolveResult out;
+  out.x = std::move(r.x);
+  out.stats = std::move(r.stats);
+  out.config = r.config;
+  out.residual = r.residual;
+  return out;
 }
 
 SolveResult solve(const Matrix& l, const Matrix& b, int p, SolveOptions opts) {

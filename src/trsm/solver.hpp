@@ -1,15 +1,21 @@
 #pragma once
-// The library's front door: solve L X = B on a simulated p-processor
-// machine with everything configured automatically — regime
-// classification, algorithm selection, grid factorization, block counts —
-// exactly the recommendations of the paper's Section VIII.
+// The library's legacy free-function front door: solve L X = B on a
+// simulated p-processor machine with everything configured automatically —
+// regime classification, algorithm selection, grid factorization, block
+// counts — exactly the recommendations of the paper's Section VIII.
 //
 //   catrsm::trsm::SolveResult r = catrsm::trsm::solve(L, B, /*p=*/64);
 //   r.x          — the solution
 //   r.stats      — measured S/W/F per rank and the critical-path time
 //   r.config     — what was chosen and why (regime, algorithm, grids)
 //   r.residual   — ||L X - B|| / (||L|| ||X|| + ||B||)
+//
+// Both functions are thin shims over the handle-based plan/execute API in
+// api/catrsm.hpp (catrsm::api::Context + catrsm::api::Plan) — prefer that
+// interface for repeated traffic: it caches plans and reuses the iterative
+// algorithm's inverted diagonal blocks across solves.
 
+#include "api/catrsm.hpp"
 #include "la/matrix.hpp"
 #include "la/norms.hpp"
 #include "la/trsm.hpp"
@@ -19,7 +25,7 @@
 namespace catrsm::trsm {
 
 /// Which side the triangular operand acts on: T X = B or X T = B.
-enum class Side { kLeft, kRight };
+using Side = api::Side;
 
 struct SolveOptions {
   /// Triangle actually stored in the operand (upper solves reduce to the
@@ -54,11 +60,13 @@ struct SolveResult {
 
   /// Max-over-ranks cost of the distributed solve only, excluding the
   /// driver's output gather.
-  sim::Cost algorithm_cost() const {
-    const auto it = stats.phase_max.find("algorithm");
-    return it == stats.phase_max.end() ? sim::Cost{} : it->second;
-  }
+  sim::Cost algorithm_cost() const { return stats.phase_cost("algorithm"); }
 };
+
+/// Build the plan descriptor equivalent to a solve of `l` against `b`
+/// under `opts` (the shape normalization the planner keys on).
+api::OpDesc solve_desc(const la::Matrix& l, const la::Matrix& b,
+                       const SolveOptions& opts);
 
 /// Solve with a fresh machine of p ranks.
 SolveResult solve(const la::Matrix& l, const la::Matrix& b, int p,

@@ -1,0 +1,314 @@
+// Tests for the handle-based plan/execute API: plan caching, diagonal-
+// inverse reuse across executes and batches, the BLAS option matrix
+// through Context/Plan, and the non-TRSM ops (triangular inverse, the
+// Cholesky pipeline, 3D/2D matmul).
+
+#include <gtest/gtest.h>
+
+#include "api/catrsm.hpp"
+#include "la/gemm.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "la/tri_inv.hpp"
+#include "la/trsm.hpp"
+#include "trsm/solver.hpp"
+
+namespace catrsm::api {
+namespace {
+
+using la::index_t;
+using la::Matrix;
+
+TEST(PlanCache, SecondPlanForSameOpHitsAndReturnsSameHandle) {
+  Context ctx(8);
+  const OpDesc d = trsm_op(32, 8);
+  auto p1 = ctx.plan(d);
+  EXPECT_EQ(ctx.cache_stats().hits, 0u);
+  EXPECT_EQ(ctx.cache_stats().misses, 1u);
+  auto p2 = ctx.plan(d);
+  EXPECT_EQ(ctx.cache_stats().hits, 1u);
+  EXPECT_EQ(ctx.cache_stats().misses, 1u);
+  // A cache hit is the SAME plan object, so the frozen Config is
+  // bit-identical by construction.
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(p1->config().algorithm, p2->config().algorithm);
+  EXPECT_EQ(p1->config().p1, p2->config().p1);
+  EXPECT_EQ(p1->config().nblocks, p2->config().nblocks);
+}
+
+TEST(PlanCache, HitPlanProducesBitIdenticalResults) {
+  const index_t n = 32, k = 8;
+  const Matrix l = la::make_lower_triangular(301, n);
+  const Matrix b = la::make_rhs(302, n, k);
+  Context ctx(8);
+  ExecResult r1 = ctx.plan(trsm_op(n, k))->execute(l, b);
+  // Plan again (cache hit) and execute: identical configuration and
+  // bit-identical solution.
+  ExecResult r2 = ctx.plan(trsm_op(n, k))->execute(l, b);
+  EXPECT_EQ(ctx.cache_stats().hits, 1u);
+  EXPECT_EQ(r1.config.algorithm, r2.config.algorithm);
+  EXPECT_EQ(r1.config.nblocks, r2.config.nblocks);
+  EXPECT_EQ(r1.config.p1, r2.config.p1);
+  EXPECT_EQ(r1.config.p2, r2.config.p2);
+  EXPECT_TRUE(r1.x.equals(r2.x));
+}
+
+TEST(PlanCache, KeyDistinguishesShapeOptionsAndMachine) {
+  Context ctx(8);
+  (void)ctx.plan(trsm_op(32, 8));
+  (void)ctx.plan(trsm_op(32, 9));  // different k
+  TrsmSpec upper;
+  upper.uplo = la::Uplo::kUpper;
+  (void)ctx.plan(trsm_op(32, 8, upper));  // different variant
+  (void)ctx.plan(tri_inv_op(32));         // different op
+  EXPECT_EQ(ctx.cache_stats().hits, 0u);
+  EXPECT_EQ(ctx.cache_stats().misses, 4u);
+  EXPECT_EQ(ctx.cache_stats().entries, 4u);
+}
+
+TEST(PlanCache, LruEvictsBeyondCapacity) {
+  Context ctx(4, sim::MachineParams{}, /*plan_cache_capacity=*/2);
+  (void)ctx.plan(trsm_op(16, 2));
+  (void)ctx.plan(trsm_op(16, 3));
+  (void)ctx.plan(trsm_op(16, 4));  // evicts (16, 2)
+  EXPECT_EQ(ctx.cache_stats().evictions, 1u);
+  EXPECT_EQ(ctx.cache_stats().entries, 2u);
+  (void)ctx.plan(trsm_op(16, 2));  // miss again
+  EXPECT_EQ(ctx.cache_stats().misses, 4u);
+  EXPECT_EQ(ctx.cache_stats().hits, 0u);
+}
+
+TEST(DiagReuse, RepeatedExecutesInvertDiagonalOnce) {
+  const index_t n = 32, k = 8;
+  const Matrix l = la::make_lower_triangular(303, n);
+  const Matrix b1 = la::make_rhs(304, n, k);
+  const Matrix b2 = la::make_rhs(305, n, k);
+  Context ctx(8);
+  TrsmSpec spec;
+  spec.force_algorithm = true;
+  spec.algorithm = model::Algorithm::kIterative;
+  auto plan = ctx.plan(trsm_op(n, k, spec));
+  ExecResult r1 = plan->execute(l, b1);
+  EXPECT_EQ(plan->diag_inversions(), 1u);
+  EXPECT_EQ(r1.stats.phase_max.count("inversion"), 1u);
+  ExecResult r2 = plan->execute(l, b2);
+  EXPECT_EQ(plan->diag_inversions(), 1u);  // reused, not recomputed
+  EXPECT_EQ(r2.stats.phase_max.count("inversion"), 0u);
+  EXPECT_LT(r1.residual, 1e-12);
+  EXPECT_LT(r2.residual, 1e-12);
+  // A different operand re-inverts.
+  const Matrix l2 = la::make_lower_triangular(306, n);
+  (void)plan->execute(l2, b1);
+  EXPECT_EQ(plan->diag_inversions(), 2u);
+}
+
+TEST(DiagReuse, BatchMatchesIndependentSolvesBitwise) {
+  const index_t n = 40, k = 5;
+  const int p = 8;
+  const Matrix l = la::make_lower_triangular(307, n);
+  std::vector<Matrix> panels;
+  for (int i = 0; i < 4; ++i)
+    panels.push_back(la::make_rhs(400 + static_cast<std::uint64_t>(i), n, k));
+
+  TrsmSpec spec;
+  spec.force_algorithm = true;
+  spec.algorithm = model::Algorithm::kIterative;
+  Context ctx(p);
+  auto plan = ctx.plan(trsm_op(n, k, spec));
+  const std::vector<ExecResult> batch = plan->execute_batch(l, panels);
+  ASSERT_EQ(batch.size(), panels.size());
+  // Diagonal inversion ran exactly once for the whole batch...
+  EXPECT_EQ(plan->diag_inversions(), 1u);
+  for (std::size_t i = 1; i < batch.size(); ++i)
+    EXPECT_EQ(batch[i].stats.phase_max.count("inversion"), 0u);
+
+  // ...yet every panel's solution and residual match an independent
+  // plain solve() bit for bit.
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    trsm::SolveOptions opts;
+    opts.force_algorithm = true;
+    opts.algorithm = model::Algorithm::kIterative;
+    const trsm::SolveResult ref = trsm::solve(l, panels[i], p, opts);
+    EXPECT_TRUE(batch[i].x.equals(ref.x)) << "panel " << i;
+    EXPECT_EQ(batch[i].residual, ref.residual) << "panel " << i;
+  }
+}
+
+struct VariantCase {
+  la::Uplo uplo;
+  bool trans;
+  Side side;
+  const char* name;
+};
+
+class ApiVariantSweep : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(ApiVariantSweep, SolvesAgainstDenseReference) {
+  const VariantCase vc = GetParam();
+  const index_t n = 24, k = 7;
+  const Matrix t = vc.uplo == la::Uplo::kLower
+                       ? la::make_lower_triangular(311, n)
+                       : la::make_upper_triangular(312, n);
+  const Matrix b = vc.side == Side::kLeft ? la::make_rhs(313, n, k)
+                                          : la::make_rhs(314, k, n);
+
+  TrsmSpec spec;
+  spec.uplo = vc.uplo;
+  spec.transpose = vc.trans;
+  spec.side = vc.side;
+  Context ctx(4);
+  const index_t kernel_k = vc.side == Side::kLeft ? k : b.rows();
+  const ExecResult r = ctx.plan(trsm_op(n, kernel_k, spec))->execute(t, b);
+
+  // Dense reference: op(T) X = B (left) or X op(T) = B (right), solved by
+  // the sequential kernels.
+  const Matrix op = vc.trans ? t.transposed() : t;
+  Matrix ref;
+  const bool op_lower = (vc.uplo == la::Uplo::kLower) != vc.trans;
+  if (vc.side == Side::kLeft) {
+    ref = op_lower ? la::solve_lower(op, b) : la::solve_upper(op, b);
+  } else {
+    // X op(T) = B  <=>  op(T)^T X^T = B^T.
+    const Matrix opt = op.transposed();
+    const Matrix bt = b.transposed();
+    ref = (op_lower ? la::solve_upper(opt, bt) : la::solve_lower(opt, bt))
+              .transposed();
+  }
+  EXPECT_LT(la::max_abs_diff(r.x, ref), 1e-9) << vc.name;
+  EXPECT_LT(r.residual, 1e-11) << vc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ApiVariantSweep,
+    ::testing::Values(
+        VariantCase{la::Uplo::kLower, false, Side::kLeft, "L X = B"},
+        VariantCase{la::Uplo::kLower, true, Side::kLeft, "L^T X = B"},
+        VariantCase{la::Uplo::kUpper, false, Side::kLeft, "U X = B"},
+        VariantCase{la::Uplo::kUpper, true, Side::kLeft, "U^T X = B"},
+        VariantCase{la::Uplo::kLower, false, Side::kRight, "X L = B"},
+        VariantCase{la::Uplo::kLower, true, Side::kRight, "X L^T = B"},
+        VariantCase{la::Uplo::kUpper, false, Side::kRight, "X U = B"},
+        VariantCase{la::Uplo::kUpper, true, Side::kRight, "X U^T = B"}));
+
+TEST(ApiOps, TriInvMatchesSequential) {
+  const index_t n = 24;
+  const Matrix l = la::make_lower_triangular(321, n);
+  Context ctx(4);
+  const ExecResult r = ctx.plan(tri_inv_op(n))->execute(l);
+  EXPECT_LT(r.residual, 1e-11);
+  const Matrix seq = la::tri_inv(la::Uplo::kLower, l);
+  EXPECT_LT(la::max_abs_diff(r.x, seq), 1e-9);
+}
+
+TEST(ApiOps, CholeskySolvePipelineSolvesSpdSystem) {
+  const index_t n = 48, k = 6;
+  const Matrix a = la::make_spd(323, n);
+  const Matrix b = la::make_rhs(324, n, k);
+  Context ctx(16);
+  const ExecResult r = ctx.plan(cholesky_solve_op(n, k))->execute(a, b);
+  EXPECT_LT(r.residual, 1e-10);
+  // The pipeline reports its three stages.
+  EXPECT_EQ(r.stats.phase_max.count("cholesky"), 1u);
+  EXPECT_EQ(r.stats.phase_max.count("forward-trsm"), 1u);
+  EXPECT_EQ(r.stats.phase_max.count("backward-trsm"), 1u);
+  Matrix resid = la::matmul(a, r.x);
+  resid.sub(b);
+  EXPECT_LT(la::frobenius_norm(resid) / la::frobenius_norm(b), 1e-10);
+}
+
+TEST(ApiOps, CholeskySolveFromGenerators) {
+  // Generator-fed execution: ranks fill only what they own; the result
+  // matches the matrix-fed path exactly.
+  const index_t n = 24, k = 4;
+  const auto a_gen = [n](index_t i, index_t j) {
+    if (i == j) return 4.0 + la::element_hash(5, i, i) * 0.5;
+    return la::element_hash(5, std::min(i, j), std::max(i, j)) /
+           static_cast<double>(n);
+  };
+  const auto b_gen = [](index_t i, index_t j) {
+    return la::rhs_entry(6, i, j);
+  };
+  Matrix a(n, n), b(n, k);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) a(i, j) = a_gen(i, j);
+    for (index_t j = 0; j < k; ++j) b(i, j) = b_gen(i, j);
+  }
+  Context ctx(4);
+  auto plan = ctx.plan(cholesky_solve_op(n, k));
+  const ExecResult gen = plan->execute_generated(a_gen, b_gen);
+  const ExecResult mat = plan->execute(a, b);
+  EXPECT_LT(gen.residual, 1e-12);
+  EXPECT_TRUE(gen.x.equals(mat.x));
+  // Only the cholesky op accepts generators.
+  auto trsm_plan = ctx.plan(trsm_op(n, k));
+  EXPECT_THROW((void)trsm_plan->execute_generated(a_gen, b_gen), Error);
+}
+
+TEST(ApiOps, CholeskySolveOnNonSquareRankCount) {
+  // p = 6: the pipeline runs on the 2 x 2 subgrid, surplus ranks idle.
+  const index_t n = 20, k = 4;
+  const Matrix a = la::make_spd(325, n);
+  const Matrix b = la::make_rhs(326, n, k);
+  Context ctx(6);
+  const ExecResult r = ctx.plan(cholesky_solve_op(n, k))->execute(a, b);
+  EXPECT_EQ(r.config.p1, 2);
+  EXPECT_LT(r.residual, 1e-10);
+}
+
+TEST(ApiOps, Matmul3DMatchesSequentialGemm) {
+  const index_t m = 24, inner = 16, k = 8;
+  const Matrix a = la::make_dense(331, m, inner);
+  const Matrix x = la::make_dense(332, inner, k);
+  Context ctx(8);
+  auto plan = ctx.plan(matmul3d_op(m, inner, k));
+  EXPECT_EQ(plan->config().p1 * plan->config().p1 * plan->config().p2, 8);
+  const ExecResult r = plan->execute(a, x);
+  EXPECT_LT(la::max_abs_diff(r.x, la::matmul(a, x)), 1e-11);
+}
+
+TEST(ApiOps, Matmul2DMatchesSequentialGemm) {
+  const index_t n = 16, k = 12;
+  const Matrix a = la::make_dense(333, n, n);
+  const Matrix x = la::make_dense(334, n, k);
+  Context ctx(6);
+  const ExecResult r = ctx.plan(matmul2d_op(n, k))->execute(a, x);
+  EXPECT_LT(la::max_abs_diff(r.x, la::matmul(a, x)), 1e-11);
+}
+
+TEST(ApiOps, ExecuteRejectsMismatchedShapes) {
+  Context ctx(4);
+  auto plan = ctx.plan(trsm_op(16, 4));
+  const Matrix l = la::make_lower_triangular(341, 16);
+  const Matrix wrong_b = la::make_rhs(342, 16, 5);
+  EXPECT_THROW((void)plan->execute(l, wrong_b), Error);
+  const Matrix wrong_l = la::make_lower_triangular(343, 12);
+  EXPECT_THROW((void)plan->execute(wrong_l, la::make_rhs(344, 12, 4)),
+               Error);
+}
+
+TEST(ApiShim, LegacySolveMatchesPlanPathBitwise) {
+  const index_t n = 20, k = 5;
+  const Matrix l = la::make_lower_triangular(351, n);
+  const Matrix b = la::make_rhs(352, n, k);
+  const trsm::SolveResult legacy = trsm::solve(l, b, 8);
+  Context ctx(8);
+  const ExecResult direct =
+      ctx.plan(trsm_op(n, k))->execute(l, b);
+  EXPECT_TRUE(legacy.x.equals(direct.x));
+  EXPECT_EQ(legacy.config.algorithm, direct.config.algorithm);
+  EXPECT_EQ(legacy.residual, direct.residual);
+}
+
+TEST(ApiContext, BorrowedMachineIsReused) {
+  sim::Machine machine(4);
+  Context ctx(machine);
+  EXPECT_EQ(&ctx.machine(), &machine);
+  EXPECT_EQ(ctx.nprocs(), 4);
+  const Matrix l = la::make_lower_triangular(361, 16);
+  const Matrix b = la::make_rhs(362, 16, 4);
+  const ExecResult r = ctx.plan(trsm_op(16, 4))->execute(l, b);
+  EXPECT_LT(r.residual, 1e-12);
+}
+
+}  // namespace
+}  // namespace catrsm::api

@@ -107,5 +107,52 @@ TEST(Cli, ParsesAllForms) {
   EXPECT_EQ(cli.get_int("absent", -3), -3);
 }
 
+TEST(Cli, NegativeNumericValuesAreValues) {
+  const char* argv[] = {"prog",  "--shift", "-3",        "--rate",
+                        "-2.5",  "--exp",   "-1e-3",     "--flag",
+                        "--dir", "-up"};
+  Cli cli(10, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("shift", 0), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), -2.5);
+  EXPECT_DOUBLE_EQ(cli.get_double("exp", 0.0), -1e-3);
+  // "-up" is not numeric, so --flag stays a boolean and -up is skipped.
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_EQ(cli.get_int("flag", 7), 1);
+  EXPECT_TRUE(cli.has("dir"));
+}
+
+TEST(Cli, DashDashTokensAreNeverValues) {
+  const char* argv[] = {"prog", "--a", "--2", "--b", "-e5"};
+  Cli cli(5, const_cast<char**>(argv));
+  // "--2" and "-e5" do not fully parse as numbers: both flags stay
+  // boolean and the tokens are not consumed as values.
+  EXPECT_EQ(cli.get_int("a", 7), 1);
+  EXPECT_EQ(cli.get_int("b", 7), 1);
+  EXPECT_TRUE(cli.has("2"));  // "--2" is parsed as its own flag
+}
+
+TEST(Cli, MalformedNumbersFailWithClearError) {
+  const char* argv[] = {"prog", "--n", "abc", "--k=12xy", "--r", "1.2.3"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("n", 0), Error);
+  EXPECT_THROW((void)cli.get_int("k", 0), Error);
+  EXPECT_THROW((void)cli.get_double("r", 0.0), Error);
+  try {
+    (void)cli.get_int("n", 0);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--n expects an integer"),
+              std::string::npos);
+  }
+  // Untouched flags still work on the same parse.
+  EXPECT_EQ(cli.get_string("n", ""), "abc");
+}
+
+TEST(Cli, OutOfRangeIntegerFails) {
+  const char* argv[] = {"prog", "--n", "99999999999999999999999999"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("n", 0), Error);
+}
+
 }  // namespace
 }  // namespace catrsm
