@@ -1,0 +1,174 @@
+// Machine-readable perf tracking: runs the kernel-substrate and crossover
+// bench cases plus the batched-solve scenario the zero-copy transport and
+// persistent scheduler target, and writes BENCH_sim.json — one record per
+// case with wall-clock milliseconds AND the modeled (S, W, F,
+// critical-path time) of the same execution, so the wall-clock trajectory
+// can be tracked across PRs while the modeled costs pin down that the
+// simulation itself did not change.
+//
+//   ./bench_runner [output.json]     (default: BENCH_sim.json)
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/catrsm.hpp"
+#include "la/gemm.hpp"
+#include "la/generate.hpp"
+#include "la/tri_inv.hpp"
+#include "la/trsm.hpp"
+#include "model/tuning.hpp"
+
+namespace {
+
+using namespace catrsm;
+using la::index_t;
+using Clock = std::chrono::steady_clock;
+
+struct Record {
+  std::string name;
+  int p = 0;
+  index_t n = 0;
+  index_t k = 0;
+  double wall_ms = 0.0;
+  double iterations = 1.0;  // wall_ms is for ALL iterations
+  sim::Cost modeled;        // zero for host-only kernel cases
+  double critical_time = 0.0;
+};
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void append_json(std::string& out, const Record& r, bool last) {
+  out += "  {\"name\": \"" + r.name + "\"";
+  out += ", \"p\": " + std::to_string(r.p);
+  out += ", \"n\": " + std::to_string(r.n);
+  out += ", \"k\": " + std::to_string(r.k);
+  out += ", \"iterations\": " + std::to_string(r.iterations);
+  out += ", \"wall_ms\": " + std::to_string(r.wall_ms);
+  out += ", \"modeled\": {\"msgs\": " + std::to_string(r.modeled.msgs);
+  out += ", \"words\": " + std::to_string(r.modeled.words);
+  out += ", \"flops\": " + std::to_string(r.modeled.flops);
+  out += ", \"critical_time\": " + std::to_string(r.critical_time) + "}}";
+  out += last ? "\n" : ",\n";
+}
+
+/// E10-style local kernel substrate cases (no simulated machine).
+void run_kernel_cases(std::vector<Record>& records) {
+  for (const index_t n : {64, 128}) {
+    {
+      const la::Matrix a = la::make_dense(1, n, n);
+      const la::Matrix b = la::make_dense(2, n, n);
+      la::Matrix c(n, n);
+      const int iters = 5;
+      const auto t0 = Clock::now();
+      for (int i = 0; i < iters; ++i) la::gemm(1.0, a, b, 0.0, c);
+      records.push_back(
+          {"kernel/gemm", 1, n, n, ms_since(t0), double(iters), {}, 0.0});
+    }
+    {
+      const la::Matrix l = la::make_lower_triangular(3, n);
+      const la::Matrix b = la::make_rhs(4, n, n);
+      const int iters = 5;
+      const auto t0 = Clock::now();
+      for (int i = 0; i < iters; ++i) {
+        la::Matrix x = b;
+        la::trsm_left(la::Uplo::kLower, la::Diag::kNonUnit, l, x);
+      }
+      records.push_back(
+          {"kernel/trsm", 1, n, n, ms_since(t0), double(iters), {}, 0.0});
+    }
+    {
+      const la::Matrix l = la::make_lower_triangular(5, n);
+      const int iters = 5;
+      const auto t0 = Clock::now();
+      for (int i = 0; i < iters; ++i)
+        (void)la::tri_inv(la::Uplo::kLower, l);
+      records.push_back(
+          {"kernel/tri_inv", 1, n, 0, ms_since(t0), double(iters), {}, 0.0});
+    }
+  }
+}
+
+/// E11-style crossover cases: each (n, k) shape under every forced
+/// algorithm, recording the modeled algorithm cost next to the wall clock.
+void run_crossover_cases(std::vector<Record>& records) {
+  const int p = 16;
+  struct Shape {
+    index_t n, k;
+  };
+  struct Algo {
+    model::Algorithm a;
+    const char* name;
+  };
+  api::Context ctx(p);
+  for (const Shape s : {Shape{16, 1024}, Shape{64, 64}, Shape{256, 4}}) {
+    const la::Matrix l = la::make_lower_triangular(1, s.n);
+    const la::Matrix b = la::make_rhs(2, s.n, s.k);
+    for (const Algo algo : {Algo{model::Algorithm::kIterative, "iterative"},
+                            Algo{model::Algorithm::kRecursive, "recursive"},
+                            Algo{model::Algorithm::kTrsm2D, "2d"}}) {
+      api::TrsmSpec spec;
+      spec.force_algorithm = true;
+      spec.algorithm = algo.a;
+      auto plan = ctx.plan(api::trsm_op(s.n, s.k, spec));
+      const auto t0 = Clock::now();
+      const api::ExecResult r = plan->execute(l, b);
+      Record rec{"crossover/" + std::string(algo.name), p, s.n, s.k,
+                 ms_since(t0), 1.0, r.algorithm_cost(),
+                 r.stats.critical_time};
+      records.push_back(rec);
+    }
+  }
+}
+
+/// The scenario the zero-copy buffers and persistent scheduler target:
+/// one plan, 32 iterative-TRSM solves at p = 64, executed as a batch.
+/// Wall clock covers the whole batch; modeled cost is per solve (all
+/// items are cost-identical).
+void run_batch_case(std::vector<Record>& records) {
+  const int p = 64;
+  const index_t n = 96, k = 48;
+  const int items = 32;
+  api::Context ctx(p);
+  api::TrsmSpec spec;
+  spec.force_algorithm = true;
+  spec.algorithm = model::Algorithm::kIterative;
+  auto plan = ctx.plan(api::trsm_op(n, k, spec));
+  const la::Matrix l = la::make_lower_triangular(11, n);
+  std::vector<la::Matrix> bs;
+  bs.reserve(items);
+  for (int i = 0; i < items; ++i)
+    bs.push_back(la::make_rhs(100 + static_cast<std::uint64_t>(i), n, k));
+
+  const auto t0 = Clock::now();
+  const std::vector<api::ExecResult> results = plan->execute_batch(l, bs);
+  const double wall = ms_since(t0);
+  records.push_back({"batch/it_trsm_32x_p64", p, n, k, wall, double(items),
+                     results.front().algorithm_cost(),
+                     results.front().stats.critical_time});
+  std::cout << "batch/it_trsm_32x_p64: " << wall << " ms for " << items
+            << " solves (" << wall / items << " ms/solve)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  std::vector<Record> records;
+  run_kernel_cases(records);
+  run_crossover_cases(records);
+  run_batch_case(records);
+
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    append_json(out, records[i], i + 1 == records.size());
+  out += "]\n";
+  std::ofstream f(path);
+  f << out;
+  std::cout << "wrote " << records.size() << " records to " << path << "\n";
+  return 0;
+}

@@ -204,6 +204,12 @@ class Context {
   const sim::MachineParams& params() const { return machine_->params(); }
   int nprocs() const { return machine_->nprocs(); }
 
+  /// The persistent rank scheduler behind this context's machine: a pool
+  /// of p workers created on the first execute and reused by every
+  /// subsequent Machine::run, Plan::execute, and execute_batch (no
+  /// per-run thread spawn/join). scheduler().runs() counts dispatches.
+  sim::RankScheduler& scheduler() { return machine_->scheduler(); }
+
   /// Return the cached Plan for `desc` or build, cache, and return a new
   /// one. Planning twice for the same (op, shape, options) on the same
   /// machine hits the cache and returns the SAME Plan handle.

@@ -12,7 +12,7 @@ namespace {
 struct Routed {
   int dst;
   int src;
-  Buf data;
+  Buffer data;
 };
 
 void serialize(const Routed& b, Buf& out) {
@@ -22,7 +22,9 @@ void serialize(const Routed& b, Buf& out) {
   out.insert(out.end(), b.data.begin(), b.data.end());
 }
 
-std::vector<Routed> deserialize(const Buf& in) {
+/// Parse routed blocks out of one incoming payload; each block's data is a
+/// zero-copy view of the payload slab.
+std::vector<Routed> deserialize(const Buffer& in) {
   std::vector<Routed> blocks;
   std::size_t pos = 0;
   while (pos < in.size()) {
@@ -33,20 +35,20 @@ std::vector<Routed> deserialize(const Buf& in) {
     const auto len = static_cast<std::size_t>(in[pos + 2]);
     pos += 3;
     CATRSM_ASSERT(pos + len <= in.size(), "alltoallv: truncated payload");
-    b.data.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
-                  in.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    b.data = in.slice(pos, len);
     pos += len;
     blocks.push_back(std::move(b));
   }
   return blocks;
 }
 
-std::vector<Buf> alltoallv_bruck(const sim::Comm& comm,
-                                 std::vector<Buf> to_send) {
+std::vector<Buffer> alltoallv_bruck(const sim::Comm& comm,
+                                    std::vector<Buffer> to_send) {
   const int g = comm.size();
   const int r = comm.rank();
+  const int tag = coll_tag(CollOp::kAlltoallBruck, comm);
 
-  std::vector<Buf> result(static_cast<std::size_t>(g));
+  std::vector<Buffer> result(static_cast<std::size_t>(g));
   result[static_cast<std::size_t>(r)] =
       std::move(to_send[static_cast<std::size_t>(r)]);
 
@@ -72,7 +74,7 @@ std::vector<Buf> alltoallv_bruck(const sim::Comm& comm,
     }
     const int dst = (r + bit) % g;
     const int src = ((r - bit) % g + g) % g;
-    const Buf incoming = comm.shift(dst, src, payload, kTagAlltoallBruck);
+    const Buffer incoming = comm.shift(dst, src, std::move(payload), tag);
     in_flight = std::move(keep);
     for (auto& b : deserialize(incoming)) {
       if (b.dst == r) {
@@ -86,28 +88,31 @@ std::vector<Buf> alltoallv_bruck(const sim::Comm& comm,
   return result;
 }
 
-std::vector<Buf> alltoallv_direct(const sim::Comm& comm,
-                                  std::vector<Buf> to_send) {
+std::vector<Buffer> alltoallv_direct(const sim::Comm& comm,
+                                     std::vector<Buffer> to_send) {
   const int g = comm.size();
   const int r = comm.rank();
-  std::vector<Buf> result(static_cast<std::size_t>(g));
+  const int tag = coll_tag(CollOp::kAlltoallDirect, comm);
+  std::vector<Buffer> result(static_cast<std::size_t>(g));
   result[static_cast<std::size_t>(r)] =
       std::move(to_send[static_cast<std::size_t>(r)]);
   // Ring schedule: in round i exchange with ranks +/- i; every pair meets
-  // exactly once per direction, g-1 rounds total.
+  // exactly once per direction, g-1 rounds total. Each payload ships as a
+  // view of the caller's slab — zero copies on the send path.
   for (int i = 1; i < g; ++i) {
     const int dst = (r + i) % g;
     const int src = ((r - i) % g + g) % g;
     result[static_cast<std::size_t>(src)] = comm.shift(
-        dst, src, to_send[static_cast<std::size_t>(dst)], kTagAlltoallDirect);
+        dst, src, std::move(to_send[static_cast<std::size_t>(dst)]), tag);
   }
   return result;
 }
 
 }  // namespace
 
-std::vector<Buf> alltoallv(const sim::Comm& comm, std::vector<Buf> to_send,
-                           AlltoallAlgo algo) {
+std::vector<Buffer> alltoallv(const sim::Comm& comm,
+                              std::vector<Buffer> to_send,
+                              AlltoallAlgo algo) {
   CATRSM_CHECK(static_cast<int>(to_send.size()) == comm.size(),
                "alltoallv: need one payload slot per rank");
   if (comm.size() == 1) {
@@ -120,6 +125,14 @@ std::vector<Buf> alltoallv(const sim::Comm& comm, std::vector<Buf> to_send,
       return alltoallv_direct(comm, std::move(to_send));
   }
   throw Error("alltoallv: unknown algorithm");
+}
+
+std::vector<Buffer> alltoallv(const sim::Comm& comm, std::vector<Buf> to_send,
+                              AlltoallAlgo algo) {
+  std::vector<Buffer> bufs;
+  bufs.reserve(to_send.size());
+  for (auto& v : to_send) bufs.emplace_back(std::move(v));
+  return alltoallv(comm, std::move(bufs), algo);
 }
 
 }  // namespace catrsm::coll

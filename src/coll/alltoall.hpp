@@ -7,8 +7,9 @@
 //  - Bruck:  ceil(log g) rounds, each datum travels up to log g hops, so
 //            S = O(log g), W = O(total * log g / 2). This is the schedule
 //            whose cost the paper quotes: T = alpha log p + beta (n/2) log p.
-//  - Direct: pairwise exchange, g-1 rounds, minimal words. Useful when
-//            payloads dominate and the group is small.
+//  - Direct: pairwise exchange, g-1 rounds, minimal words. Payloads are
+//            forwarded as zero-copy buffer views — the schedule of choice
+//            when payloads dominate and the group is small.
 //
 // Payload sizes may differ per (src, dst) pair and need not be globally
 // known: in-flight blocks carry a tiny routing header (counted as words —
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "coll/collectives.hpp"
+#include "sim/buffer.hpp"
 #include "sim/comm.hpp"
 
 namespace catrsm::coll {
@@ -27,8 +29,14 @@ enum class AlltoallAlgo {
 };
 
 /// `to_send[d]` is the payload for communicator rank d (slot rank() is
-/// copied through locally). Returns `from[s]` = payload sent by rank s.
-std::vector<Buf> alltoallv(const sim::Comm& comm, std::vector<Buf> to_send,
-                           AlltoallAlgo algo = AlltoallAlgo::kBruck);
+/// forwarded through locally). Returns `from[s]` = payload sent by rank s.
+std::vector<Buffer> alltoallv(const sim::Comm& comm,
+                              std::vector<Buffer> to_send,
+                              AlltoallAlgo algo = AlltoallAlgo::kBruck);
+
+/// Scratch-vector convenience overload: adopts each per-destination vector
+/// into a Buffer without copying.
+std::vector<Buffer> alltoallv(const sim::Comm& comm, std::vector<Buf> to_send,
+                              AlltoallAlgo algo = AlltoallAlgo::kBruck);
 
 }  // namespace catrsm::coll

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -23,6 +24,12 @@ std::vector<std::size_t> offsets_of(const Counts& counts) {
 
 }  // namespace
 
+int coll_tag(CollOp op, const sim::Comm& comm) {
+  return kTagBase + static_cast<int>(op) * kEpochSpace +
+         static_cast<int>(comm.epoch() %
+                          static_cast<std::uint64_t>(kEpochSpace));
+}
+
 Counts even_counts(std::size_t total, int parts) {
   CATRSM_CHECK(parts >= 1, "even_counts: parts must be positive");
   Counts counts(static_cast<std::size_t>(parts));
@@ -37,34 +44,36 @@ Counts even_counts(std::size_t total, int parts) {
 // Bruck all-gather: after stage with `have` blocks, rank r holds the cyclic
 // block window {r, r+1, ..., r+have-1 (mod g)}. Each round doubles the
 // window (last round may be partial), giving ceil(log g) rounds and
-// total - own received words.
+// total - own received words. Blocks are views: each round's incoming
+// payload is sliced, not copied, and a window re-forwarded intact travels
+// as one wider slice of the same slab.
 
-Buf allgather(const sim::Comm& comm, std::span<const double> mine,
-              const Counts& counts) {
+Buffer allgather(const sim::Comm& comm, Buffer mine, const Counts& counts) {
   const int g = comm.size();
   CATRSM_CHECK(static_cast<int>(counts.size()) == g,
                "allgather: counts size mismatch");
   const int r = comm.rank();
   CATRSM_CHECK(mine.size() == counts[static_cast<std::size_t>(r)],
                "allgather: contribution size mismatch");
+  const int tag = coll_tag(CollOp::kAllgather, comm);
 
-  std::vector<Buf> blocks(static_cast<std::size_t>(g));
-  blocks[static_cast<std::size_t>(r)].assign(mine.begin(), mine.end());
+  std::vector<Buffer> blocks(static_cast<std::size_t>(g));
+  blocks[static_cast<std::size_t>(r)] = std::move(mine);
 
+  std::vector<Buffer> window;
   int have = 1;
   while (have < g) {
     const int send_cnt = std::min(have, g - have);
     const int dst = ((r - have) % g + g) % g;
     const int src = (r + have) % g;
 
-    // Concatenate my first `send_cnt` window blocks {r, ..., r+send_cnt-1}.
-    Buf payload;
-    for (int b = 0; b < send_cnt; ++b) {
-      const auto id = static_cast<std::size_t>((r + b) % g);
-      payload.insert(payload.end(), blocks[id].begin(), blocks[id].end());
-    }
-    const Buf incoming =
-        comm.shift(dst, src, payload, kTagAllgather);
+    // My first `send_cnt` window blocks {r, ..., r+send_cnt-1}, coalesced
+    // into one payload (a single slice when they already share a slab).
+    window.clear();
+    for (int b = 0; b < send_cnt; ++b)
+      window.push_back(blocks[static_cast<std::size_t>((r + b) % g)]);
+    const Buffer incoming =
+        comm.shift(dst, src, sim::concat(window), tag);
 
     // Incoming holds blocks {r+have, ..., r+have+send_cnt-1}; slice by the
     // globally known counts.
@@ -73,27 +82,19 @@ Buf allgather(const sim::Comm& comm, std::span<const double> mine,
       const auto id = static_cast<std::size_t>((r + have + b) % g);
       CATRSM_ASSERT(pos + counts[id] <= incoming.size(),
                     "allgather: short payload");
-      blocks[id].assign(incoming.begin() + static_cast<std::ptrdiff_t>(pos),
-                        incoming.begin() +
-                            static_cast<std::ptrdiff_t>(pos + counts[id]));
+      blocks[id] = incoming.slice(pos, counts[id]);
       pos += counts[id];
     }
     CATRSM_ASSERT(pos == incoming.size(), "allgather: long payload");
     have += send_cnt;
   }
 
-  Buf out;
-  out.reserve(sum_counts(counts));
-  for (int b = 0; b < g; ++b) {
-    const auto& blk = blocks[static_cast<std::size_t>(b)];
-    out.insert(out.end(), blk.begin(), blk.end());
-  }
-  return out;
+  return sim::concat(blocks);
 }
 
-Buf allgather_equal(const sim::Comm& comm, std::span<const double> mine) {
-  return allgather(comm, mine,
-                   Counts(static_cast<std::size_t>(comm.size()), mine.size()));
+Buffer allgather_equal(const sim::Comm& comm, Buffer mine) {
+  Counts counts(static_cast<std::size_t>(comm.size()), mine.size());
+  return allgather(comm, std::move(mine), counts);
 }
 
 // ---------------------------------------------------------------------------
@@ -105,11 +106,13 @@ namespace {
 /// Recursive halving among ranks [0, g2) of `comm` (g2 a power of two),
 /// where rank q is responsible for the segment [super_off[q], super_off[q+1])
 /// of the working vector. Returns this rank's final segment.
-Buf halving_core(const sim::Comm& comm, Buf work,
-                 const std::vector<std::size_t>& super_off, int g2) {
+Buffer halving_core(const sim::Comm& comm, Buffer work,
+                    const std::vector<std::size_t>& super_off, int g2,
+                    int tag) {
   const int r = comm.rank();
   int lo = 0, hi = g2;
-  // Track the live window of `work`: it always spans segments [lo, hi).
+  // Track the live window of `work`: it always spans segments [lo, hi),
+  // with base == super_off[lo].
   std::size_t base = super_off[0];
   auto& ctx = comm.ctx();
   while (hi - lo > 1) {
@@ -120,25 +123,24 @@ Buf halving_core(const sim::Comm& comm, Buf work,
     const std::size_t lo_off = super_off[static_cast<std::size_t>(lo)];
     const std::size_t hi_off = super_off[static_cast<std::size_t>(hi)];
 
-    std::span<const double> send_part, keep_part;
-    std::span<const double> w(work);
-    const std::size_t lo_len = cut - lo_off;
+    // The half I keep accumulates; the other half ships as a zero-copy
+    // slice of the working buffer.
+    Buffer send_part, keep_part;
     if (lower) {
-      send_part = w.subspan(lo_len - (lo_off - base) + (lo_off - base),
-                            hi_off - cut);
-      keep_part = w.subspan(lo_off - base, lo_len);
+      send_part = work.slice(cut - base, hi_off - cut);
+      keep_part = work.slice(lo_off - base, cut - lo_off);
     } else {
-      send_part = w.subspan(lo_off - base, lo_len);
-      keep_part = w.subspan(cut - base, hi_off - cut);
+      send_part = work.slice(lo_off - base, cut - lo_off);
+      keep_part = work.slice(cut - base, hi_off - cut);
     }
     const int peer = lower ? r + half : r - half;
-    Buf incoming = comm.sendrecv(peer, send_part, kTagReduceScatter);
+    const Buffer incoming = comm.sendrecv(peer, std::move(send_part), tag);
     CATRSM_ASSERT(incoming.size() == keep_part.size(),
                   "reduce_scatter: segment size mismatch");
-    Buf next(keep_part.begin(), keep_part.end());
+    std::vector<double> next(keep_part.begin(), keep_part.end());
     for (std::size_t i = 0; i < next.size(); ++i) next[i] += incoming[i];
     ctx.charge_flops(static_cast<double>(next.size()));
-    work = std::move(next);
+    work = Buffer(std::move(next));
     if (lower) {
       hi = mid;
     } else {
@@ -151,15 +153,16 @@ Buf halving_core(const sim::Comm& comm, Buf work,
 
 }  // namespace
 
-Buf reduce_scatter(const sim::Comm& comm, std::span<const double> full,
-                   const Counts& counts) {
+Buffer reduce_scatter(const sim::Comm& comm, Buffer full,
+                      const Counts& counts) {
   const int g = comm.size();
   CATRSM_CHECK(static_cast<int>(counts.size()) == g,
                "reduce_scatter: counts size mismatch");
   CATRSM_CHECK(full.size() == sum_counts(counts),
                "reduce_scatter: input must cover every segment");
   const int r = comm.rank();
-  if (g == 1) return Buf(full.begin(), full.end());
+  if (g == 1) return full;
+  const int tag = coll_tag(CollOp::kReduceScatter, comm);
 
   const auto off = offsets_of(counts);
 
@@ -169,35 +172,38 @@ Buf reduce_scatter(const sim::Comm& comm, std::span<const double> full,
   while (g2 * 2 <= g) g2 *= 2;
   const int extras = g - g2;
 
-  Buf work(full.begin(), full.end());
+  Buffer work = std::move(full);
   if (extras > 0) {
     if (r >= g2) {
-      comm.send(r - g2, work, kTagReduceScatter);
-      Buf result = comm.recv(r - g2, kTagReduceScatter);
+      comm.send(r - g2, std::move(work), tag);
+      Buffer result = comm.recv(r - g2, tag);
       CATRSM_ASSERT(result.size() == counts[static_cast<std::size_t>(r)],
                     "reduce_scatter: fold-out size mismatch");
       return result;
     }
     if (r < extras) {
-      const Buf other = comm.recv(r + g2, kTagReduceScatter);
+      const Buffer other = comm.recv(r + g2, tag);
       CATRSM_ASSERT(other.size() == work.size(),
                     "reduce_scatter: fold-in size mismatch");
-      for (std::size_t i = 0; i < work.size(); ++i) work[i] += other[i];
-      comm.ctx().charge_flops(static_cast<double>(work.size()));
+      std::vector<double> sum(work.begin(), work.end());
+      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += other[i];
+      comm.ctx().charge_flops(static_cast<double>(sum.size()));
+      work = Buffer(std::move(sum));
     }
   }
 
   // Super-segments: halving rank q owns block q plus (if q < extras) the
   // extra partner's block g2+q. Build a permuted working vector grouped by
-  // super-segment so halving_core can use contiguous spans.
+  // super-segment so halving_core can use contiguous slices.
   std::vector<std::size_t> super_off(static_cast<std::size_t>(g2) + 1, 0);
-  Buf grouped;
+  std::vector<double> grouped;
   grouped.reserve(work.size());
   for (int q = 0; q < g2; ++q) {
     super_off[static_cast<std::size_t>(q)] = grouped.size();
-    grouped.insert(grouped.end(),
-                   work.begin() + static_cast<std::ptrdiff_t>(off[static_cast<std::size_t>(q)]),
-                   work.begin() + static_cast<std::ptrdiff_t>(off[static_cast<std::size_t>(q) + 1]));
+    grouped.insert(
+        grouped.end(),
+        work.begin() + static_cast<std::ptrdiff_t>(off[static_cast<std::size_t>(q)]),
+        work.begin() + static_cast<std::ptrdiff_t>(off[static_cast<std::size_t>(q) + 1]));
     if (q < extras) {
       const auto b = static_cast<std::size_t>(g2 + q);
       grouped.insert(grouped.end(),
@@ -205,10 +211,10 @@ Buf reduce_scatter(const sim::Comm& comm, std::span<const double> full,
                      work.begin() + static_cast<std::ptrdiff_t>(off[b + 1]));
     }
   }
-  // Fix offsets: recompute cumulatively (the loop above recorded starts).
   super_off[static_cast<std::size_t>(g2)] = grouped.size();
 
-  Buf segment = halving_core(comm, std::move(grouped), super_off, g2);
+  Buffer segment =
+      halving_core(comm, Buffer(std::move(grouped)), super_off, g2, tag);
 
   // Fold out: forward the extra partner's block.
   const std::size_t my_len = counts[static_cast<std::size_t>(r)];
@@ -216,10 +222,8 @@ Buf reduce_scatter(const sim::Comm& comm, std::span<const double> full,
     CATRSM_ASSERT(segment.size() ==
                       my_len + counts[static_cast<std::size_t>(g2 + r)],
                   "reduce_scatter: super-segment size mismatch");
-    std::span<const double> rest(segment.data() + my_len,
-                                 segment.size() - my_len);
-    comm.send(g2 + r, rest, kTagReduceScatter);
-    segment.resize(my_len);
+    comm.send(g2 + r, segment.slice(my_len, segment.size() - my_len), tag);
+    segment = segment.slice(0, my_len);
   } else {
     CATRSM_ASSERT(segment.size() == my_len,
                   "reduce_scatter: segment size mismatch");
@@ -255,54 +259,48 @@ std::vector<Split> path_of(int rel, int g) {
 
 }  // namespace
 
-Buf scatter(const sim::Comm& comm, int root, std::span<const double> all,
-            const Counts& counts) {
+Buffer scatter(const sim::Comm& comm, int root, Buffer all,
+               const Counts& counts) {
   const int g = comm.size();
   CATRSM_CHECK(static_cast<int>(counts.size()) == g,
                "scatter: counts size mismatch");
   CATRSM_CHECK(root >= 0 && root < g, "scatter: bad root");
   const int r = comm.rank();
   const int rel = ((r - root) % g + g) % g;
+  const int tag = coll_tag(CollOp::kScatter, comm);
 
   // Block index for relative rank q is the absolute rank (q + root) % g;
-  // `held` stores blocks for the relative range this rank currently owns.
+  // `held` stores views of the blocks this rank currently routes.
   auto abs_of = [&](int q) { return (q + root) % g; };
   auto count_of = [&](int q) {
     return counts[static_cast<std::size_t>(abs_of(q))];
   };
 
-  std::vector<Buf> held(static_cast<std::size_t>(g));
+  std::vector<Buffer> held(static_cast<std::size_t>(g));
   if (rel == 0) {
     CATRSM_CHECK(all.size() == sum_counts(counts),
                  "scatter: root payload must cover every block");
     const auto off = offsets_of(counts);
     for (int q = 0; q < g; ++q) {
-      const int a = abs_of(q);
-      held[static_cast<std::size_t>(q)].assign(
-          all.begin() + static_cast<std::ptrdiff_t>(off[static_cast<std::size_t>(a)]),
-          all.begin() +
-              static_cast<std::ptrdiff_t>(off[static_cast<std::size_t>(a) + 1]));
+      const auto a = static_cast<std::size_t>(abs_of(q));
+      held[static_cast<std::size_t>(q)] = all.slice(off[a], counts[a]);
     }
   }
 
+  std::vector<Buffer> window;
   for (const Split& s : path_of(rel, g)) {
     if (rel == s.lo) {
-      Buf payload;
-      for (int q = s.mid; q < s.hi; ++q) {
-        auto& blk = held[static_cast<std::size_t>(q)];
-        payload.insert(payload.end(), blk.begin(), blk.end());
-        blk.clear();
-      }
-      comm.send(abs_of(s.mid), payload, kTagScatter);
+      window.assign(held.begin() + s.mid, held.begin() + s.hi);
+      for (int q = s.mid; q < s.hi; ++q)
+        held[static_cast<std::size_t>(q)] = Buffer{};
+      comm.send(abs_of(s.mid), sim::concat(window), tag);
     } else if (rel == s.mid) {
-      const Buf payload = comm.recv(abs_of(s.lo), kTagScatter);
+      const Buffer payload = comm.recv(abs_of(s.lo), tag);
       std::size_t pos = 0;
       for (int q = s.mid; q < s.hi; ++q) {
         const std::size_t c = count_of(q);
         CATRSM_ASSERT(pos + c <= payload.size(), "scatter: short payload");
-        held[static_cast<std::size_t>(q)].assign(
-            payload.begin() + static_cast<std::ptrdiff_t>(pos),
-            payload.begin() + static_cast<std::ptrdiff_t>(pos + c));
+        held[static_cast<std::size_t>(q)] = payload.slice(pos, c);
         pos += c;
       }
       CATRSM_ASSERT(pos == payload.size(), "scatter: long payload");
@@ -311,14 +309,15 @@ Buf scatter(const sim::Comm& comm, int root, std::span<const double> all,
   return std::move(held[static_cast<std::size_t>(rel)]);
 }
 
-Buf gather(const sim::Comm& comm, int root, std::span<const double> mine,
-           const Counts& counts) {
+Buffer gather(const sim::Comm& comm, int root, Buffer mine,
+              const Counts& counts) {
   const int g = comm.size();
   CATRSM_CHECK(static_cast<int>(counts.size()) == g,
                "gather: counts size mismatch");
   CATRSM_CHECK(root >= 0 && root < g, "gather: bad root");
   const int r = comm.rank();
   const int rel = ((r - root) % g + g) % g;
+  const int tag = coll_tag(CollOp::kGather, comm);
   auto abs_of = [&](int q) { return (q + root) % g; };
   auto count_of = [&](int q) {
     return counts[static_cast<std::size_t>(abs_of(q))];
@@ -326,88 +325,81 @@ Buf gather(const sim::Comm& comm, int root, std::span<const double> mine,
   CATRSM_CHECK(mine.size() == count_of(rel),
                "gather: contribution size mismatch");
 
-  std::vector<Buf> held(static_cast<std::size_t>(g));
-  held[static_cast<std::size_t>(rel)].assign(mine.begin(), mine.end());
+  std::vector<Buffer> held(static_cast<std::size_t>(g));
+  held[static_cast<std::size_t>(rel)] = std::move(mine);
 
   const auto path = path_of(rel, g);
+  std::vector<Buffer> window;
   for (auto it = path.rbegin(); it != path.rend(); ++it) {
     const Split& s = *it;
     if (rel == s.lo) {
-      const Buf payload = comm.recv(abs_of(s.mid), kTagGather);
+      const Buffer payload = comm.recv(abs_of(s.mid), tag);
       std::size_t pos = 0;
       for (int q = s.mid; q < s.hi; ++q) {
         const std::size_t c = count_of(q);
         CATRSM_ASSERT(pos + c <= payload.size(), "gather: short payload");
-        held[static_cast<std::size_t>(q)].assign(
-            payload.begin() + static_cast<std::ptrdiff_t>(pos),
-            payload.begin() + static_cast<std::ptrdiff_t>(pos + c));
+        held[static_cast<std::size_t>(q)] = payload.slice(pos, c);
         pos += c;
       }
       CATRSM_ASSERT(pos == payload.size(), "gather: long payload");
     } else if (rel == s.mid) {
-      Buf payload;
-      for (int q = s.mid; q < s.hi; ++q) {
-        auto& blk = held[static_cast<std::size_t>(q)];
-        payload.insert(payload.end(), blk.begin(), blk.end());
-        blk.clear();
-      }
-      comm.send(abs_of(s.lo), payload, kTagGather);
+      window.assign(held.begin() + s.mid, held.begin() + s.hi);
+      comm.send(abs_of(s.lo), sim::concat(window), tag);
       return {};  // done: everything forwarded to the parent
     }
   }
 
   if (rel != 0) return {};
-  Buf out;
+  std::vector<Buffer> ordered(static_cast<std::size_t>(g));
   for (int a = 0; a < g; ++a) {
     const int q = ((a - root) % g + g) % g;
-    const auto& blk = held[static_cast<std::size_t>(q)];
+    const Buffer& blk = held[static_cast<std::size_t>(q)];
     CATRSM_ASSERT(blk.size() == counts[static_cast<std::size_t>(a)],
                   "gather: missing block");
-    out.insert(out.end(), blk.begin(), blk.end());
+    ordered[static_cast<std::size_t>(a)] = blk;
   }
-  return out;
+  return sim::concat(ordered);
 }
 
 // ---------------------------------------------------------------------------
 // Composite collectives (Chan et al. constructions, as in the paper).
 
-Buf bcast(const sim::Comm& comm, int root, std::span<const double> data,
-          std::size_t count) {
+Buffer bcast(const sim::Comm& comm, int root, Buffer data, std::size_t count) {
   const int g = comm.size();
   if (g == 1) {
     CATRSM_CHECK(data.size() == count, "bcast: count mismatch at root");
-    return Buf(data.begin(), data.end());
+    return data;
   }
   if (comm.rank() == root)
     CATRSM_CHECK(data.size() == count, "bcast: count mismatch at root");
   const Counts counts = even_counts(count, g);
-  const Buf part = scatter(comm, root, data, counts);
-  return allgather(comm, part, counts);
+  Buffer part = scatter(comm, root, std::move(data), counts);
+  return allgather(comm, std::move(part), counts);
 }
 
-Buf reduce(const sim::Comm& comm, int root, std::span<const double> full) {
+Buffer reduce(const sim::Comm& comm, int root, Buffer full) {
   const int g = comm.size();
-  if (g == 1) return Buf(full.begin(), full.end());
+  if (g == 1) return full;
   const Counts counts = even_counts(full.size(), g);
-  const Buf part = reduce_scatter(comm, full, counts);
-  Buf out = gather(comm, root, part, counts);
-  return out;
+  Buffer part = reduce_scatter(comm, std::move(full), counts);
+  return gather(comm, root, std::move(part), counts);
 }
 
-Buf allreduce(const sim::Comm& comm, std::span<const double> full) {
+Buffer allreduce(const sim::Comm& comm, Buffer full) {
   const int g = comm.size();
-  if (g == 1) return Buf(full.begin(), full.end());
+  if (g == 1) return full;
   const Counts counts = even_counts(full.size(), g);
-  const Buf part = reduce_scatter(comm, full, counts);
-  return allgather(comm, part, counts);
+  Buffer part = reduce_scatter(comm, std::move(full), counts);
+  return allgather(comm, std::move(part), counts);
 }
 
 void barrier(const sim::Comm& comm) {
   const int g = comm.size();
+  const int tag = coll_tag(CollOp::kBarrier, comm);
   for (int d = 1; d < g; d <<= 1) {
     const int dst = (comm.rank() + d) % g;
     const int src = ((comm.rank() - d) % g + g) % g;
-    comm.shift(dst, src, {}, kTagBarrier);
+    comm.shift(dst, src, {}, tag);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <tuple>
+#include <utility>
 
 #include "coll/collectives.hpp"
 #include "support/check.hpp"
@@ -32,7 +33,9 @@ void check_owners_inside(const Distribution& d, const sim::Comm& comm,
 /// dst global map(i, j); `inv` is the inverse mapping. The sender emits
 /// ascending-(i, j) streams per destination; the receiver consumes each
 /// source stream in the same ascending source order, reconstructed from
-/// `inv` — so no indices travel with the data.
+/// `inv` — so no indices travel with the data. All outgoing streams pack
+/// into one slab and ship as per-destination views of it (no per-element
+/// push_back growth, no per-destination copies).
 DistMatrix remap(const DistMatrix& src,
                  std::shared_ptr<const Distribution> dst,
                  const sim::Comm& comm,
@@ -46,23 +49,47 @@ DistMatrix remap(const DistMatrix& src,
   const int g = comm.size();
   const int me = comm.ctx().id();
 
-  std::vector<coll::Buf> outgoing(static_cast<std::size_t>(g));
+  std::vector<coll::Buffer> outgoing(static_cast<std::size_t>(g));
   if (src.participates()) {
     const auto& rows = src.my_rows();
     const auto& cols = src.my_cols();
+    // Pass 1: destination comm rank of every local element, and the
+    // per-destination stream lengths.
+    std::vector<int> dest(rows.size() * cols.size());
+    std::vector<std::size_t> counts(static_cast<std::size_t>(g), 0);
+    std::size_t e = 0;
     for (std::size_t r = 0; r < rows.size(); ++r) {
       for (std::size_t c = 0; c < cols.size(); ++c) {
         const auto [ti, tj] = map(rows[r], cols[c]);
         const int w = dst->world_rank_of(dst->part_of_row(ti),
                                          dst->part_of_col(tj));
         const int t = comm.index_of_world(w);
-        outgoing[static_cast<std::size_t>(t)].push_back(
-            src.local()(static_cast<index_t>(r), static_cast<index_t>(c)));
+        dest[e++] = t;
+        ++counts[static_cast<std::size_t>(t)];
       }
     }
+    // Pass 2: pack every stream into one slab, ascending (i, j) within
+    // each destination exactly as before.
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(g) + 1, 0);
+    for (int t = 0; t < g; ++t)
+      cursor[static_cast<std::size_t>(t) + 1] =
+          cursor[static_cast<std::size_t>(t)] +
+          counts[static_cast<std::size_t>(t)];
+    const std::vector<std::size_t> offsets(cursor.begin(), cursor.end() - 1);
+    std::vector<double> slab(dest.size());
+    e = 0;
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      for (std::size_t c = 0; c < cols.size(); ++c)
+        slab[cursor[static_cast<std::size_t>(dest[e++])]++] =
+            src.local()(static_cast<index_t>(r), static_cast<index_t>(c));
+    const coll::Buffer packed(std::move(slab));
+    for (int t = 0; t < g; ++t)
+      outgoing[static_cast<std::size_t>(t)] =
+          packed.slice(offsets[static_cast<std::size_t>(t)],
+                       counts[static_cast<std::size_t>(t)]);
   }
 
-  std::vector<coll::Buf> incoming =
+  std::vector<coll::Buffer> incoming =
       coll::alltoallv(comm, std::move(outgoing), algo);
 
   DistMatrix out(std::move(dst), me);
@@ -198,7 +225,7 @@ la::Matrix gather_region(const Distribution& d, const la::Matrix& local,
     }
   }
 
-  const coll::Buf all = coll::allgather(comm, mine, counts);
+  const coll::Buffer all = coll::allgather(comm, std::move(mine), counts);
 
   la::Matrix out(rhi - rlo, chi - clo);
   std::size_t pos = 0;

@@ -103,7 +103,8 @@ DistMatrix cholesky_dist(const DistMatrix& a, const sim::Comm& comm,
         for (const index_t j : cols_of[static_cast<std::size_t>(gj)])
           mine.push_back(acur(lr, local_col_of(j)));
       }
-      const coll::Buf all = coll::allgather(rowc, mine, counts);
+      const coll::Buffer all =
+          coll::allgather(rowc, std::move(mine), counts);
       std::size_t pos = 0;
       for (int w = 0; w < q; ++w)
         for (index_t r = 0; r < static_cast<index_t>(trail_rows.size()); ++r)
@@ -135,13 +136,14 @@ DistMatrix cholesky_dist(const DistMatrix& a, const sim::Comm& comm,
     Matrix mirror_panel = apanel;
     if (gi != gj) {
       const int peer = face.at(gj, gi);
-      coll::Buf got = comm.sendrecv(peer, apanel.data(), kTagPanelExchange);
+      coll::Buffer got =
+          comm.sendrecv(peer, apanel.data(), kTagPanelExchange);
       index_t peer_rows = 0;
       for (const index_t c : my_cols)
         if (c >= o + sz) ++peer_rows;
       CATRSM_ASSERT(static_cast<index_t>(got.size()) == peer_rows * sz,
                     "cholesky_dist: mirror panel size mismatch");
-      mirror_panel = Matrix(peer_rows, sz, std::move(got));
+      mirror_panel = Matrix(peer_rows, sz, std::move(got).take());
     }
 
     if (!trail_rows.empty() && mirror_panel.rows() > 0) {

@@ -108,7 +108,8 @@ DistMatrix mm3d(const DistMatrix& a, const DistMatrix& x,
       counts[static_cast<std::size_t>(z)] =
           static_cast<std::size_t>(shape.first * shape.second);
     }
-    const coll::Buf all = coll::allgather(zf, a3d.local().data(), counts);
+    const coll::Buffer all =
+        coll::allgather(zf, a3d.local().data(), counts);
     // Piece z holds rows with (i / p1) ≡ z (mod p2); interleave them back:
     // local row t of A' (global i = x + p1 t) came from piece z = t % p2.
     std::size_t pos = 0;
@@ -140,7 +141,8 @@ DistMatrix mm3d(const DistMatrix& a, const DistMatrix& x,
       counts[static_cast<std::size_t>(xx)] =
           static_cast<std::size_t>(shape.first * shape.second);
     }
-    const coll::Buf all = coll::allgather(xf, xpre.local().data(), counts);
+    const coll::Buffer all =
+        coll::allgather(xf, xpre.local().data(), counts);
     // Piece x holds panel rows t ≡ x (mod p1) (t indexes rows i = y + p1 t).
     std::size_t pos = 0;
     for (int xx = 0; xx < p1; ++xx) {
@@ -179,9 +181,9 @@ DistMatrix mm3d(const DistMatrix& a, const DistMatrix& x,
     }
     CATRSM_ASSERT(gr == a_rows, "mm3d: grouping row count mismatch");
     sim::Comm yf = grid.y_fiber();
-    coll::Buf mine = coll::reduce_scatter(yf, grouped.data(), counts);
+    coll::Buffer mine = coll::reduce_scatter(yf, grouped.data(), counts);
     const index_t my_share_rows = strided_count(a_rows, p1, my);
-    breduced = la::Matrix(my_share_rows, panel_cols, std::move(mine));
+    breduced = la::Matrix(my_share_rows, panel_cols, std::move(mine).take());
   }
   if (alpha != 1.0) breduced.scale(alpha);
 

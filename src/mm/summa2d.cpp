@@ -68,7 +68,8 @@ DistMatrix summa2d(const DistMatrix& a, const DistMatrix& x, index_t nb) {
           mine.push_back(a.local()(static_cast<index_t>(r), j / pc));
         }
       }
-      const coll::Buf all = coll::allgather(rowc, mine, counts);
+      const coll::Buffer all =
+          coll::allgather(rowc, std::move(mine), counts);
       std::size_t pos = 0;
       for (int q = 0; q < pc; ++q) {
         const auto& cols_q = owned_cols[static_cast<std::size_t>(q)];
@@ -102,7 +103,8 @@ DistMatrix summa2d(const DistMatrix& a, const DistMatrix& x, index_t nb) {
         for (std::size_t cidx = 0; cidx < my_xcols.size(); ++cidx)
           mine.push_back(x.local()(i / pr, static_cast<index_t>(cidx)));
 
-      const coll::Buf all = coll::allgather(colc, mine, counts);
+      const coll::Buffer all =
+          coll::allgather(colc, std::move(mine), counts);
       std::size_t pos = 0;
       for (int q = 0; q < pr; ++q) {
         for (const index_t i : owned_rows[static_cast<std::size_t>(q)])

@@ -1,0 +1,77 @@
+#include "sim/buffer.hpp"
+
+#include "support/check.hpp"
+
+namespace catrsm::sim {
+
+Buffer Buffer::slice(std::size_t off, std::size_t len) const {
+  CATRSM_CHECK(off + len <= len_, "Buffer::slice: view out of range");
+  if (len == 0) return Buffer{};
+  return Buffer(slab_, off_ + off, len);
+}
+
+double* Buffer::mutable_data() {
+  if (!slab_) return nullptr;
+  if (slab_.use_count() != 1) {
+    auto copy = std::make_shared<std::vector<double>>(begin(), end());
+    slab_ = std::move(copy);
+    off_ = 0;
+  }
+  return slab_->data() + off_;
+}
+
+std::vector<double> Buffer::take() && {
+  if (!slab_) return {};
+  if (slab_.use_count() == 1 && off_ == 0 && len_ == slab_->size()) {
+    std::vector<double> out = std::move(*slab_);
+    slab_.reset();
+    len_ = 0;
+    return out;
+  }
+  return to_vector();
+}
+
+Buffer concat(std::span<const Buffer> parts) {
+  std::size_t total = 0;
+  for (const Buffer& p : parts) total += p.size();
+  if (total == 0) return Buffer{};
+
+  // Single non-empty part: forward the view itself.
+  const Buffer* only = nullptr;
+  for (const Buffer& p : parts) {
+    if (p.empty()) continue;
+    if (only != nullptr) {
+      only = nullptr;
+      break;
+    }
+    only = &p;
+  }
+  if (only != nullptr) return *only;
+
+  // Adjacent slices of one slab concatenate to a wider slice of that slab.
+  const Buffer* first = nullptr;
+  bool contiguous = true;
+  std::size_t next_off = 0;
+  for (const Buffer& p : parts) {
+    if (p.empty()) continue;
+    if (first == nullptr) {
+      first = &p;
+      next_off = p.offset() + p.size();
+      continue;
+    }
+    if (!p.aliases(*first) || p.offset() != next_off) {
+      contiguous = false;
+      break;
+    }
+    next_off += p.size();
+  }
+  if (first != nullptr && contiguous)
+    return Buffer(first->slab_, first->off_, total);
+
+  std::vector<double> packed;
+  packed.reserve(total);
+  for (const Buffer& p : parts) packed.insert(packed.end(), p.begin(), p.end());
+  return Buffer(std::move(packed));
+}
+
+}  // namespace catrsm::sim

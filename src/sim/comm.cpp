@@ -6,7 +6,10 @@
 namespace catrsm::sim {
 
 Comm::Comm(Rank& rank, std::vector<int> members)
-    : rank_(&rank), members_(std::move(members)), my_index_(-1) {
+    : rank_(&rank),
+      members_(std::move(members)),
+      my_index_(-1),
+      epoch_(rank.comm_epoch(members_)) {
   CATRSM_CHECK(!members_.empty(), "communicator cannot be empty");
   for (std::size_t i = 0; i < members_.size(); ++i) {
     const int m = members_[i];
@@ -38,22 +41,20 @@ int Comm::index_of_world(int w) const {
   return -1;
 }
 
-void Comm::send(int dst, std::span<const double> data, int tag) const {
-  rank_->send(world_rank(dst), data, tag);
+void Comm::send(int dst, Buffer data, int tag) const {
+  rank_->send(world_rank(dst), std::move(data), tag);
 }
 
-std::vector<double> Comm::recv(int src, int tag) const {
+Buffer Comm::recv(int src, int tag) const {
   return rank_->recv(world_rank(src), tag);
 }
 
-std::vector<double> Comm::sendrecv(int peer, std::span<const double> data,
-                                   int tag) const {
-  return rank_->sendrecv(world_rank(peer), data, tag);
+Buffer Comm::sendrecv(int peer, Buffer data, int tag) const {
+  return rank_->sendrecv(world_rank(peer), std::move(data), tag);
 }
 
-std::vector<double> Comm::shift(int dst, int src,
-                                std::span<const double> data, int tag) const {
-  return rank_->shift(world_rank(dst), world_rank(src), data, tag);
+Buffer Comm::shift(int dst, int src, Buffer data, int tag) const {
+  return rank_->shift(world_rank(dst), world_rank(src), std::move(data), tag);
 }
 
 Comm Comm::subset(const std::vector<int>& indices) const {

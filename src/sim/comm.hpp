@@ -5,9 +5,10 @@
 // construct the same group locally (the MPI_Group / MPI_Comm_create_group
 // pattern rather than MPI_Comm_split).
 
-#include <span>
+#include <cstdint>
 #include <vector>
 
+#include "sim/buffer.hpp"
 #include "sim/machine.hpp"
 
 namespace catrsm::sim {
@@ -37,13 +38,22 @@ class Comm {
   /// The underlying simulated rank context.
   Rank& ctx() const { return *rank_; }
 
+  /// Identity of this group: a sequential id from the machine's epoch
+  /// registry, identical on every member (the registry keys on the
+  /// ordered member list) and never shared by two distinct groups.
+  /// Collectives fold it into their message tags so that collectives
+  /// running concurrently on overlapping subgroups (e.g. a row fiber and
+  /// a column fiber sharing one rank, or a subgroup nested in its
+  /// parent) never cross-match each other's messages.
+  std::uint64_t epoch() const { return epoch_; }
+
   /// Point-to-point within the group (ranks are communicator-relative).
-  void send(int dst, std::span<const double> data, int tag) const;
-  std::vector<double> recv(int src, int tag) const;
-  std::vector<double> sendrecv(int peer, std::span<const double> data,
-                               int tag) const;
-  std::vector<double> shift(int dst, int src, std::span<const double> data,
-                            int tag) const;
+  /// Payloads are zero-copy sim::Buffer views; spans and vectors convert
+  /// at the call site (vector rvalues adopt their storage without a copy).
+  void send(int dst, Buffer data, int tag) const;
+  Buffer recv(int src, int tag) const;
+  Buffer sendrecv(int peer, Buffer data, int tag) const;
+  Buffer shift(int dst, int src, Buffer data, int tag) const;
 
   /// Subgroup from communicator-relative indices (must include my rank).
   Comm subset(const std::vector<int>& indices) const;
@@ -59,6 +69,7 @@ class Comm {
   Rank* rank_;
   std::vector<int> members_;
   int my_index_;
+  std::uint64_t epoch_;
 };
 
 }  // namespace catrsm::sim

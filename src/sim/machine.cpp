@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <exception>
-#include <thread>
+#include <utility>
 
 namespace catrsm::sim {
 
@@ -31,19 +31,17 @@ const std::string& Rank::phase() const {
   return phase_stack_.empty() ? kNone : phase_stack_.back();
 }
 
-void Rank::send(int dst, std::span<const double> data, int tag) {
+void Rank::send(int dst, Buffer data, int tag) {
   CATRSM_CHECK(dst >= 0 && dst < nprocs_, "send: bad destination rank");
   CATRSM_CHECK(dst != id_, "send: self-sends are a bug in SPMD code");
-  Machine::Message msg;
-  msg.data.assign(data.begin(), data.end());
-  msg.sender_vtime = vtime_;
   const double w = static_cast<double>(data.size());
+  Machine::Message msg{std::move(data), vtime_};
   account(1.0, w, 0.0);
   vtime_ += params().alpha + params().beta * w;
   machine_->deliver(id_, dst, tag, std::move(msg));
 }
 
-std::vector<double> Rank::recv(int src, int tag) {
+Buffer Rank::recv(int src, int tag) {
   CATRSM_CHECK(src >= 0 && src < nprocs_, "recv: bad source rank");
   CATRSM_CHECK(src != id_, "recv: self-receives are a bug in SPMD code");
   Machine::Message msg = machine_->take(id_, src, tag);
@@ -57,28 +55,22 @@ std::vector<double> Rank::recv(int src, int tag) {
   return std::move(msg.data);
 }
 
-std::vector<double> Rank::sendrecv(int peer, std::span<const double> data,
-                                   int tag) {
-  return shift(peer, peer, data, tag);
+Buffer Rank::sendrecv(int peer, Buffer data, int tag) {
+  return shift(peer, peer, std::move(data), tag);
 }
 
-std::vector<double> Rank::shift(int dst, int src, std::span<const double> data,
-                                int tag) {
+Buffer Rank::shift(int dst, int src, Buffer data, int tag) {
   CATRSM_CHECK(dst >= 0 && dst < nprocs_, "shift: bad destination rank");
   CATRSM_CHECK(src >= 0 && src < nprocs_, "shift: bad source rank");
   CATRSM_CHECK(dst != id_ && src != id_, "shift: peers must differ from self");
-  Machine::Message out;
-  out.data.assign(data.begin(), data.end());
-  out.sender_vtime = vtime_;
-  machine_->deliver(id_, dst, tag, std::move(out));
+  const double sent = static_cast<double>(data.size());
+  machine_->deliver(id_, dst, tag, Machine::Message{std::move(data), vtime_});
   Machine::Message in = machine_->take(id_, src, tag);
   // One simultaneous exchange round: a single latency unit, and the wire
   // carries both directions concurrently, so the clock advances by the
   // larger payload only (paper Section II-A: "every processor can send and
   // receive one message at a time").
-  const double w =
-      std::max(static_cast<double>(data.size()),
-               static_cast<double>(in.data.size()));
+  const double w = std::max(sent, static_cast<double>(in.data.size()));
   account(1.0, w, 0.0);
   vtime_ = std::max(vtime_, in.sender_vtime) + params().alpha +
            params().beta * w;
@@ -92,6 +84,13 @@ void Rank::charge_flops(double f) {
 }
 
 const MachineParams& Rank::params() const { return machine_->params_; }
+
+std::uint64_t Rank::comm_epoch(const std::vector<int>& members) {
+  std::lock_guard<std::mutex> lock(machine_->epoch_mu_);
+  auto [it, inserted] = machine_->epoch_ids_.try_emplace(
+      members, machine_->epoch_ids_.size());
+  return it->second;
+}
 
 // ---------------------------------------------------------------------------
 // RunStats
@@ -122,26 +121,54 @@ double RunStats::total_words() const {
 
 Machine::Machine(int p, MachineParams params) : p_(p), params_(params) {
   CATRSM_CHECK(p >= 1, "machine needs at least one rank");
-  mailboxes_.reserve(static_cast<std::size_t>(p));
-  for (int i = 0; i < p; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  mailboxes_.reserve(static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
+  for (int i = 0; i < p * p; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
 }
 
 Machine::~Machine() = default;
 
+RankScheduler& Machine::scheduler() {
+  if (!scheduler_) scheduler_ = std::make_unique<RankScheduler>(p_);
+  return *scheduler_;
+}
+
 void Machine::deliver(int src, int dst, int tag, Message msg) {
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  Mailbox& box = box_of(dst, src);
+  void* waiter = nullptr;
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.queues[{src, tag}].push_back(std::move(msg));
+    box.queue_for(tag).push_back(std::move(msg));
+    if (box.waiter != nullptr && box.waiter_tag == tag) {
+      waiter = box.waiter;
+      box.waiter = nullptr;
+    }
   }
-  box.cv.notify_all();
+  if (waiter != nullptr) {
+    RankScheduler::wake_fiber(waiter);
+  } else {
+    box.cv.notify_all();
+  }
 }
 
 Machine::Message Machine::take(int dst, int src, int tag) {
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  Mailbox& box = box_of(dst, src);
   std::unique_lock<std::mutex> lock(box.mu);
-  auto& queue = box.queues[{src, tag}];
-  box.cv.wait(lock, [&] { return !queue.empty() || aborted_.load(); });
+  auto& queue = box.queue_for(tag);
+  if (void* self = RankScheduler::current_fiber()) {
+    // Fiber backend: a blocked receive yields the worker to another rank
+    // instead of parking the OS thread.
+    while (queue.empty() && !aborted_.load()) {
+      box.waiter = self;
+      box.waiter_tag = tag;
+      lock.unlock();
+      RankScheduler::block_current_fiber();
+      lock.lock();
+    }
+    if (box.waiter == self) box.waiter = nullptr;  // abort-path cleanup
+  } else {
+    box.cv.wait(lock, [&] { return !queue.empty() || aborted_.load(); });
+  }
   if (queue.empty()) {
     // Another rank failed; propagate so the whole run unwinds cleanly.
     throw Error("simulated run aborted by failure on a peer rank");
@@ -157,14 +184,26 @@ void Machine::abort_all() {
     std::lock_guard<std::mutex> lock(box->mu);
     box->cv.notify_all();
   }
+  if (scheduler_) scheduler_->wake_all_fibers();
 }
 
 RunStats Machine::run(const std::function<void(Rank&)>& fn) {
-  // Fresh mailboxes each run so a failed previous run cannot leak state.
+  // Fresh mailboxes each run: a message the previous run left unconsumed
+  // (or a failed run's leftovers) must never FIFO-match into this run.
+  // Empty per-tag entries are kept for block reuse unless they have
+  // accumulated — a long-lived machine sees fresh tags per communicator
+  // epoch, so unbounded entry growth would make every send's tag scan
+  // linear in dead tags.
   aborted_.store(false);
+  constexpr std::size_t kMaxIdleTagEntries = 8;
   for (auto& box : mailboxes_) {
     std::lock_guard<std::mutex> lock(box->mu);
-    box->queues.clear();
+    if (box->queues.size() > kMaxIdleTagEntries) {
+      box->queues.clear();
+    } else {
+      for (auto& [tag, queue] : box->queues) queue.clear();
+    }
+    box->waiter = nullptr;
   }
 
   std::vector<std::unique_ptr<Rank>> ranks;
@@ -175,24 +214,19 @@ RunStats Machine::run(const std::function<void(Rank&)>& fn) {
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(p_));
-  for (int i = 0; i < p_; ++i) {
-    threads.emplace_back([&, i] {
-      try {
-        fn(*ranks[static_cast<std::size_t>(i)]);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        // Wake every peer blocked in take(); they observe aborted_ and
-        // unwind, so the run never hangs after a failure.
-        abort_all();
+  scheduler().run([&](int i) {
+    try {
+      fn(*ranks[static_cast<std::size_t>(i)]);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
       }
-    });
-  }
-  for (auto& t : threads) t.join();
+      // Wake every peer blocked in take(); they observe aborted_ and
+      // unwind, so the run never hangs after a failure.
+      abort_all();
+    }
+  });
   {
     std::lock_guard<std::mutex> lock(error_mu);
     if (first_error) std::rethrow_exception(first_error);

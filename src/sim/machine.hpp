@@ -1,12 +1,17 @@
 #pragma once
 // Simulated distributed-memory machine.
 //
-// p ranks execute a user SPMD function concurrently (one OS thread per
-// rank). Ranks exchange messages through matched (src, dst, tag) mailboxes.
-// Every transfer advances alpha-beta-gamma cost counters and a per-rank
-// *virtual clock*: a receive cannot complete before the sender's virtual
-// send time, so max-over-ranks of the final clocks is the exact critical
-// path length of the run under the machine parameters.
+// p ranks execute a user SPMD function concurrently as cooperative fibers
+// multiplexed over a persistent worker pool (see sim/scheduler.hpp —
+// workers and stacks are created on the first run and reused for the
+// machine's lifetime; under TSan the pool degrades to one thread per
+// rank). Ranks exchange zero-copy sim::Buffer payloads through matched
+// (src, dst, tag) mailboxes, one mailbox per ordered (dst, src) pair so
+// concurrent senders to one receiver never contend on a lock. Every transfer advances
+// alpha-beta-gamma cost counters and a per-rank *virtual clock*: a receive
+// cannot complete before the sender's virtual send time, so max-over-ranks
+// of the final clocks is the exact critical path length of the run under
+// the machine parameters.
 //
 // This is the substitution for MPI on a real cluster (see DESIGN.md §2):
 // the paper's claims are statements about S, W, F along the critical path,
@@ -20,11 +25,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/buffer.hpp"
 #include "sim/cost.hpp"
+#include "sim/scheduler.hpp"
 #include "support/check.hpp"
 
 namespace catrsm::sim {
@@ -39,27 +46,33 @@ class Rank {
   int nprocs() const { return nprocs_; }
 
   /// Point-to-point send of `data` to world rank `dst` (buffered, eager:
-  /// never blocks). Charges S += 1, W += data.size().
-  void send(int dst, std::span<const double> data, int tag);
+  /// never blocks). Zero-copy: the message shares the buffer's slab.
+  /// Charges S += 1, W += data.size().
+  void send(int dst, Buffer data, int tag);
 
   /// Blocking receive from world rank `src`. Charges S += 1, W += size and
-  /// synchronizes the virtual clock with the sender's send time.
-  std::vector<double> recv(int src, int tag);
+  /// synchronizes the virtual clock with the sender's send time. Returns a
+  /// view of the sender's slab — no copy on the receive path either.
+  Buffer recv(int src, int tag);
 
   /// Simultaneous exchange with `peer` (the butterfly primitive): one
   /// latency unit and max(sent, received) words, matching the model's
   /// simultaneous send+receive assumption.
-  std::vector<double> sendrecv(int peer, std::span<const double> data,
-                               int tag);
+  Buffer sendrecv(int peer, Buffer data, int tag);
 
   /// Simultaneous shifted exchange (the Bruck primitive): send to `dst`
   /// while receiving from `src` (possibly different ranks). Same cost as
   /// sendrecv: one latency unit, max(sent, received) words.
-  std::vector<double> shift(int dst, int src, std::span<const double> data,
-                            int tag);
+  Buffer shift(int dst, int src, Buffer data, int tag);
 
   /// Charge local computation of `f` flops (advances clock by gamma * f).
   void charge_flops(double f);
+
+  /// Stable identity of the communicator with this exact ordered member
+  /// list: sequential ids handed out by a per-machine registry, so two
+  /// distinct groups can never share an id (unlike a hash). Every member
+  /// asking for the same list gets the same id.
+  std::uint64_t comm_epoch(const std::vector<int>& members);
 
   /// Accumulated cost counters for this rank.
   const Cost& cost() const { return cost_; }
@@ -150,25 +163,56 @@ class Machine {
 
   /// Execute `fn` on all p ranks concurrently; blocks until all finish.
   /// Any exception thrown by a rank is rethrown here (first one wins).
-  /// Counters reset at the start of each run.
+  /// Counters reset at the start of each run. Worker threads persist
+  /// across runs — the first run creates the scheduler, later runs reuse
+  /// its parked workers.
   RunStats run(const std::function<void(Rank&)>& fn);
+
+  /// The persistent worker pool (created lazily by the first run).
+  RankScheduler& scheduler();
 
  private:
   friend class Rank;
 
   struct Message {
-    std::vector<double> data;
+    Buffer data;
     double sender_vtime = 0.0;  // sender clock at the instant of send
   };
 
+  /// One mailbox per ordered (dst, src) pair: senders to the same receiver
+  /// shard across locks instead of serializing on one mailbox-map mutex.
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    // FIFO queue per (src, tag); SPMD program order makes FIFO matching
-    // sufficient and deterministic.
-    std::map<std::pair<int, int>, std::deque<Message>> queues;
+    // FIFO queue per tag; SPMD program order makes FIFO matching
+    // sufficient and deterministic. A flat deque of (tag, queue) entries
+    // beats a map here: a box sees a handful of tags, the entries (and
+    // their message blocks) are reused run after run instead of being
+    // reallocated, and — critically — growing a deque never invalidates
+    // the queue reference a blocked receiver holds across its wait (a
+    // vector would dangle it on reallocation).
+    std::deque<std::pair<int, std::deque<Message>>> queues;
+    std::deque<Message>& queue_for(int tag) {
+      for (auto& [t, q] : queues)
+        if (t == tag) return q;
+      return queues.emplace_back(tag, std::deque<Message>{}).second;
+    }
+    // Fiber-backend rendezvous: the receiving rank's parked fiber and the
+    // tag it waits for (only rank `dst` ever receives on this box, so one
+    // slot suffices). Guarded by mu.
+    void* waiter = nullptr;
+    int waiter_tag = 0;
   };
 
+  /// Sequential communicator-epoch registry (see Rank::comm_epoch).
+  std::mutex epoch_mu_;
+  std::map<std::vector<int>, std::uint64_t> epoch_ids_;
+
+  Mailbox& box_of(int dst, int src) {
+    return *mailboxes_[static_cast<std::size_t>(dst) *
+                           static_cast<std::size_t>(p_) +
+                       static_cast<std::size_t>(src)];
+  }
   void deliver(int src, int dst, int tag, Message msg);
   Message take(int dst, int src, int tag);
   void abort_all();
@@ -177,6 +221,7 @@ class Machine {
   MachineParams params_;
   std::atomic<bool> aborted_{false};
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<RankScheduler> scheduler_;
 };
 
 }  // namespace catrsm::sim

@@ -1,0 +1,315 @@
+#include "sim/scheduler.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+#define CATRSM_HAVE_UCONTEXT 1
+#else
+#define CATRSM_HAVE_UCONTEXT 0
+#endif
+
+// Thread- and AddressSanitizer cannot follow ucontext stack switches
+// without fiber annotations; degrade to the thread-per-rank backend
+// under either sanitizer.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define CATRSM_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define CATRSM_SANITIZER 1
+#endif
+#endif
+#ifndef CATRSM_SANITIZER
+#define CATRSM_SANITIZER 0
+#endif
+
+namespace catrsm::sim {
+
+namespace {
+
+constexpr std::size_t kFiberStackBytes = 1024 * 1024;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+bool fibers_requested() {
+#if !CATRSM_HAVE_UCONTEXT || CATRSM_SANITIZER
+  return false;
+#else
+  return env_int("CATRSM_SIM_FIBERS", 1) != 0;
+#endif
+}
+
+}  // namespace
+
+#if CATRSM_HAVE_UCONTEXT
+/// mmap-backed fiber stack with a PROT_NONE guard page below it, so a
+/// rank that overruns its stack faults cleanly instead of silently
+/// corrupting a neighboring heap block (the diagnostic OS threads get
+/// from their kernel guard pages).
+class GuardedStack {
+ public:
+  GuardedStack() = default;
+  ~GuardedStack() { reset(); }
+  GuardedStack(const GuardedStack&) = delete;
+  GuardedStack& operator=(const GuardedStack&) = delete;
+
+  void allocate(std::size_t usable) {
+    reset();
+    const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    total_ = ((usable + page - 1) / page) * page + page;
+    void* raw = mmap(nullptr, total_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    CATRSM_CHECK(raw != MAP_FAILED, "scheduler: fiber stack mmap failed");
+    CATRSM_CHECK(mprotect(raw, page, PROT_NONE) == 0,
+                 "scheduler: fiber guard page mprotect failed");
+    base_ = static_cast<char*>(raw);
+    guard_ = page;
+  }
+  void* sp() const { return base_ + guard_; }  // above the guard page
+  std::size_t size() const { return total_ - guard_; }
+
+ private:
+  void reset() {
+    if (base_ != nullptr) munmap(base_, total_);
+    base_ = nullptr;
+  }
+  char* base_ = nullptr;
+  std::size_t total_ = 0;
+  std::size_t guard_ = 0;
+};
+#else
+class GuardedStack {};
+#endif
+
+struct RankScheduler::Fiber {
+#if CATRSM_HAVE_UCONTEXT
+  ucontext_t ctx;
+#endif
+  GuardedStack stack;
+  RankScheduler* sched = nullptr;
+  Worker* worker = nullptr;
+  int index = 0;
+  std::atomic<bool> ready{false};
+  bool finished = true;
+};
+
+struct RankScheduler::Worker {
+#if CATRSM_HAVE_UCONTEXT
+  ucontext_t sched_ctx;
+#endif
+  RankScheduler* sched = nullptr;
+  int id = 0;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Fiber*> fibers;  // static assignment: rank i -> worker i % W
+  std::uint64_t seen = 0;
+  std::thread thread;
+};
+
+namespace {
+// Opaque because Fiber is private to RankScheduler; cast at use sites.
+thread_local void* tls_fiber = nullptr;
+}
+
+RankScheduler::RankScheduler(int p) : p_(p), use_fibers_(fibers_requested()) {
+  CATRSM_CHECK(p >= 1, "scheduler needs at least one rank");
+  int w = p;
+  if (use_fibers_) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    w = env_int("CATRSM_SIM_WORKERS", hw > 0 ? hw : 1);
+    if (w < 1) w = 1;
+    if (w > p) w = p;
+  }
+  fibers_.reserve(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    auto f = std::make_unique<Fiber>();
+    f->sched = this;
+    f->index = i;
+#if CATRSM_HAVE_UCONTEXT
+    if (use_fibers_) f->stack.allocate(kFiberStackBytes);
+#endif
+    fibers_.push_back(std::move(f));
+  }
+  workers_.reserve(static_cast<std::size_t>(w));
+  for (int i = 0; i < w; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->sched = this;
+    worker->id = i;
+    for (int r = i; r < p; r += w) {
+      Fiber* f = fibers_[static_cast<std::size_t>(r)].get();
+      f->worker = worker.get();
+      worker->fibers.push_back(f);
+    }
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_)
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+}
+
+RankScheduler::~RankScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w->thread.join();
+}
+
+void RankScheduler::run(const std::function<void(int)>& job) {
+  CATRSM_CHECK(tls_fiber == nullptr,
+               "scheduler: run() must not be called from a simulated rank");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CATRSM_CHECK(remaining_workers_ == 0, "scheduler: run() is not reentrant");
+    for (auto& f : fibers_) {
+      f->finished = false;
+      f->ready.store(true, std::memory_order_relaxed);
+    }
+    job_ = &job;
+    remaining_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_workers_ == 0; });
+  job_ = nullptr;
+}
+
+void RankScheduler::worker_loop(Worker& w) {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != w.seen; });
+      if (shutdown_) return;
+      w.seen = generation_;
+    }
+    if (use_fibers_) {
+      fiber_worker_loop(w);
+    } else {
+      thread_worker_loop(w);
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --remaining_workers_ == 0;
+    }
+    if (last) done_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread backend: one worker per rank, kernel-scheduled blocking.
+
+void RankScheduler::thread_worker_loop(Worker& w) {
+  for (Fiber* f : w.fibers) {
+    (*job_)(f->index);
+    f->finished = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fiber backend.
+
+#if CATRSM_HAVE_UCONTEXT
+
+void RankScheduler::fiber_trampoline(unsigned int hi, unsigned int lo) {
+  auto* f = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  try {
+    (*f->sched->job_)(f->index);
+  } catch (...) {
+    // The job contract forbids leaks (Machine::run catches rank errors);
+    // swallow so a violation cannot unwind across the context switch.
+  }
+  f->finished = true;
+  // Returning resumes uc_link == the worker's scheduler context.
+}
+
+void RankScheduler::fiber_worker_loop(Worker& w) {
+  // Arm every fiber's context at its entry point; stacks persist across
+  // runs, only the register state is re-seeded.
+  for (Fiber* f : w.fibers) {
+    getcontext(&f->ctx);
+    f->ctx.uc_stack.ss_sp = f->stack.sp();
+    f->ctx.uc_stack.ss_size = f->stack.size();
+    f->ctx.uc_link = &w.sched_ctx;
+    const auto addr = reinterpret_cast<std::uintptr_t>(f);
+    makecontext(&f->ctx, reinterpret_cast<void (*)()>(&fiber_trampoline), 2,
+                static_cast<unsigned int>(addr >> 32),
+                static_cast<unsigned int>(addr & 0xffffffffu));
+  }
+
+  std::size_t live = w.fibers.size();
+  while (live > 0) {
+    bool progressed = false;
+    for (Fiber* f : w.fibers) {
+      if (f->finished) continue;
+      if (!f->ready.exchange(false, std::memory_order_acquire)) continue;
+      tls_fiber = static_cast<void*>(f);
+      swapcontext(&w.sched_ctx, &f->ctx);
+      tls_fiber = nullptr;
+      if (f->finished) --live;
+      progressed = true;
+    }
+    if (live == 0 || progressed) continue;
+    // Every remaining fiber is blocked on a message from another worker:
+    // park until a deliver (or abort) marks one runnable.
+    std::unique_lock<std::mutex> lock(w.mu);
+    w.cv.wait(lock, [&] {
+      for (Fiber* f : w.fibers)
+        if (!f->finished && f->ready.load(std::memory_order_acquire))
+          return true;
+      return false;
+    });
+  }
+}
+
+void* RankScheduler::current_fiber() { return tls_fiber; }
+
+void RankScheduler::block_current_fiber() {
+  auto* f = static_cast<Fiber*>(tls_fiber);
+  CATRSM_CHECK(f != nullptr, "block_current_fiber: not on a fiber");
+  // A wake that raced ahead of the park is consumed without switching.
+  if (f->ready.exchange(false, std::memory_order_acquire)) return;
+  swapcontext(&f->ctx, &f->worker->sched_ctx);
+}
+
+void RankScheduler::wake_fiber(void* fiber) {
+  auto* f = static_cast<Fiber*>(fiber);
+  f->ready.store(true, std::memory_order_release);
+  // The empty critical section pairs with the worker's locked scan-then-
+  // wait, so the notify can never slip between its scan and its sleep.
+  { std::lock_guard<std::mutex> lock(f->worker->mu); }
+  f->worker->cv.notify_all();
+}
+
+#else  // !CATRSM_HAVE_UCONTEXT
+
+void RankScheduler::fiber_trampoline(unsigned int, unsigned int) {}
+void RankScheduler::fiber_worker_loop(Worker&) {
+  throw Error("scheduler: fiber backend unavailable on this platform");
+}
+void* RankScheduler::current_fiber() { return nullptr; }
+void RankScheduler::block_current_fiber() {
+  throw Error("block_current_fiber: fiber backend unavailable");
+}
+void RankScheduler::wake_fiber(void*) {}
+
+#endif  // CATRSM_HAVE_UCONTEXT
+
+void RankScheduler::wake_all_fibers() {
+  if (!use_fibers_) return;
+  for (auto& f : fibers_) wake_fiber(f.get());
+}
+
+}  // namespace catrsm::sim

@@ -1,0 +1,103 @@
+#pragma once
+// Persistent rank scheduler backing Machine::run.
+//
+// The seed execution model spawned and joined p fresh OS threads on every
+// run, so a Plan::execute_batch of m items at p ranks paid m*p thread
+// start-ups — and, worse, every blocked receive cost a kernel context
+// switch. Production machines simulate p = 64+ ranks on a handful of
+// cores, where that kernel churn dominates wall-clock while the cost
+// model charges nothing for it.
+//
+// The scheduler therefore runs ranks as cooperative FIBERS (ucontext
+// stacks) multiplexed over a small pool of persistent worker threads
+// (min(p, hardware cores) by default; override with CATRSM_SIM_WORKERS).
+// A receive that would block yields the fiber back to its worker — a
+// user-space context switch — and the worker runs the next runnable
+// rank; a worker parks on its condition variable only when every fiber
+// it owns is blocked on a message from another worker. Workers and
+// fiber stacks are created once and reused by every run.
+//
+// Fallback: under Thread- or AddressSanitizer (which cannot track
+// ucontext stack switches without fiber annotations), on non-Linux
+// hosts, or with CATRSM_SIM_FIBERS=0, the scheduler degrades to one
+// persistent worker thread per rank with condition-variable blocking —
+// same semantics, same persistence, kernel-scheduled.
+//
+// Worker/fiber assignment is static: rank i always lives on worker
+// i % W (NOT necessarily worker i — there are fewer workers than ranks
+// in the fiber backend), so each rank's thread identity is stable across
+// runs — tests assert reuse by capturing std::this_thread::get_id()
+// inside consecutive runs.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace catrsm::sim {
+
+class RankScheduler {
+ public:
+  /// Start the worker pool for p ranks (workers park until the first run).
+  explicit RankScheduler(int p);
+  /// Wakes and joins every worker.
+  ~RankScheduler();
+
+  RankScheduler(const RankScheduler&) = delete;
+  RankScheduler& operator=(const RankScheduler&) = delete;
+
+  int size() const { return p_; }
+  /// Number of OS worker threads backing the p ranks.
+  int workers() const { return static_cast<int>(workers_.size()); }
+  /// True when ranks run as cooperative fibers (false: thread-per-rank).
+  bool fibers() const { return use_fibers_; }
+
+  /// Execute job(i) for every i in [0, p), concurrently across workers
+  /// and cooperatively within one; blocks until all ranks finish. The
+  /// job must not throw (Machine::run wraps the rank body with its own
+  /// error capture; a leak here aborts the run and rethrows). Not
+  /// reentrant, and must not be called from inside a fiber.
+  void run(const std::function<void(int)>& job);
+
+  /// Number of completed run() dispatches since construction.
+  std::uint64_t runs() const { return generation_; }
+
+  // --- Cooperative blocking hooks (used by Machine's mailboxes) -----------
+  /// Opaque handle of the calling fiber; nullptr when the caller is not a
+  /// scheduler fiber (thread backend, or outside run()).
+  static void* current_fiber();
+  /// Park the calling fiber until wake_fiber(); returns immediately when
+  /// a wake already arrived. Only valid when current_fiber() != nullptr.
+  static void block_current_fiber();
+  /// Mark a parked fiber runnable again (safe from any thread).
+  static void wake_fiber(void* fiber);
+  /// Mark every fiber of the current run runnable (abort propagation).
+  void wake_all_fibers();
+
+ private:
+  struct Fiber;
+  struct Worker;
+
+  void worker_loop(Worker& w);
+  void thread_worker_loop(Worker& w);
+  void fiber_worker_loop(Worker& w);
+  static void fiber_trampoline(unsigned int hi, unsigned int lo);
+
+  int p_;
+  bool use_fibers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_workers_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace catrsm::sim

@@ -93,7 +93,8 @@ DistMatrix diag_inverter(const DistMatrix& l, const sim::Comm& comm,
       }
     }
   }
-  std::vector<coll::Buf> incoming = coll::alltoallv(comm, std::move(outgoing));
+  std::vector<coll::Buffer> incoming =
+      coll::alltoallv(comm, std::move(outgoing));
 
   std::vector<DistMatrix> my_block_mats;
   {
@@ -155,7 +156,8 @@ DistMatrix diag_inverter(const DistMatrix& l, const sim::Comm& comm,
       }
     }
   }
-  std::vector<coll::Buf> back_in = coll::alltoallv(comm, std::move(back_out));
+  std::vector<coll::Buffer> back_in =
+      coll::alltoallv(comm, std::move(back_out));
 
   DistMatrix ltilde = l;  // off-diagonal panels stay as in L
   if (ltilde.participates()) {

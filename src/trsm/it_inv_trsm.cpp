@@ -40,8 +40,8 @@ index_t strided_count(index_t n, int m, int res) {
   return (n - res - 1) / m + 1;
 }
 
-Matrix reshape(coll::Buf buf, index_t rows, index_t cols) {
-  return Matrix(rows, cols, std::move(buf));
+Matrix reshape(coll::Buffer buf, index_t rows, index_t cols) {
+  return Matrix(rows, cols, std::move(buf).take());
 }
 
 }  // namespace
@@ -146,7 +146,7 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
   auto transpose_exchange = [&](const Matrix& mine, index_t peer_rows,
                                 int tag) -> Matrix {
     if (x == y) return mine;
-    coll::Buf got = comm.sendrecv(peer, mine.data(), tag);
+    coll::Buffer got = comm.sendrecv(peer, mine.data(), tag);
     CATRSM_ASSERT(static_cast<index_t>(got.size()) == peer_rows * kz,
                   "it_inv_trsm: exchange size mismatch");
     return reshape(std::move(got), peer_rows, kz);
@@ -157,12 +157,10 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
   Matrix by_panel;
   {
     sim::PhaseScope scope(ctx, "setup");
-    const coll::Buf mine = b.participates()
-                               ? coll::Buf(b.local().data().begin(),
-                                           b.local().data().end())
-                               : coll::Buf();
-    coll::Buf bx = coll::bcast(yf, /*root=*/0, mine,
-                               static_cast<std::size_t>(rows_x * kz));
+    coll::Buffer mine = b.participates() ? coll::Buffer(b.local().data())
+                                         : coll::Buffer();
+    coll::Buffer bx = coll::bcast(yf, /*root=*/0, std::move(mine),
+                                  static_cast<std::size_t>(rows_x * kz));
     Matrix bx_panel = reshape(std::move(bx), rows_x, kz);
     by_panel = transpose_exchange(bx_panel, rows_y, kTagBExchange);
   }
@@ -185,8 +183,8 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
       const Matrix piece = ltilde.local().block(rx0, cy0, pr, pc);
       mine.assign(piece.data().begin(), piece.data().end());
     }
-    coll::Buf out = coll::bcast(zf, /*root=*/0, mine,
-                                static_cast<std::size_t>(pr * pc));
+    coll::Buffer out = coll::bcast(zf, /*root=*/0, std::move(mine),
+                                   static_cast<std::size_t>(pr * pc));
     return reshape(std::move(out), pr, pc);
   };
 
@@ -207,7 +205,7 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
       Matrix xp = la::matmul(diag_piece, b_slice);
       ctx.charge_flops(la::gemm_flops(diag_piece.rows(), kz, b_slice.rows()));
 
-      coll::Buf xsum = coll::allreduce(yf, xp.data());
+      coll::Buffer xsum = coll::allreduce(yf, xp.data());
       xred = reshape(std::move(xsum), diag_piece.rows(), kz);
       const auto [sx0, sx1] = local_range(oi, oi + sz, x, p1);
       CATRSM_ASSERT(sx1 - sx0 == xred.rows(),
@@ -239,7 +237,7 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
     const index_t s2 = std::min(nb, n - o2);
     const auto [nx0, nx1] = local_range(o2, o2 + s2, x, p1);
     const Matrix useg = u_buffer.block(nx0, 0, nx1 - nx0, kz);
-    coll::Buf csum = coll::allreduce(yf, useg.data());
+    coll::Buffer csum = coll::allreduce(yf, useg.data());
     Matrix corr = reshape(std::move(csum), nx1 - nx0, kz);
 
     const auto [ny0, ny1] = local_range(o2, o2 + s2, y, p1);

@@ -84,7 +84,8 @@ DistMatrix rec_split_columns(const DistMatrix& l, const DistMatrix& b,
     counts[static_cast<std::size_t>(zz)] =
         static_cast<std::size_t>(shape.first * shape.second);
   }
-  const coll::Buf all = coll::allgather(fiber, l.local().data(), counts);
+  const coll::Buffer all =
+      coll::allgather(fiber, l.local().data(), counts);
 
   // --- The square subgrid face (ranks (x', y' + pr*z) ordered x' + pr*y').
   std::vector<int> sub_idx;

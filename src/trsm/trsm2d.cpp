@@ -106,7 +106,7 @@ DistMatrix trsm2d(const DistMatrix& l, const DistMatrix& b,
         mine.push_back(l.local()(lr, lc));
       }
     }
-    const coll::Buf all = coll::allgather(rowc, mine, counts);
+    const coll::Buffer all = coll::allgather(rowc, std::move(mine), counts);
     Matrix lpanel(static_cast<index_t>(trail_rows.size()), sz);
     std::size_t pos = 0;
     for (int q = 0; q < pc; ++q) {

@@ -37,23 +37,26 @@ DistMatrix trsv1d(const DistMatrix& l, const DistMatrix& b,
 
   for (index_t j = 0; j < n; ++j) {
     const int owner = static_cast<int>(j % p);
-    std::vector<double> xj;
+    sim::Buffer xj;
     if (owner == me) {
       // All updates from columns < j have been applied; finish row j.
       const index_t lr = j / p;  // my local index of global row j
       const double diag = l.local()(lr, j);
       CATRSM_CHECK(diag != 0.0, "trsv1d: singular matrix");
-      xj.resize(static_cast<std::size_t>(k));
+      std::vector<double> row(static_cast<std::size_t>(k));
       for (index_t c = 0; c < k; ++c) {
-        xj[static_cast<std::size_t>(c)] = partial(lr, c) / diag;
-        x.local()(lr, c) = xj[static_cast<std::size_t>(c)];
+        row[static_cast<std::size_t>(c)] = partial(lr, c) / diag;
+        x.local()(lr, c) = row[static_cast<std::size_t>(c)];
       }
+      xj = sim::Buffer(std::move(row));
       ctx.charge_flops(static_cast<double>(k));
     } else if (p > 1) {
       xj = comm.recv(prev, kTagRing);
     }
     // Forward along the ring unless the next rank is the original owner
-    // (the value has then completed its full circle).
+    // (the value has then completed its full circle). The forward is a
+    // refcount bump on the slab minted by the owner — no copies anywhere
+    // on the ring.
     if (p > 1 && next != owner) comm.send(next, xj, kTagRing);
 
     // Fold x_j into the partial sums of my rows below j.

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "api/catrsm.hpp"
 #include "la/gemm.hpp"
 #include "la/generate.hpp"
@@ -308,6 +312,43 @@ TEST(ApiContext, BorrowedMachineIsReused) {
   const Matrix b = la::make_rhs(362, 16, 4);
   const ExecResult r = ctx.plan(trsm_op(16, 4))->execute(l, b);
   EXPECT_LT(r.residual, 1e-12);
+}
+
+TEST(ApiScheduler, ExecuteBatchesReuseTheSameWorkerThreads) {
+  const index_t n = 24, k = 6;
+  const int p = 8;
+  const Matrix l = la::make_lower_triangular(371, n);
+  Context ctx(p);
+  auto plan = ctx.plan(trsm_op(n, k));
+
+  // Capture the pool's thread ids through the same scheduler the plan
+  // executions use: worker i always runs rank i.
+  auto capture = [&] {
+    std::vector<std::thread::id> ids(static_cast<std::size_t>(p));
+    ctx.machine().run([&](sim::Rank& r) {
+      ids[static_cast<std::size_t>(r.id())] = std::this_thread::get_id();
+    });
+    return ids;
+  };
+
+  const auto before = capture();
+  const std::uint64_t runs_before = ctx.scheduler().runs();
+  std::vector<Matrix> bs1, bs2;
+  for (int i = 0; i < 3; ++i) {
+    bs1.push_back(la::make_rhs(380 + i, n, k));
+    bs2.push_back(la::make_rhs(390 + i, n, k));
+  }
+  (void)plan->execute_batch(l, bs1);
+  (void)plan->execute_batch(l, bs2);
+  const std::uint64_t runs_after = ctx.scheduler().runs();
+  const auto after = capture();
+
+  // Both batches dispatched onto the persistent pool (one run per item),
+  // and the pool's workers are the very same OS threads afterwards: no
+  // thread was spawned or torn down between the two batches.
+  EXPECT_EQ(runs_after - runs_before, 6u);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(ctx.scheduler().size(), p);
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+// Tests for sim::Buffer: view aliasing, refcount release, copy-on-write,
+// destructive extraction, and the concat adjacency fast path — the
+// semantics the zero-copy transport stack depends on.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "sim/buffer.hpp"
+
+namespace catrsm::sim {
+namespace {
+
+TEST(Buffer, AdoptsVectorWithoutCopy) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  const double* storage = v.data();
+  Buffer b(std::move(v));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data(), storage);  // same heap block: adoption, not a copy
+  EXPECT_EQ(b.use_count(), 1);
+}
+
+TEST(Buffer, SlicesAliasTheSlab) {
+  Buffer b(std::vector<double>{0.0, 1.0, 2.0, 3.0, 4.0});
+  Buffer mid = b.slice(1, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_DOUBLE_EQ(mid[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid[2], 3.0);
+  EXPECT_TRUE(mid.aliases(b));
+  EXPECT_EQ(mid.data(), b.data() + 1);  // a view, not a copy
+  EXPECT_EQ(b.use_count(), 2);
+
+  Buffer inner = mid.slice(1, 1);  // slicing a slice composes offsets
+  EXPECT_DOUBLE_EQ(inner[0], 2.0);
+  EXPECT_EQ(inner.data(), b.data() + 2);
+  EXPECT_EQ(b.use_count(), 3);
+}
+
+TEST(Buffer, RefcountDropsWhenViewsDie) {
+  Buffer b(std::vector<double>{1.0, 2.0});
+  {
+    Buffer copy = b;
+    Buffer view = b.slice(0, 1);
+    EXPECT_EQ(b.use_count(), 3);
+  }
+  EXPECT_EQ(b.use_count(), 1);
+  b = Buffer{};
+  EXPECT_EQ(b.use_count(), 0);  // slab released
+}
+
+TEST(Buffer, CopyOnWriteLeavesOtherViewsUntouched) {
+  Buffer a(std::vector<double>{1.0, 2.0, 3.0});
+  Buffer shared = a;
+  double* w = shared.mutable_data();
+  w[0] = 99.0;
+  EXPECT_DOUBLE_EQ(shared[0], 99.0);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);          // original view unchanged
+  EXPECT_FALSE(shared.aliases(a));      // writer reseated onto a private slab
+  EXPECT_EQ(a.use_count(), 1);
+}
+
+TEST(Buffer, MutatesInPlaceWhenUnique) {
+  Buffer a(std::vector<double>{1.0, 2.0});
+  const double* before = a.data();
+  a.mutable_data()[1] = 7.0;
+  EXPECT_EQ(a.data(), before);  // sole owner: no copy
+  EXPECT_DOUBLE_EQ(a[1], 7.0);
+}
+
+TEST(Buffer, TakeMovesWhenUniqueCopiesWhenShared) {
+  Buffer unique(std::vector<double>{5.0, 6.0});
+  const double* storage = unique.data();
+  std::vector<double> moved = std::move(unique).take();
+  EXPECT_EQ(moved.data(), storage);  // the slab's vector moved out
+
+  Buffer shared(std::vector<double>{7.0, 8.0});
+  Buffer other = shared;
+  std::vector<double> copied = std::move(shared).take();
+  EXPECT_EQ(copied, (std::vector<double>{7.0, 8.0}));
+  EXPECT_DOUBLE_EQ(other[0], 7.0);  // surviving view still intact
+}
+
+TEST(Buffer, ConcatAdjacentSlicesIsZeroCopy) {
+  Buffer b(std::vector<double>{0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  std::vector<Buffer> parts{b.slice(0, 2), b.slice(2, 3)};
+  Buffer joined = concat(parts);
+  EXPECT_EQ(joined.size(), 5u);
+  EXPECT_TRUE(joined.aliases(b));      // adjacent views widen in place
+  EXPECT_EQ(joined.data(), b.data());
+}
+
+TEST(Buffer, ConcatNonAdjacentPartsPacks) {
+  Buffer b(std::vector<double>{0.0, 1.0, 2.0, 3.0});
+  std::vector<Buffer> parts{b.slice(2, 2), b.slice(0, 2)};  // out of order
+  Buffer joined = concat(parts);
+  ASSERT_EQ(joined.size(), 4u);
+  EXPECT_FALSE(joined.aliases(b));
+  EXPECT_DOUBLE_EQ(joined[0], 2.0);
+  EXPECT_DOUBLE_EQ(joined[3], 1.0);
+}
+
+TEST(Buffer, ConcatSkipsEmptyPartsAndForwardsSingletons) {
+  Buffer b(std::vector<double>{1.0, 2.0});
+  std::vector<Buffer> parts{Buffer{}, b, Buffer{}};
+  Buffer joined = concat(parts);
+  EXPECT_TRUE(joined.aliases(b));
+  EXPECT_EQ(joined.data(), b.data());
+  EXPECT_EQ(concat(std::vector<Buffer>{}).size(), 0u);
+}
+
+TEST(Buffer, SpanAndVectorInterop) {
+  std::vector<double> src{1.0, 2.0, 3.0};
+  Buffer from_span{std::span<const double>(src)};
+  EXPECT_NE(from_span.data(), src.data());  // spans copy at the boundary
+  EXPECT_EQ(from_span.to_vector(), src);
+  std::span<const double> back = from_span;  // implicit view conversion
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.data(), from_span.data());
+}
+
+}  // namespace
+}  // namespace catrsm::sim

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 #include <numeric>
 
 #include "coll/alltoall.hpp"
@@ -36,7 +38,7 @@ TEST_P(CollectiveGroup, AllgatherConcatenatesInRankOrder) {
     for (int i = 0; i < p; ++i) counts[i] = static_cast<std::size_t>(i + 1);
     Buf mine(static_cast<std::size_t>(r.id() + 1),
              static_cast<double>(r.id()));
-    Buf all = allgather(world, mine, counts);
+    Buffer all = allgather(world, std::move(mine), counts);
     std::size_t pos = 0;
     for (int i = 0; i < p; ++i)
       for (int c = 0; c <= i; ++c)
@@ -82,7 +84,7 @@ TEST_P(CollectiveGroup, ReduceScatterSumsAndSplits) {
     Buf full(total);
     for (std::size_t j = 0; j < total; ++j)
       full[j] = static_cast<double>(r.id()) + static_cast<double>(j);
-    Buf seg = reduce_scatter(world, full, counts);
+    Buffer seg = reduce_scatter(world, std::move(full), counts);
     ASSERT_EQ(seg.size(), counts[static_cast<std::size_t>(r.id())]);
     std::size_t off = 0;
     for (int i = 0; i < r.id(); ++i) off += counts[i];
@@ -130,7 +132,7 @@ TEST_P(CollectiveGroup, ScatterDistributesBlocks) {
           for (std::size_t c = 0; c < counts[i]; ++c)
             all.push_back(static_cast<double>(i * 100 + static_cast<int>(c)));
       }
-      Buf mine = scatter(world, root, all, counts);
+      Buffer mine = scatter(world, root, std::move(all), counts);
       ASSERT_EQ(mine.size(), counts[static_cast<std::size_t>(r.id())]);
       for (std::size_t c = 0; c < mine.size(); ++c)
         ASSERT_DOUBLE_EQ(mine[c],
@@ -148,7 +150,7 @@ TEST_P(CollectiveGroup, GatherInvertsScatter) {
     const int root = p - 1;
     Counts counts(static_cast<std::size_t>(p), 3);
     Buf mine(3, static_cast<double>(r.id()));
-    Buf all = gather(world, root, mine, counts);
+    Buffer all = gather(world, root, std::move(mine), counts);
     if (r.id() == root) {
       ASSERT_EQ(all.size(), static_cast<std::size_t>(3 * p));
       for (int i = 0; i < p; ++i)
@@ -171,8 +173,8 @@ TEST_P(CollectiveGroup, ScatterGatherCostLogLatency) {
     Counts counts(static_cast<std::size_t>(p), each);
     Buf all;
     if (r.id() == 0) all.assign(each * static_cast<std::size_t>(p), 1.0);
-    Buf mine = scatter(world, 0, all, counts);
-    (void)gather(world, 0, mine, counts);
+    Buffer mine = scatter(world, 0, std::move(all), counts);
+    (void)gather(world, 0, std::move(mine), counts);
   });
   const double total = static_cast<double>(each * p);
   // Root does ceil(log p) sends in scatter plus ceil(log p) recvs in
@@ -192,7 +194,7 @@ TEST_P(CollectiveGroup, BcastDeliversEverywhere) {
     if (r.id() == root)
       for (std::size_t i = 0; i < count; ++i)
         data.push_back(static_cast<double>(i) * 0.5);
-    Buf out = bcast(world, root, data, count);
+    Buffer out = bcast(world, root, std::move(data), count);
     ASSERT_EQ(out.size(), count);
     for (std::size_t i = 0; i < count; ++i)
       ASSERT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
@@ -223,7 +225,7 @@ TEST_P(CollectiveGroup, AllreduceSumsEverywhere) {
     Buf full(10);
     for (std::size_t j = 0; j < full.size(); ++j)
       full[j] = static_cast<double>(r.id() + 1) * static_cast<double>(j);
-    Buf sum = allreduce(world, full);
+    Buffer sum = allreduce(world, std::move(full));
     const double ranks_total = static_cast<double>(p) * (p + 1) / 2.0;
     for (std::size_t j = 0; j < sum.size(); ++j)
       ASSERT_DOUBLE_EQ(sum[j], ranks_total * static_cast<double>(j));
@@ -236,7 +238,7 @@ TEST_P(CollectiveGroup, ReduceSumsAtRootOnly) {
   m.run([p](Rank& r) {
     Comm world = Comm::world(r);
     Buf full(7, 1.0);
-    Buf sum = reduce(world, 0, full);
+    Buffer sum = reduce(world, 0, std::move(full));
     if (r.id() == 0) {
       ASSERT_EQ(sum.size(), 7u);
       for (double v : sum) ASSERT_DOUBLE_EQ(v, static_cast<double>(p));
@@ -309,7 +311,8 @@ TEST_P(CollectiveGroup, AlltoallvDirectMatchesBruck) {
     };
     auto a = alltoallv(world, make(), AlltoallAlgo::kBruck);
     auto b = alltoallv(world, make(), AlltoallAlgo::kDirect);
-    for (int s = 0; s < p; ++s) ASSERT_EQ(a[s], b[s]);
+    for (int s = 0; s < p; ++s)
+      ASSERT_EQ(a[s].to_vector(), b[s].to_vector());
   });
 }
 
@@ -366,9 +369,124 @@ TEST(Collectives, SubcommunicatorCollectivesAreIndependent) {
     const int half = r.id() < p / 2 ? 0 : 1;
     Comm mine = world.range(half * p / 2, p / 2);
     Buf full{static_cast<double>(half + 1)};
-    Buf sum = allreduce(mine, full);
+    Buffer sum = allreduce(mine, std::move(full));
     ASSERT_DOUBLE_EQ(sum[0], static_cast<double>((half + 1) * p / 2));
   });
+}
+
+TEST(CollTags, DistinctGroupsGetDistinctTags) {
+  Machine m(4);
+  m.run([](Rank& r) {
+    Comm world = Comm::world(r);
+    Comm sub = world.range(0, 2);
+    // Same op, different groups: tags must differ so nested collectives
+    // cannot cross-match; same group: identical tag on every member.
+    EXPECT_NE(coll_tag(CollOp::kScatter, world),
+              coll_tag(CollOp::kScatter, sub));
+    EXPECT_EQ(coll_tag(CollOp::kScatter, world),
+              kTagBase + static_cast<int>(CollOp::kScatter) * kEpochSpace +
+                  static_cast<int>(world.epoch() %
+                                   static_cast<std::uint64_t>(kEpochSpace)));
+    // Ops occupy disjoint tag bands on the same group.
+    EXPECT_NE(coll_tag(CollOp::kScatter, world),
+              coll_tag(CollOp::kGather, world));
+    // All collective tags sit above the user point-to-point tag space.
+    EXPECT_GE(coll_tag(CollOp::kAllgather, sub), kTagBase);
+  });
+}
+
+TEST(CollTags, NestedScattersOnOverlappingGroupsDoNotCrossMatch) {
+  // Regression for the communicator-epoch tags. Rank 0 scatters on the
+  // subgroup {0, 1} (root 0: it only SENDS, so it finishes immediately)
+  // and then joins a world scatter rooted at rank 2, where it *forwards*
+  // a block to rank 1. Rank 1 runs the two scatters in the OPPOSITE
+  // order. The (0 -> 1) wire thus carries rank 0's subgroup message
+  // before its world message, while rank 1 receives world-first — with
+  // op-only tags the world receive would FIFO-match the 5-word subgroup
+  // payload (size corruption); the epoch in the tag keeps the streams
+  // apart.
+  const int p = 4;
+  Machine m(p);
+  m.run([p](Rank& r) {
+    Comm world = Comm::world(r);
+    const Counts wcounts{2, 3, 4, 1};
+    Buf wall;
+    if (r.id() == 2)
+      for (int b = 0; b < p; ++b)
+        for (std::size_t c = 0; c < wcounts[static_cast<std::size_t>(b)]; ++c)
+          wall.push_back(static_cast<double>(1000 * b) +
+                         static_cast<double>(c));
+
+    auto run_world = [&] {
+      Buffer mine = scatter(world, /*root=*/2, std::move(wall), wcounts);
+      ASSERT_EQ(mine.size(), wcounts[static_cast<std::size_t>(r.id())]);
+      for (std::size_t c = 0; c < mine.size(); ++c)
+        ASSERT_DOUBLE_EQ(mine[c], static_cast<double>(1000 * r.id()) +
+                                      static_cast<double>(c));
+    };
+    auto run_sub = [&] {
+      Comm sub = world.range(0, 2);
+      const Counts scounts{4, 5};
+      Buf sall;
+      if (r.id() == 0)
+        for (int b = 0; b < 2; ++b)
+          for (std::size_t c = 0; c < scounts[static_cast<std::size_t>(b)];
+               ++c)
+            sall.push_back(static_cast<double>(-100 * b) -
+                           static_cast<double>(c));
+      Buffer mine = scatter(sub, /*root=*/0, std::move(sall), scounts);
+      ASSERT_EQ(mine.size(), scounts[static_cast<std::size_t>(r.id())]);
+      for (std::size_t c = 0; c < mine.size(); ++c)
+        ASSERT_DOUBLE_EQ(mine[c], static_cast<double>(-100 * r.id()) -
+                                      static_cast<double>(c));
+    };
+
+    if (r.id() == 0) {
+      run_sub();    // eager send to rank 1, completes without receiving
+      run_world();  // then forwards rank 1's world block
+    } else if (r.id() == 1) {
+      run_world();  // world block arrives AFTER the subgroup payload
+      run_sub();
+    } else {
+      run_world();
+    }
+  });
+}
+
+TEST(CollTags, ConcurrentRowAndColumnFiberCollectives) {
+  // A 2x2 grid runs an allgather across every row fiber and then across
+  // every column fiber, with deliberately different payload sizes per
+  // phase. The fibers overlap (each rank sits in one row and one column),
+  // and the real OS threads interleave the two phases arbitrarily —
+  // per-communicator tags plus FIFO matching must keep every stream
+  // intact on every interleaving.
+  const int p = 4;
+  Machine m(p);
+  for (int round = 0; round < 8; ++round) {
+    m.run([](Rank& r) {
+      Comm world = Comm::world(r);
+      const int row = r.id() / 2;
+      const int col = r.id() % 2;
+      Comm rowc = world.range(row * 2, 2);
+      Comm colc = world.strided_fiber(2);
+
+      Buf mine_row(3, static_cast<double>(r.id()));
+      Buffer row_all = allgather_equal(rowc, std::move(mine_row));
+      ASSERT_EQ(row_all.size(), 6u);
+      for (int q = 0; q < 2; ++q)
+        for (int c = 0; c < 3; ++c)
+          ASSERT_DOUBLE_EQ(row_all[static_cast<std::size_t>(3 * q + c)],
+                           static_cast<double>(row * 2 + q));
+
+      Buf mine_col(5, static_cast<double>(10 + r.id()));
+      Buffer col_all = allgather_equal(colc, std::move(mine_col));
+      ASSERT_EQ(col_all.size(), 10u);
+      for (int q = 0; q < 2; ++q)
+        for (int c = 0; c < 5; ++c)
+          ASSERT_DOUBLE_EQ(col_all[static_cast<std::size_t>(5 * q + c)],
+                           static_cast<double>(10 + col + 2 * q));
+    });
+  }
 }
 
 }  // namespace

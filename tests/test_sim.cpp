@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "sim/comm.hpp"
 #include "sim/machine.hpp"
@@ -206,13 +209,45 @@ TEST(Comm, NonMembersMayDescribeButNotCommunicate) {
   });
 }
 
+TEST(Scheduler, WorkersPersistAcrossRuns) {
+  const int p = 4;
+  Machine m(p);
+  auto capture = [&] {
+    std::vector<std::thread::id> ids(static_cast<std::size_t>(p));
+    m.run([&](Rank& r) {
+      ids[static_cast<std::size_t>(r.id())] = std::this_thread::get_id();
+    });
+    return ids;
+  };
+  const auto first = capture();
+  const auto second = capture();
+  // Worker i always executes rank i, so the id vectors — not just the id
+  // sets — must coincide: the pool is reused, never respawned.
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(m.scheduler().size(), p);
+  EXPECT_EQ(m.scheduler().runs(), 2u);
+}
+
+TEST(Scheduler, WorkersPersistAcrossFailedRuns) {
+  Machine m(2);
+  std::vector<std::thread::id> before(2), after(2);
+  m.run([&](Rank& r) {
+    before[static_cast<std::size_t>(r.id())] = std::this_thread::get_id();
+  });
+  EXPECT_THROW(m.run([](Rank&) { throw Error("boom"); }), Error);
+  m.run([&](Rank& r) {
+    after[static_cast<std::size_t>(r.id())] = std::this_thread::get_id();
+  });
+  EXPECT_EQ(before, after);
+}
+
 TEST(Machine, DeterministicAcrossRuns) {
   Machine m(8);
   auto job = [](Rank& r) {
     Comm world = Comm::world(r);
     std::vector<double> v{static_cast<double>(r.id()) * 1.5};
     for (int i = 0; i < 3; ++i) {
-      v = r.sendrecv(r.id() ^ 1, v, 9);
+      v = r.sendrecv(r.id() ^ 1, std::move(v), 9).to_vector();
       v[0] += 0.25;
     }
   };
