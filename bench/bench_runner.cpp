@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "api/catrsm.hpp"
+#include "bench_util.hpp"
 #include "la/gemm.hpp"
 #include "la/generate.hpp"
+#include "la/kernel/kernel.hpp"
 #include "la/tri_inv.hpp"
 #include "la/trsm.hpp"
 #include "model/tuning.hpp"
@@ -36,6 +38,8 @@ struct Record {
   double iterations = 1.0;  // wall_ms is for ALL iterations
   sim::Cost modeled;        // zero for host-only kernel cases
   double critical_time = 0.0;
+  double gflops = 0.0;       // kernel cases only: flops / wall-clock
+  std::string backend;       // kernel cases only: dispatched micro-kernel
 };
 
 double ms_since(Clock::time_point t0) {
@@ -49,6 +53,10 @@ void append_json(std::string& out, const Record& r, bool last) {
   out += ", \"k\": " + std::to_string(r.k);
   out += ", \"iterations\": " + std::to_string(r.iterations);
   out += ", \"wall_ms\": " + std::to_string(r.wall_ms);
+  if (!r.backend.empty()) {
+    out += ", \"gflops\": " + std::to_string(r.gflops);
+    out += ", \"kernel_backend\": \"" + r.backend + "\"";
+  }
   out += ", \"modeled\": {\"msgs\": " + std::to_string(r.modeled.msgs);
   out += ", \"words\": " + std::to_string(r.modeled.words);
   out += ", \"flops\": " + std::to_string(r.modeled.flops);
@@ -56,39 +64,43 @@ void append_json(std::string& out, const Record& r, bool last) {
   out += last ? "\n" : ",\n";
 }
 
-/// E10-style local kernel substrate cases (no simulated machine).
+/// E10-style local kernel substrate cases (no simulated machine). Each
+/// case is one warmup run plus the median of 5 timed runs; `gflops` turns
+/// the wall clock into a machine-readable flop rate so the perf trajectory
+/// of the micro-kernel layer can be tracked across PRs.
 void run_kernel_cases(std::vector<Record>& records) {
-  for (const index_t n : {64, 128}) {
+  const std::string backend = la::kernel::backend_name();
+  const auto push = [&](const char* name, index_t n, index_t k, double wall,
+                        double flops) {
+    Record r{name, 1, n, k, wall, 1.0, {}, 0.0, flops / (wall * 1e6),
+             backend};
+    records.push_back(std::move(r));
+  };
+  for (const index_t n : {64, 128, 256, 512}) {
     {
       const la::Matrix a = la::make_dense(1, n, n);
       const la::Matrix b = la::make_dense(2, n, n);
       la::Matrix c(n, n);
-      const int iters = 5;
-      const auto t0 = Clock::now();
-      for (int i = 0; i < iters; ++i) la::gemm(1.0, a, b, 0.0, c);
-      records.push_back(
-          {"kernel/gemm", 1, n, n, ms_since(t0), double(iters), {}, 0.0});
+      const double wall = bench::median_wall_ms(
+          5, [&] { la::gemm(1.0, a, b, 0.0, c); });
+      push("kernel/gemm", n, n, wall, la::gemm_flops(n, n, n));
     }
     {
       const la::Matrix l = la::make_lower_triangular(3, n);
       const la::Matrix b = la::make_rhs(4, n, n);
-      const int iters = 5;
-      const auto t0 = Clock::now();
-      for (int i = 0; i < iters; ++i) {
-        la::Matrix x = b;
+      la::Matrix x = b;  // preallocated: the timed body re-copies the RHS
+                         // (the solve is in-place) but never allocates
+      const double wall = bench::median_wall_ms(5, [&] {
+        x = b;
         la::trsm_left(la::Uplo::kLower, la::Diag::kNonUnit, l, x);
-      }
-      records.push_back(
-          {"kernel/trsm", 1, n, n, ms_since(t0), double(iters), {}, 0.0});
+      });
+      push("kernel/trsm", n, n, wall, la::trsm_flops(n, n));
     }
     {
       const la::Matrix l = la::make_lower_triangular(5, n);
-      const int iters = 5;
-      const auto t0 = Clock::now();
-      for (int i = 0; i < iters; ++i)
-        (void)la::tri_inv(la::Uplo::kLower, l);
-      records.push_back(
-          {"kernel/tri_inv", 1, n, 0, ms_since(t0), double(iters), {}, 0.0});
+      const double wall = bench::median_wall_ms(
+          5, [&] { (void)la::tri_inv(la::Uplo::kLower, l); });
+      push("kernel/tri_inv", n, 0, wall, la::tri_inv_flops(n));
     }
   }
 }

@@ -3,9 +3,12 @@
 // distributed algorithm on the simulated machine and report measured
 // (S, W, F) next to the paper's model.
 
+#include <algorithm>
+#include <chrono>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "dist/redistribute.hpp"
 #include "la/generate.hpp"
@@ -13,6 +16,23 @@
 #include "support/table.hpp"
 
 namespace catrsm::bench {
+
+/// Median wall-clock milliseconds over `reps` timed runs of `body`, after
+/// one untimed warmup run (excludes first-touch page faults and cold
+/// caches, and the median shrugs off scheduler noise on shared CI boxes).
+template <typename F>
+double median_wall_ms(int reps, F&& body) {
+  using Clock = std::chrono::steady_clock;
+  body();  // warmup
+  std::vector<double> ms(static_cast<std::size_t>(reps > 0 ? reps : 1));
+  for (double& t : ms) {
+    const auto t0 = Clock::now();
+    body();
+    t = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  }
+  std::nth_element(ms.begin(), ms.begin() + ms.size() / 2, ms.end());
+  return ms[ms.size() / 2];
+}
 
 /// Run `body` on a fresh machine of p ranks and return the stats.
 inline sim::RunStats run_spmd(int p,

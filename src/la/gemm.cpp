@@ -1,29 +1,8 @@
 #include "la/gemm.hpp"
 
-#include <algorithm>
+#include "la/kernel/kernel.hpp"
 
 namespace catrsm::la {
-
-namespace {
-
-// Cache-blocked i-k-j loop order: the innermost loop streams contiguous rows
-// of B and C, which vectorizes well without any architecture-specific code.
-constexpr index_t kBlock = 64;
-
-void gemm_block(const double* a, const double* b, double* c, index_t m,
-                index_t n, index_t kk, index_t lda, index_t ldb, index_t ldc) {
-  for (index_t i = 0; i < m; ++i) {
-    for (index_t l = 0; l < kk; ++l) {
-      const double av = a[i * lda + l];
-      if (av == 0.0) continue;
-      const double* brow = b + l * ldb;
-      double* crow = c + i * ldc;
-      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
 
 void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
           Matrix& c) {
@@ -31,42 +10,7 @@ void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
   CATRSM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
                "gemm: output shape mismatch");
   const index_t m = a.rows(), n = b.cols(), kk = a.cols();
-
-  if (beta != 1.0) {
-    if (beta == 0.0) {
-      std::fill(c.data().begin(), c.data().end(), 0.0);
-    } else {
-      c.scale(beta);
-    }
-  }
-  if (alpha == 0.0 || m == 0 || n == 0 || kk == 0) return;
-
-  // Temporary alpha-scaled A rows are avoided by folding alpha into the
-  // accumulation when alpha != 1.
-  const double* ap = a.ptr();
-  const double* bp = b.ptr();
-  double* cp = c.ptr();
-
-  for (index_t i0 = 0; i0 < m; i0 += kBlock) {
-    const index_t mb = std::min(kBlock, m - i0);
-    for (index_t l0 = 0; l0 < kk; l0 += kBlock) {
-      const index_t kb = std::min(kBlock, kk - l0);
-      if (alpha == 1.0) {
-        gemm_block(ap + i0 * kk + l0, bp + l0 * n, cp + i0 * n, mb, n, kb, kk,
-                   n, n);
-      } else {
-        for (index_t i = 0; i < mb; ++i) {
-          for (index_t l = 0; l < kb; ++l) {
-            const double av = alpha * ap[(i0 + i) * kk + (l0 + l)];
-            if (av == 0.0) continue;
-            const double* brow = bp + (l0 + l) * n;
-            double* crow = cp + (i0 + i) * n;
-            for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
+  kernel::gemm(m, n, kk, alpha, a.ptr(), kk, b.ptr(), n, beta, c.ptr(), n);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {

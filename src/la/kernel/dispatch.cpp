@@ -1,0 +1,90 @@
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "la/kernel/ukr.hpp"
+
+namespace catrsm::la::kernel {
+
+namespace {
+
+std::optional<Backend> parse_backend(const char* s) {
+  if (std::strcmp(s, "scalar") == 0) return Backend::kScalar;
+  if (std::strcmp(s, "avx2") == 0) return Backend::kAvx2;
+  if (std::strcmp(s, "avx512") == 0) return Backend::kAvx512;
+  return std::nullopt;
+}
+
+bool usable(Backend b) {
+  return microkernel_for(b) != nullptr && cpu_supports(b);
+}
+
+Backend widest_supported() {
+  if (usable(Backend::kAvx512)) return Backend::kAvx512;
+  if (usable(Backend::kAvx2)) return Backend::kAvx2;
+  return Backend::kScalar;
+}
+
+const MicroKernel* select() {
+  Backend chosen = widest_supported();
+  if (const char* env = std::getenv("CATRSM_KERNEL")) {
+    const std::optional<Backend> want = parse_backend(env);
+    if (!want.has_value()) {
+      std::fprintf(stderr,
+                   "catrsm: CATRSM_KERNEL=%s not recognized "
+                   "(scalar|avx2|avx512); using %s\n",
+                   env, microkernel_for(chosen)->name);
+    } else if (!usable(*want)) {
+      std::fprintf(stderr,
+                   "catrsm: CATRSM_KERNEL=%s not supported on this "
+                   "CPU/build; using %s\n",
+                   env, microkernel_for(chosen)->name);
+    } else {
+      chosen = *want;
+    }
+  }
+  return microkernel_for(chosen);
+}
+
+}  // namespace
+
+const MicroKernel* microkernel_for(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return scalar_microkernel();
+    case Backend::kAvx2:
+      return avx2_microkernel();
+    case Backend::kAvx512:
+      return avx512_microkernel();
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+#ifdef CATRSM_UKR_X86
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+#else
+    default:
+      return false;
+#endif
+  }
+  return false;
+}
+
+const MicroKernel& active_microkernel() {
+  static const MicroKernel* const k = select();
+  return *k;
+}
+
+Backend active_backend() { return active_microkernel().backend; }
+
+const char* backend_name() { return active_microkernel().name; }
+
+}  // namespace catrsm::la::kernel

@@ -1,0 +1,157 @@
+#include <algorithm>
+#include <vector>
+
+#include "la/kernel/kernel.hpp"
+
+namespace catrsm::la::kernel {
+
+namespace {
+
+// Cache blocking: an MC x KC packed panel of A (288 KB) lives in L2 while
+// KC x NC of packed B (2 MB) streams from L3. MC is a common multiple of
+// every backend's MR so full strips dominate; NC likewise for NR.
+constexpr index_t kMc = 144;
+constexpr index_t kKc = 256;
+constexpr index_t kNc = 1024;
+
+// Below this m*n*k the packing and dispatch overhead beats the gain; run a
+// branch-free naive loop instead (identical results up to summation order).
+constexpr index_t kSmallProduct = 16 * 1024;
+
+constexpr index_t kMaxMr = 8;
+constexpr index_t kMaxNr = 16;
+
+index_t round_up(index_t x, index_t to) { return ((x + to - 1) / to) * to; }
+
+/// Pack A(m x k, stride lda) into mr-row strips, column-major within each
+/// strip, alpha folded in; rows past m are zero so the inner kernel never
+/// needs an m-edge branch.
+void pack_a(const double* a, index_t lda, index_t m, index_t k, double alpha,
+            index_t mr_full, double* ap) {
+  for (index_t i0 = 0; i0 < m; i0 += mr_full) {
+    const index_t mr = std::min(mr_full, m - i0);
+    for (index_t l = 0; l < k; ++l) {
+      for (index_t i = 0; i < mr; ++i)
+        ap[l * mr_full + i] = alpha * a[(i0 + i) * lda + l];
+      for (index_t i = mr; i < mr_full; ++i) ap[l * mr_full + i] = 0.0;
+    }
+    ap += k * mr_full;
+  }
+}
+
+/// Pack B(k x n, stride ldb) into nr-column strips, row-major within each
+/// strip, zero-padded past n.
+void pack_b(const double* b, index_t ldb, index_t k, index_t n,
+            index_t nr_full, double* bp) {
+  for (index_t j0 = 0; j0 < n; j0 += nr_full) {
+    const index_t nr = std::min(nr_full, n - j0);
+    for (index_t l = 0; l < k; ++l) {
+      const double* brow = b + l * ldb + j0;
+      for (index_t j = 0; j < nr; ++j) bp[l * nr_full + j] = brow[j];
+      for (index_t j = nr; j < nr_full; ++j) bp[l * nr_full + j] = 0.0;
+    }
+    bp += k * nr_full;
+  }
+}
+
+void apply_beta(double beta, index_t m, index_t n, double* c, index_t ldc) {
+  if (beta == 1.0) return;
+  for (index_t i = 0; i < m; ++i) {
+    double* crow = c + i * ldc;
+    if (beta == 0.0) {
+      std::fill(crow, crow + n, 0.0);
+    } else {
+      for (index_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+}
+
+/// Branch-free i-l-j loop for small products, alpha folded into the A
+/// element (C += alpha * A * B; beta already applied).
+void gemm_naive(index_t m, index_t n, index_t k, double alpha,
+                const double* a, index_t lda, const double* b, index_t ldb,
+                double* c, index_t ldc) {
+  for (index_t i = 0; i < m; ++i) {
+    double* crow = c + i * ldc;
+    for (index_t l = 0; l < k; ++l) {
+      const double av = alpha * a[i * lda + l];
+      const double* brow = b + l * ldb;
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// The five-loop packed driver (C += alpha * A * B; beta already applied).
+void gemm_packed(const MicroKernel& uk, index_t m, index_t n, index_t k,
+                 double alpha, const double* a, index_t lda, const double* b,
+                 index_t ldb, double* c, index_t ldc) {
+  const index_t mr_full = uk.mr;
+  const index_t nr_full = uk.nr;
+
+  // Per-thread packing scratch: ranks are fibers that never yield inside a
+  // kernel call, so worker-thread locals cannot be shared mid-flight.
+  static thread_local std::vector<double> apack;
+  static thread_local std::vector<double> bpack;
+  apack.resize(static_cast<std::size_t>(round_up(std::min(kMc, m), mr_full) *
+                                        std::min(kKc, k)));
+  bpack.resize(static_cast<std::size_t>(std::min(kKc, k) *
+                                        round_up(std::min(kNc, n), nr_full)));
+
+  for (index_t jc = 0; jc < n; jc += kNc) {
+    const index_t nc = std::min(kNc, n - jc);
+    for (index_t pc = 0; pc < k; pc += kKc) {
+      const index_t kc = std::min(kKc, k - pc);
+      pack_b(b + pc * ldb + jc, ldb, kc, nc, nr_full, bpack.data());
+      for (index_t ic = 0; ic < m; ic += kMc) {
+        const index_t mc = std::min(kMc, m - ic);
+        pack_a(a + ic * lda + pc, lda, mc, kc, alpha, mr_full, apack.data());
+        for (index_t jr = 0; jr < nc; jr += nr_full) {
+          const index_t nr = std::min(nr_full, nc - jr);
+          const double* bp = bpack.data() + jr * kc;
+          for (index_t ir = 0; ir < mc; ir += mr_full) {
+            const index_t mr = std::min(mr_full, mc - ir);
+            const double* ap = apack.data() + ir * kc;
+            double* ct = c + (ic + ir) * ldc + jc + jr;
+            if (mr == mr_full && nr == nr_full) {
+              uk.run(kc, ap, bp, ct, ldc);
+            } else {
+              // Partial tile: accumulate into a full-size local tile (the
+              // packed panels are zero-padded) and add back the live part.
+              alignas(64) double tile[kMaxMr * kMaxNr] = {};
+              uk.run(kc, ap, bp, tile, nr_full);
+              for (index_t i = 0; i < mr; ++i) {
+                double* crow = ct + i * ldc;
+                const double* trow = tile + i * nr_full;
+                for (index_t j = 0; j < nr; ++j) crow[j] += trow[j];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(index_t m, index_t n, index_t k, double alpha, const double* a,
+          index_t lda, const double* b, index_t ldb, double beta, double* c,
+          index_t ldc) {
+  apply_beta(beta, m, n, c, ldc);
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+  if (m * n * k <= kSmallProduct) {
+    gemm_naive(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  gemm_packed(active_microkernel(), m, n, k, alpha, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_with(const MicroKernel& uk, index_t m, index_t n, index_t k,
+               double alpha, const double* a, index_t lda, const double* b,
+               index_t ldb, double beta, double* c, index_t ldc) {
+  apply_beta(beta, m, n, c, ldc);
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+  gemm_packed(uk, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+}
+
+}  // namespace catrsm::la::kernel

@@ -1,0 +1,72 @@
+#pragma once
+// Packed, register-tiled GEMM micro-kernel layer (BLIS-style).
+//
+// The flop substrate of every distributed algorithm in this repo is the
+// sequential la:: routines, and those now bottom out here: a strided GEMM
+// driver packs panels of A and B into contiguous MR- / NR-wide tiles and
+// streams them through a small register-tiled inner kernel. Three inner
+// kernels exist — a portable scalar tile, an AVX2/FMA 6x8 tile, and an
+// AVX-512F 8x16 tile — selected once per process by CPU detection and
+// overridable with CATRSM_KERNEL=scalar|avx2|avx512.
+//
+// Everything here is single-threaded by design: parallelism in this
+// codebase belongs to sim::RankScheduler, which already multiplexes ranks
+// over the physical cores; the kernel's job is only to make each rank's
+// local flops run at hardware speed. Modeled costs (S, W, F) are charged
+// by the distributed layers from closed-form flop formulas, so nothing in
+// this layer affects the simulator's accounting.
+
+#include "la/matrix.hpp"
+
+namespace catrsm::la::kernel {
+
+enum class Backend { kScalar, kAvx2, kAvx512 };
+
+/// A register-tiled inner kernel: accumulates an mr x nr tile of C from
+/// packed panels,
+///
+///   c[i*ldc + j] += sum_l ap[l*mr + i] * bp[l*nr + j]   (l = 0..kc)
+///
+/// where ap is an A panel packed column-major within an mr-row strip and
+/// bp is a B panel packed row-major within an nr-column strip.
+struct MicroKernel {
+  Backend backend;
+  const char* name;
+  int mr;
+  int nr;
+  void (*run)(index_t kc, const double* ap, const double* bp, double* c,
+              index_t ldc);
+};
+
+/// The micro-kernel the process dispatched to (resolved once, thread-safe).
+/// Order of precedence: CATRSM_KERNEL env var if set and usable, else the
+/// widest ISA the CPU supports. An unusable override warns on stderr and
+/// falls back rather than aborting.
+const MicroKernel& active_microkernel();
+Backend active_backend();
+const char* backend_name();
+
+/// Kernel for a specific backend, or nullptr when it was compiled out
+/// (non-x86 build). Does not check CPU support — see cpu_supports().
+const MicroKernel* microkernel_for(Backend b);
+
+/// Whether the running CPU can execute this backend's instructions.
+bool cpu_supports(Backend b);
+
+/// Strided row-major GEMM: C = alpha * A * B + beta * C.
+/// A: m x k (leading dim lda), B: k x n (ldb), C: m x n (ldc).
+/// C must not alias the regions of A or B that are read.
+/// Small products take a branch-free naive loop (packing would dominate);
+/// everything else goes through the packed micro-kernel path.
+void gemm(index_t m, index_t n, index_t k, double alpha, const double* a,
+          index_t lda, const double* b, index_t ldb, double beta, double* c,
+          index_t ldc);
+
+/// Same, forcing a specific micro-kernel and always taking the packed path
+/// (no small-product shortcut). Test hook: lets one process compare the
+/// scalar tile against the dispatched one on every edge shape.
+void gemm_with(const MicroKernel& uk, index_t m, index_t n, index_t k,
+               double alpha, const double* a, index_t lda, const double* b,
+               index_t ldb, double beta, double* c, index_t ldc);
+
+}  // namespace catrsm::la::kernel

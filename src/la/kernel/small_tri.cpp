@@ -1,0 +1,98 @@
+#include "la/kernel/small_tri.hpp"
+
+namespace catrsm::la::kernel {
+
+void trsm_ll_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t nb, index_t k, bool unit) {
+  for (index_t i = 0; i < nb; ++i) {
+    double* bi = b + i * ldb;
+    for (index_t j = 0; j < i; ++j) {
+      const double lij = t[i * ldt + j];
+      const double* bj = b + j * ldb;
+      for (index_t c = 0; c < k; ++c) bi[c] -= lij * bj[c];
+    }
+    if (!unit) {
+      const double inv = 1.0 / t[i * ldt + i];
+      for (index_t c = 0; c < k; ++c) bi[c] *= inv;
+    }
+  }
+}
+
+void trsm_lu_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t nb, index_t k, bool unit) {
+  for (index_t i = nb - 1; i >= 0; --i) {
+    double* bi = b + i * ldb;
+    for (index_t j = i + 1; j < nb; ++j) {
+      const double uij = t[i * ldt + j];
+      const double* bj = b + j * ldb;
+      for (index_t c = 0; c < k; ++c) bi[c] -= uij * bj[c];
+    }
+    if (!unit) {
+      const double inv = 1.0 / t[i * ldt + i];
+      for (index_t c = 0; c < k; ++c) bi[c] *= inv;
+    }
+  }
+}
+
+void trsm_ru_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t m, index_t nb, bool unit) {
+  // Row i of X solves independently against T; walking rows outer keeps
+  // every inner access on b's contiguous row.
+  for (index_t i = 0; i < m; ++i) {
+    double* bi = b + i * ldb;
+    for (index_t j = 0; j < nb; ++j) {
+      double s = bi[j];
+      for (index_t l = 0; l < j; ++l) s -= bi[l] * t[l * ldt + j];
+      bi[j] = unit ? s : s / t[j * ldt + j];
+    }
+  }
+}
+
+void trsm_rl_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t m, index_t nb, bool unit) {
+  for (index_t i = 0; i < m; ++i) {
+    double* bi = b + i * ldb;
+    for (index_t j = nb - 1; j >= 0; --j) {
+      double s = bi[j];
+      for (index_t l = j + 1; l < nb; ++l) s -= bi[l] * t[l * ldt + j];
+      bi[j] = unit ? s : s / t[j * ldt + j];
+    }
+  }
+}
+
+void trmm_ll_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t nb, index_t k, bool unit) {
+  // Row i of the product reads rows <= i of B: walk bottom-up to stay in
+  // place.
+  for (index_t i = nb - 1; i >= 0; --i) {
+    double* bi = b + i * ldb;
+    if (!unit) {
+      const double dii = t[i * ldt + i];
+      for (index_t c = 0; c < k; ++c) bi[c] *= dii;
+    }
+    for (index_t j = 0; j < i; ++j) {
+      const double tij = t[i * ldt + j];
+      const double* bj = b + j * ldb;
+      for (index_t c = 0; c < k; ++c) bi[c] += tij * bj[c];
+    }
+  }
+}
+
+void trmm_lu_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t nb, index_t k, bool unit) {
+  // Row i reads rows >= i: walk top-down.
+  for (index_t i = 0; i < nb; ++i) {
+    double* bi = b + i * ldb;
+    if (!unit) {
+      const double dii = t[i * ldt + i];
+      for (index_t c = 0; c < k; ++c) bi[c] *= dii;
+    }
+    for (index_t j = i + 1; j < nb; ++j) {
+      const double tij = t[i * ldt + j];
+      const double* bj = b + j * ldb;
+      for (index_t c = 0; c < k; ++c) bi[c] += tij * bj[c];
+    }
+  }
+}
+
+}  // namespace catrsm::la::kernel

@@ -1,0 +1,39 @@
+#pragma once
+// Strided scalar kernels for small triangular diagonal blocks. The blocked
+// la::trsm / la::trmm / la::tri_inv algorithms resolve all cross-block
+// dependencies through packed GEMM panels (kernel::gemm) and only ever hand
+// these routines one diagonal block at a time, so nb stays at the block
+// size and the O(nb^2 k) substitution work is a small fraction of the
+// total. Inner loops run over the contiguous RHS dimension with no
+// data-dependent branches, so they auto-vectorize.
+
+#include "la/matrix.hpp"
+
+namespace catrsm::la::kernel {
+
+/// Solve T X = B in place (B := T^-1 B). T: nb x nb lower triangular with
+/// leading dim ldt; B: nb x k with leading dim ldb.
+void trsm_ll_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t nb, index_t k, bool unit);
+
+/// Same with T upper triangular (backward substitution).
+void trsm_lu_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t nb, index_t k, bool unit);
+
+/// Solve X T = B in place with T upper triangular. B: m x nb.
+void trsm_ru_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t m, index_t nb, bool unit);
+
+/// Solve X T = B in place with T lower triangular. B: m x nb.
+void trsm_rl_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t m, index_t nb, bool unit);
+
+/// B := T * B in place with T lower triangular. B: nb x k.
+void trmm_ll_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t nb, index_t k, bool unit);
+
+/// B := T * B in place with T upper triangular. B: nb x k.
+void trmm_lu_block(const double* t, index_t ldt, double* b, index_t ldb,
+                   index_t nb, index_t k, bool unit);
+
+}  // namespace catrsm::la::kernel

@@ -1,0 +1,62 @@
+#include "la/kernel/ukr.hpp"
+
+// The AVX2/FMA tile is compiled via a function-level target attribute so
+// the rest of the library keeps its baseline ISA and the binary still runs
+// on CPUs without AVX2 (dispatch guards execution at runtime).
+#ifdef CATRSM_UKR_X86
+#include <immintrin.h>
+#endif
+
+namespace catrsm::la::kernel {
+
+#ifdef CATRSM_UKR_X86
+
+namespace {
+
+// 6x8 tile: 12 ymm accumulators + 2 B vectors + 1 A broadcast = 15 of the
+// 16 architectural registers; 12 FMAs per k iteration keeps both FMA ports
+// saturated while the 8 loads stay under the 2 load ports.
+constexpr int kMr = 6;
+constexpr int kNr = 8;
+
+__attribute__((target("avx2,fma"))) void run(index_t kc, const double* ap,
+                                             const double* bp, double* c,
+                                             index_t ldc) {
+  __m256d acc[kMr][2];
+  for (int i = 0; i < kMr; ++i) {
+    acc[i][0] = _mm256_setzero_pd();
+    acc[i][1] = _mm256_setzero_pd();
+  }
+  for (index_t l = 0; l < kc; ++l) {
+    const __m256d b0 = _mm256_loadu_pd(bp);
+    const __m256d b1 = _mm256_loadu_pd(bp + 4);
+    for (int i = 0; i < kMr; ++i) {
+      const __m256d ai = _mm256_broadcast_sd(ap + i);
+      acc[i][0] = _mm256_fmadd_pd(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_pd(ai, b1, acc[i][1]);
+    }
+    ap += kMr;
+    bp += kNr;
+  }
+  for (int i = 0; i < kMr; ++i) {
+    double* crow = c + i * ldc;
+    _mm256_storeu_pd(crow, _mm256_add_pd(_mm256_loadu_pd(crow), acc[i][0]));
+    _mm256_storeu_pd(crow + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(crow + 4), acc[i][1]));
+  }
+}
+
+}  // namespace
+
+const MicroKernel* avx2_microkernel() {
+  static const MicroKernel k{Backend::kAvx2, "avx2", kMr, kNr, run};
+  return &k;
+}
+
+#else  // non-x86 build: backend compiled out
+
+const MicroKernel* avx2_microkernel() { return nullptr; }
+
+#endif
+
+}  // namespace catrsm::la::kernel

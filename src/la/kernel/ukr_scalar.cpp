@@ -1,0 +1,37 @@
+#include "la/kernel/ukr.hpp"
+
+namespace catrsm::la::kernel {
+
+namespace {
+
+// 4x8 accumulator tile in plain C. The fixed trip counts let the compiler
+// keep the tile in registers and auto-vectorize to whatever the baseline
+// ISA offers; there are deliberately no data-dependent branches (a zero
+// test per element defeats vectorization and makes throughput depend on
+// the input's sparsity).
+constexpr int kMr = 4;
+constexpr int kNr = 8;
+
+void run(index_t kc, const double* ap, const double* bp, double* c,
+         index_t ldc) {
+  double acc[kMr][kNr] = {};
+  for (index_t l = 0; l < kc; ++l) {
+    for (int i = 0; i < kMr; ++i)
+      for (int j = 0; j < kNr; ++j) acc[i][j] += ap[i] * bp[j];
+    ap += kMr;
+    bp += kNr;
+  }
+  for (int i = 0; i < kMr; ++i) {
+    double* crow = c + i * ldc;
+    for (int j = 0; j < kNr; ++j) crow[j] += acc[i][j];
+  }
+}
+
+}  // namespace
+
+const MicroKernel* scalar_microkernel() {
+  static const MicroKernel k{Backend::kScalar, "scalar", kMr, kNr, run};
+  return &k;
+}
+
+}  // namespace catrsm::la::kernel

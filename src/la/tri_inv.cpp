@@ -7,7 +7,8 @@ namespace catrsm::la {
 namespace {
 
 // Direct inversion by substitution against the identity; cubic in n but only
-// ever used for small base cases.
+// ever used for the recursion's small base cases (the blocked trsm resolves
+// a base block with one scalar diagonal solve).
 Matrix tri_inv_base(Uplo uplo, const Matrix& t) {
   Matrix inv = Matrix::identity(t.rows());
   trsm_left(uplo, Diag::kNonUnit, t, inv);
@@ -33,10 +34,11 @@ Matrix tri_inv(Uplo uplo, const Matrix& t, index_t block_cutoff) {
     const Matrix l22 = t.block(h, h, n - h, n - h);
     const Matrix i11 = tri_inv(uplo, l11, block_cutoff);
     const Matrix i22 = tri_inv(uplo, l22, block_cutoff);
-    // -L22^-1 * L21 * L11^-1, composed as two products like the parallel
-    // algorithm (lines 12-13 of RecTriInv) so flop counts line up.
-    Matrix tmp = matmul(i22, l21);
-    tmp.scale(-1.0);
+    // -L22^-1 * L21 * L11^-1, composed as two packed-GEMM products like the
+    // parallel algorithm (lines 12-13 of RecTriInv) so flop counts line up;
+    // the minus folds into the first product's alpha.
+    Matrix tmp(n - h, h);
+    gemm(-1.0, i22, l21, 0.0, tmp);
     const Matrix i21 = matmul(tmp, i11);
     inv.set_block(0, 0, i11);
     inv.set_block(h, 0, i21);
@@ -47,8 +49,8 @@ Matrix tri_inv(Uplo uplo, const Matrix& t, index_t block_cutoff) {
     const Matrix u22 = t.block(h, h, n - h, n - h);
     const Matrix i11 = tri_inv(uplo, u11, block_cutoff);
     const Matrix i22 = tri_inv(uplo, u22, block_cutoff);
-    Matrix tmp = matmul(i11, u12);
-    tmp.scale(-1.0);
+    Matrix tmp(h, n - h);
+    gemm(-1.0, i11, u12, 0.0, tmp);
     const Matrix i12 = matmul(tmp, i22);
     inv.set_block(0, 0, i11);
     inv.set_block(0, h, i12);

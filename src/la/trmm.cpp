@@ -1,40 +1,46 @@
 #include "la/trmm.hpp"
 
+#include <algorithm>
+
+#include "la/kernel/kernel.hpp"
+#include "la/kernel/small_tri.hpp"
+
 namespace catrsm::la {
+
+namespace {
+constexpr index_t kDiagBlock = 64;
+}  // namespace
 
 void trmm_left(Uplo uplo, Diag diag, const Matrix& t, Matrix& b) {
   CATRSM_CHECK(t.rows() == t.cols(), "trmm: T must be square");
   CATRSM_CHECK(t.rows() == b.rows(), "trmm: dimension mismatch");
   const index_t n = t.rows();
   const index_t k = b.cols();
+  if (n == 0 || k == 0) return;
   const bool unit = diag == Diag::kUnit;
+  const double* tp = t.ptr();
+  double* bp = b.ptr();
 
   if (uplo == Uplo::kLower) {
-    // Row i of the product depends on rows <= i of B: walk bottom-up so we
-    // can update in place.
-    for (index_t i = n - 1; i >= 0; --i) {
-      double* bi = b.ptr() + i * k;
-      const double dii = unit ? 1.0 : t(i, i);
-      for (index_t c = 0; c < k; ++c) bi[c] *= dii;
-      for (index_t j = 0; j < i; ++j) {
-        const double tij = t(i, j);
-        if (tij == 0.0) continue;
-        const double* bj = b.ptr() + j * k;
-        for (index_t c = 0; c < k; ++c) bi[c] += tij * bj[c];
-      }
+    // Block row i reads rows <= i of B: walk bottom-up so the rows the
+    // GEMM panel reads are still unmodified.
+    for (index_t i0 = ((n - 1) / kDiagBlock) * kDiagBlock;; i0 -= kDiagBlock) {
+      const index_t nb = std::min(kDiagBlock, n - i0);
+      kernel::trmm_ll_block(tp + i0 * n + i0, n, bp + i0 * k, k, nb, k, unit);
+      if (i0 > 0)
+        kernel::gemm(nb, k, i0, 1.0, tp + i0 * n, n, bp, k, 1.0, bp + i0 * k,
+                     k);
+      if (i0 == 0) break;
     }
   } else {
-    // Upper triangular: row i depends on rows >= i, walk top-down.
-    for (index_t i = 0; i < n; ++i) {
-      double* bi = b.ptr() + i * k;
-      const double dii = unit ? 1.0 : t(i, i);
-      for (index_t c = 0; c < k; ++c) bi[c] *= dii;
-      for (index_t j = i + 1; j < n; ++j) {
-        const double tij = t(i, j);
-        if (tij == 0.0) continue;
-        const double* bj = b.ptr() + j * k;
-        for (index_t c = 0; c < k; ++c) bi[c] += tij * bj[c];
-      }
+    // Block row i reads rows >= i: walk top-down.
+    for (index_t i0 = 0; i0 < n; i0 += kDiagBlock) {
+      const index_t nb = std::min(kDiagBlock, n - i0);
+      kernel::trmm_lu_block(tp + i0 * n + i0, n, bp + i0 * k, k, nb, k, unit);
+      const index_t t0 = i0 + nb;
+      if (t0 < n)
+        kernel::gemm(nb, k, n - t0, 1.0, tp + i0 * n + t0, n, bp + t0 * k, k,
+                     1.0, bp + i0 * k, k);
     }
   }
 }

@@ -1,10 +1,18 @@
 #include "la/trsm.hpp"
 
-#include <cmath>
+#include <algorithm>
+
+#include "la/kernel/kernel.hpp"
+#include "la/kernel/small_tri.hpp"
 
 namespace catrsm::la {
 
 namespace {
+
+// Diagonal blocks of this size are solved by scalar substitution; all
+// off-diagonal work is shipped to the packed GEMM micro-kernel, so the
+// scalar fraction of an n x n solve is nb / n.
+constexpr index_t kDiagBlock = 64;
 
 void check_trsm_args(const Matrix& t, const Matrix& b, bool left) {
   CATRSM_CHECK(t.rows() == t.cols(), "trsm: triangular matrix must be square");
@@ -20,37 +28,31 @@ void trsm_left(Uplo uplo, Diag diag, const Matrix& l, Matrix& b) {
   check_trsm_args(l, b, /*left=*/true);
   const index_t n = l.rows();
   const index_t k = b.cols();
+  if (n == 0 || k == 0) return;
   const bool unit = diag == Diag::kUnit;
+  const double* tp = l.ptr();
+  double* bp = b.ptr();
 
   if (uplo == Uplo::kLower) {
-    // Forward substitution, row i of X depends on rows < i.
-    for (index_t i = 0; i < n; ++i) {
-      double* bi = b.ptr() + i * k;
-      for (index_t j = 0; j < i; ++j) {
-        const double lij = l(i, j);
-        if (lij == 0.0) continue;
-        const double* bj = b.ptr() + j * k;
-        for (index_t c = 0; c < k; ++c) bi[c] -= lij * bj[c];
-      }
-      if (!unit) {
-        const double inv = 1.0 / l(i, i);
-        for (index_t c = 0; c < k; ++c) bi[c] *= inv;
-      }
+    // Forward substitution by block row: fold the already-solved rows in
+    // with one GEMM panel, then substitute within the diagonal block.
+    for (index_t i0 = 0; i0 < n; i0 += kDiagBlock) {
+      const index_t nb = std::min(kDiagBlock, n - i0);
+      if (i0 > 0)
+        kernel::gemm(nb, k, i0, -1.0, tp + i0 * n, n, bp, k, 1.0,
+                     bp + i0 * k, k);
+      kernel::trsm_ll_block(tp + i0 * n + i0, n, bp + i0 * k, k, nb, k, unit);
     }
   } else {
-    // Backward substitution.
-    for (index_t i = n - 1; i >= 0; --i) {
-      double* bi = b.ptr() + i * k;
-      for (index_t j = i + 1; j < n; ++j) {
-        const double uij = l(i, j);
-        if (uij == 0.0) continue;
-        const double* bj = b.ptr() + j * k;
-        for (index_t c = 0; c < k; ++c) bi[c] -= uij * bj[c];
-      }
-      if (!unit) {
-        const double inv = 1.0 / l(i, i);
-        for (index_t c = 0; c < k; ++c) bi[c] *= inv;
-      }
+    // Backward substitution, block rows bottom-up.
+    for (index_t i0 = ((n - 1) / kDiagBlock) * kDiagBlock;; i0 -= kDiagBlock) {
+      const index_t nb = std::min(kDiagBlock, n - i0);
+      const index_t t0 = i0 + nb;
+      if (t0 < n)
+        kernel::gemm(nb, k, n - t0, -1.0, tp + i0 * n + t0, n, bp + t0 * k, k,
+                     1.0, bp + i0 * k, k);
+      kernel::trsm_lu_block(tp + i0 * n + i0, n, bp + i0 * k, k, nb, k, unit);
+      if (i0 == 0) break;
     }
   }
 }
@@ -59,33 +61,29 @@ void trsm_right(Uplo uplo, Diag diag, const Matrix& u, Matrix& b) {
   check_trsm_args(u, b, /*left=*/false);
   const index_t n = u.rows();
   const index_t m = b.rows();
+  if (n == 0 || m == 0) return;
   const bool unit = diag == Diag::kUnit;
+  const double* tp = u.ptr();
+  double* bp = b.ptr();
 
   if (uplo == Uplo::kUpper) {
-    // X * U = B: column j of X depends on columns < j.
-    for (index_t j = 0; j < n; ++j) {
-      for (index_t l = 0; l < j; ++l) {
-        const double ulj = u(l, j);
-        if (ulj == 0.0) continue;
-        for (index_t i = 0; i < m; ++i) b(i, j) -= b(i, l) * ulj;
-      }
-      if (!unit) {
-        const double inv = 1.0 / u(j, j);
-        for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
-      }
+    // X * U = B: column block j depends on already-solved columns < j.
+    for (index_t j0 = 0; j0 < n; j0 += kDiagBlock) {
+      const index_t nb = std::min(kDiagBlock, n - j0);
+      if (j0 > 0)
+        kernel::gemm(m, nb, j0, -1.0, bp, n, tp + j0, n, 1.0, bp + j0, n);
+      kernel::trsm_ru_block(tp + j0 * n + j0, n, bp + j0, n, m, nb, unit);
     }
   } else {
-    // X * L = B: column j depends on columns > j.
-    for (index_t j = n - 1; j >= 0; --j) {
-      for (index_t l = j + 1; l < n; ++l) {
-        const double llj = u(l, j);
-        if (llj == 0.0) continue;
-        for (index_t i = 0; i < m; ++i) b(i, j) -= b(i, l) * llj;
-      }
-      if (!unit) {
-        const double inv = 1.0 / u(j, j);
-        for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
-      }
+    // X * L = B: column block j depends on columns > j, walk right-to-left.
+    for (index_t j0 = ((n - 1) / kDiagBlock) * kDiagBlock;; j0 -= kDiagBlock) {
+      const index_t nb = std::min(kDiagBlock, n - j0);
+      const index_t t0 = j0 + nb;
+      if (t0 < n)
+        kernel::gemm(m, nb, n - t0, -1.0, bp + t0, n, tp + t0 * n + j0, n,
+                     1.0, bp + j0, n);
+      kernel::trsm_rl_block(tp + j0 * n + j0, n, bp + j0, n, m, nb, unit);
+      if (j0 == 0) break;
     }
   }
 }

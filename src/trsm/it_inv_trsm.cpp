@@ -227,9 +227,13 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
           la::gemm_flops(panel_piece.rows(), kz, panel_piece.cols()));
       CATRSM_ASSERT(tx1 - tx0 == contrib.rows(),
                     "it_inv_trsm: update row mismatch");
-      for (index_t r = 0; r < contrib.rows(); ++r)
-        for (index_t c = 0; c < kz; ++c)
-          u_buffer(tx0 + r, c) += contrib(r, c);
+      // Contiguous row axpy (the checked accessor would bounds-test every
+      // element of this hot accumulation).
+      for (index_t r = 0; r < contrib.rows(); ++r) {
+        double* dst = u_buffer.ptr() + (tx0 + r) * kz;
+        const double* src = contrib.ptr() + r * kz;
+        for (index_t c = 0; c < kz; ++c) dst[c] += src[c];
+      }
       ctx.charge_flops(static_cast<double>(contrib.size()));
     }
 
@@ -243,8 +247,11 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
     const auto [ny0, ny1] = local_range(o2, o2 + s2, y, p1);
     const Matrix corr_t =
         transpose_exchange(corr, ny1 - ny0, kTagCorrExchange);
-    for (index_t r = 0; r < corr_t.rows(); ++r)
-      for (index_t c = 0; c < kz; ++c) by_panel(ny0 + r, c) -= corr_t(r, c);
+    for (index_t r = 0; r < corr_t.rows(); ++r) {
+      double* dst = by_panel.ptr() + (ny0 + r) * kz;
+      const double* src = corr_t.ptr() + r * kz;
+      for (index_t c = 0; c < kz; ++c) dst[c] -= src[c];
+    }
     ctx.charge_flops(static_cast<double>(corr_t.size()));
   }
 
