@@ -6,9 +6,18 @@
 // can be tracked across PRs while the modeled costs pin down that the
 // simulation itself did not change.
 //
-//   ./bench_runner [output.json]     (default: BENCH_sim.json)
+//   ./bench_runner [output.json] [--threads N]
+//
+// --threads N overrides the kernel pool size for the multi-threaded
+// cases (default: CATRSM_KERNEL_THREADS / hardware_concurrency). The
+// plain kernel/* cases always run single-threaded so their trajectory
+// stays comparable across machines; kernel/gemm_mt records the pooled
+// run next to a same-shape single-threaded baseline, and the batch case
+// runs once with the slab pool and once without, so both tentpole wins
+// are committed numbers.
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,9 +28,11 @@
 #include "la/gemm.hpp"
 #include "la/generate.hpp"
 #include "la/kernel/kernel.hpp"
+#include "la/kernel/pool.hpp"
 #include "la/tri_inv.hpp"
 #include "la/trsm.hpp"
 #include "model/tuning.hpp"
+#include "sim/slab.hpp"
 
 namespace {
 
@@ -40,6 +51,7 @@ struct Record {
   double critical_time = 0.0;
   double gflops = 0.0;       // kernel cases only: flops / wall-clock
   std::string backend;       // kernel cases only: dispatched micro-kernel
+  int threads = 1;           // kernel pool size the case's la:: calls saw
 };
 
 double ms_since(Clock::time_point t0) {
@@ -52,6 +64,7 @@ void append_json(std::string& out, const Record& r, bool last) {
   out += ", \"n\": " + std::to_string(r.n);
   out += ", \"k\": " + std::to_string(r.k);
   out += ", \"iterations\": " + std::to_string(r.iterations);
+  out += ", \"threads\": " + std::to_string(r.threads);
   out += ", \"wall_ms\": " + std::to_string(r.wall_ms);
   if (!r.backend.empty()) {
     out += ", \"gflops\": " + std::to_string(r.gflops);
@@ -67,13 +80,16 @@ void append_json(std::string& out, const Record& r, bool last) {
 /// E10-style local kernel substrate cases (no simulated machine). Each
 /// case is one warmup run plus the median of 5 timed runs; `gflops` turns
 /// the wall clock into a machine-readable flop rate so the perf trajectory
-/// of the micro-kernel layer can be tracked across PRs.
+/// of the micro-kernel layer can be tracked across PRs. Forced to one
+/// kernel thread: the single-core trajectory stays comparable across PRs
+/// and machines (kernel/gemm_mt carries the scaling story).
 void run_kernel_cases(std::vector<Record>& records) {
+  la::kernel::ThreadPool::set_threads_for_testing(1);
   const std::string backend = la::kernel::backend_name();
   const auto push = [&](const char* name, index_t n, index_t k, double wall,
                         double flops) {
-    Record r{name, 1, n, k, wall, 1.0, {}, 0.0, flops / (wall * 1e6),
-             backend};
+    Record r{name, 1, n,  k, wall, 1.0, {}, 0.0, flops / (wall * 1e6),
+             backend, 1};
     records.push_back(std::move(r));
   };
   for (const index_t n : {64, 128, 256, 512}) {
@@ -102,6 +118,35 @@ void run_kernel_cases(std::vector<Record>& records) {
           5, [&] { (void)la::tri_inv(la::Uplo::kLower, l); });
       push("kernel/tri_inv", n, 0, wall, la::tri_inv_flops(n));
     }
+  }
+  la::kernel::ThreadPool::set_threads_for_testing(0);
+}
+
+/// Multi-threaded scaling cases: the same GEMM shape through the kernel
+/// pool at its configured size, next to a single-threaded run of the
+/// identical shape, so the committed JSON carries the speedup (and the
+/// `threads` field says what produced it).
+void run_kernel_mt_cases(std::vector<Record>& records, int pool_threads) {
+  const std::string backend = la::kernel::backend_name();
+  for (const index_t n : {512, 1024}) {
+    const la::Matrix a = la::make_dense(21, n, n);
+    const la::Matrix b = la::make_dense(22, n, n);
+    la::Matrix c(n, n);
+    la::kernel::ThreadPool::set_threads_for_testing(1);
+    const double wall_st = bench::median_wall_ms(
+        5, [&] { la::gemm(1.0, a, b, 0.0, c); });
+    la::kernel::ThreadPool::set_threads_for_testing(pool_threads);
+    const double wall_mt = bench::median_wall_ms(
+        5, [&] { la::gemm(1.0, a, b, 0.0, c); });
+    la::kernel::ThreadPool::set_threads_for_testing(0);
+    const double flops = la::gemm_flops(n, n, n);
+    records.push_back({"kernel/gemm_st", 1, n, n, wall_st, 1.0, {}, 0.0,
+                       flops / (wall_st * 1e6), backend, 1});
+    records.push_back({"kernel/gemm_mt", 1, n, n, wall_mt, 1.0, {}, 0.0,
+                       flops / (wall_mt * 1e6), backend, pool_threads});
+    std::cout << "kernel/gemm_mt n=" << n << ": " << wall_st << " ms @1 -> "
+              << wall_mt << " ms @" << pool_threads << " threads ("
+              << wall_st / wall_mt << "x)\n";
   }
 }
 
@@ -137,14 +182,17 @@ void run_crossover_cases(std::vector<Record>& records) {
   }
 }
 
-/// The scenario the zero-copy buffers and persistent scheduler target:
-/// one plan, 32 iterative-TRSM solves at p = 64, executed as a batch.
-/// Wall clock covers the whole batch; modeled cost is per solve (all
-/// items are cost-identical).
-void run_batch_case(std::vector<Record>& records) {
+/// The scenario the zero-copy buffers, persistent scheduler, and slab
+/// pool target: one plan, 32 iterative-TRSM solves at p = 64, executed
+/// as a batch — once with the slab pool recycling message storage across
+/// runs, once with every payload freshly allocated, so the pooling win is
+/// a committed number. Modeled cost is per solve and must be identical in
+/// both records (allocation strategy cannot perturb the cost model).
+void run_batch_case(std::vector<Record>& records, bool pooled) {
   const int p = 64;
   const index_t n = 96, k = 48;
   const int items = 32;
+  sim::set_slab_pool_enabled(pooled);
   api::Context ctx(p);
   api::TrsmSpec spec;
   spec.force_algorithm = true;
@@ -159,21 +207,46 @@ void run_batch_case(std::vector<Record>& records) {
   const auto t0 = Clock::now();
   const std::vector<api::ExecResult> results = plan->execute_batch(l, bs);
   const double wall = ms_since(t0);
-  records.push_back({"batch/it_trsm_32x_p64", p, n, k, wall, double(items),
+  const std::string name = pooled ? "batch/it_trsm_32x_p64"
+                                  : "batch/it_trsm_32x_p64_nopool";
+  records.push_back({name, p, n, k, wall, double(items),
                      results.front().algorithm_cost(),
                      results.front().stats.critical_time});
-  std::cout << "batch/it_trsm_32x_p64: " << wall << " ms for " << items
-            << " solves (" << wall / items << " ms/solve)\n";
+  std::cout << name << ": " << wall << " ms for " << items << " solves ("
+            << wall / items << " ms/solve)\n";
+  sim::set_slab_pool_enabled(true);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  std::string path = "BENCH_sim.json";
+  int threads_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      threads_override = i + 1 < argc ? std::atoi(argv[++i]) : 0;
+      if (threads_override < 1) {
+        std::cerr << "usage: bench_runner [output.json] [--threads N] "
+                     "(N >= 1)\n";
+        return 2;
+      }
+    } else {
+      path = arg;
+    }
+  }
+  if (threads_override > 0)
+    la::kernel::ThreadPool::set_threads_for_testing(threads_override);
+  const int pool_threads =
+      la::kernel::ThreadPool::instance().size();
+  la::kernel::ThreadPool::set_threads_for_testing(0);
+
   std::vector<Record> records;
   run_kernel_cases(records);
+  run_kernel_mt_cases(records, pool_threads);
   run_crossover_cases(records);
-  run_batch_case(records);
+  run_batch_case(records, /*pooled=*/true);
+  run_batch_case(records, /*pooled=*/false);
 
   std::string out = "[\n";
   for (std::size_t i = 0; i < records.size(); ++i)

@@ -1,6 +1,7 @@
 #include "coll/collectives.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <utility>
 
@@ -137,10 +138,16 @@ Buffer halving_core(const sim::Comm& comm, Buffer work,
     const Buffer incoming = comm.sendrecv(peer, std::move(send_part), tag);
     CATRSM_ASSERT(incoming.size() == keep_part.size(),
                   "reduce_scatter: segment size mismatch");
-    std::vector<double> next(keep_part.begin(), keep_part.end());
-    for (std::size_t i = 0; i < next.size(); ++i) next[i] += incoming[i];
+    // Sum into a pooled uninitialized slab: one pass, no memset, no
+    // malloc once the pool is warm (identical arithmetic to the old
+    // copy-then-accumulate).
+    Buffer next = Buffer::uninit(keep_part.size());
+    double* out = next.mutable_data();
+    const double* keep = keep_part.data();
+    const double* in = incoming.data();
+    for (std::size_t i = 0; i < next.size(); ++i) out[i] = keep[i] + in[i];
     ctx.charge_flops(static_cast<double>(next.size()));
-    work = Buffer(std::move(next));
+    work = std::move(next);
     if (lower) {
       hi = mid;
     } else {
@@ -185,10 +192,14 @@ Buffer reduce_scatter(const sim::Comm& comm, Buffer full,
       const Buffer other = comm.recv(r + g2, tag);
       CATRSM_ASSERT(other.size() == work.size(),
                     "reduce_scatter: fold-in size mismatch");
-      std::vector<double> sum(work.begin(), work.end());
-      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += other[i];
+      Buffer sum = Buffer::uninit(work.size());
+      double* out = sum.mutable_data();
+      const double* mine = work.data();
+      const double* theirs = other.data();
+      for (std::size_t i = 0; i < sum.size(); ++i)
+        out[i] = mine[i] + theirs[i];
       comm.ctx().charge_flops(static_cast<double>(sum.size()));
-      work = Buffer(std::move(sum));
+      work = std::move(sum);
     }
   }
 
@@ -196,25 +207,27 @@ Buffer reduce_scatter(const sim::Comm& comm, Buffer full,
   // extra partner's block g2+q. Build a permuted working vector grouped by
   // super-segment so halving_core can use contiguous slices.
   std::vector<std::size_t> super_off(static_cast<std::size_t>(g2) + 1, 0);
-  std::vector<double> grouped;
-  grouped.reserve(work.size());
+  Buffer grouped = Buffer::uninit(work.size());
+  double* gout = grouped.mutable_data();
+  const double* wsrc = work.data();
+  std::size_t gpos = 0;
+  const auto append = [&](std::size_t lo, std::size_t hi) {
+    std::memcpy(gout + gpos, wsrc + lo, (hi - lo) * sizeof(double));
+    gpos += hi - lo;
+  };
   for (int q = 0; q < g2; ++q) {
-    super_off[static_cast<std::size_t>(q)] = grouped.size();
-    grouped.insert(
-        grouped.end(),
-        work.begin() + static_cast<std::ptrdiff_t>(off[static_cast<std::size_t>(q)]),
-        work.begin() + static_cast<std::ptrdiff_t>(off[static_cast<std::size_t>(q) + 1]));
+    super_off[static_cast<std::size_t>(q)] = gpos;
+    append(off[static_cast<std::size_t>(q)],
+           off[static_cast<std::size_t>(q) + 1]);
     if (q < extras) {
       const auto b = static_cast<std::size_t>(g2 + q);
-      grouped.insert(grouped.end(),
-                     work.begin() + static_cast<std::ptrdiff_t>(off[b]),
-                     work.begin() + static_cast<std::ptrdiff_t>(off[b + 1]));
+      append(off[b], off[b + 1]);
     }
   }
-  super_off[static_cast<std::size_t>(g2)] = grouped.size();
+  super_off[static_cast<std::size_t>(g2)] = gpos;
 
   Buffer segment =
-      halving_core(comm, Buffer(std::move(grouped)), super_off, g2, tag);
+      halving_core(comm, std::move(grouped), super_off, g2, tag);
 
   // Fold out: forward the extra partner's block.
   const std::size_t my_len = counts[static_cast<std::size_t>(r)];

@@ -76,13 +76,16 @@ DistMatrix remap(const DistMatrix& src,
           cursor[static_cast<std::size_t>(t)] +
           counts[static_cast<std::size_t>(t)];
     const std::vector<std::size_t> offsets(cursor.begin(), cursor.end() - 1);
-    std::vector<double> slab(dest.size());
+    // Pooled uninitialized slab: the scatter loop below writes every
+    // element exactly once, so the old vector's value-init was a pure
+    // memset of bytes about to be overwritten.
+    coll::Buffer packed = coll::Buffer::uninit(dest.size());
+    double* slab = packed.mutable_data();
     e = 0;
     for (std::size_t r = 0; r < rows.size(); ++r)
       for (std::size_t c = 0; c < cols.size(); ++c)
         slab[cursor[static_cast<std::size_t>(dest[e++])]++] =
             src.local()(static_cast<index_t>(r), static_cast<index_t>(c));
-    const coll::Buffer packed(std::move(slab));
     for (int t = 0; t < g; ++t)
       outgoing[static_cast<std::size_t>(t)] =
           packed.slice(offsets[static_cast<std::size_t>(t)],

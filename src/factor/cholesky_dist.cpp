@@ -133,7 +133,10 @@ DistMatrix cholesky_dist(const DistMatrix& a, const sim::Comm& comm,
     // panel rows congruent to my gj; one exchange supplies the transposed
     // operand. Trailing columns beyond o+sz that I own are exactly the
     // mirror's trailing rows, in the same ascending order.
-    Matrix mirror_panel = apanel;
+    // Build the TRANSPOSED mirror operand directly — from the frozen
+    // received view when exchanging (no take() copy off the slab), or
+    // from my own panel on the diagonal.
+    Matrix mirror_t;
     if (gi != gj) {
       const int peer = face.at(gj, gi);
       coll::Buffer got =
@@ -143,18 +146,23 @@ DistMatrix cholesky_dist(const DistMatrix& a, const sim::Comm& comm,
         if (c >= o + sz) ++peer_rows;
       CATRSM_ASSERT(static_cast<index_t>(got.size()) == peer_rows * sz,
                     "cholesky_dist: mirror panel size mismatch");
-      mirror_panel = Matrix(peer_rows, sz, std::move(got).take());
+      mirror_t = Matrix(sz, peer_rows);
+      const double* src = got.data();
+      for (index_t r = 0; r < peer_rows; ++r)
+        for (index_t c = 0; c < sz; ++c) mirror_t(c, r) = src[r * sz + c];
+    } else {
+      mirror_t = apanel.transposed();
     }
 
-    if (!trail_rows.empty() && mirror_panel.rows() > 0) {
-      const Matrix upd = la::matmul(apanel, mirror_panel.transposed());
+    if (!trail_rows.empty() && mirror_t.cols() > 0) {
+      const Matrix upd = la::matmul(apanel, mirror_t);
       ctx.charge_flops(
-          la::gemm_flops(apanel.rows(), mirror_panel.rows(), sz));
+          la::gemm_flops(apanel.rows(), mirror_t.cols(), sz));
       std::vector<index_t> trail_cols;
       for (const index_t c : my_cols)
         if (c >= o + sz) trail_cols.push_back(c);
       CATRSM_ASSERT(static_cast<index_t>(trail_cols.size()) ==
-                        mirror_panel.rows(),
+                        mirror_t.cols(),
                     "cholesky_dist: trailing column mismatch");
       for (std::size_t r = 0; r < trail_rows.size(); ++r) {
         const index_t lr = local_row_of(trail_rows[r]);

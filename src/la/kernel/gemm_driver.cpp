@@ -1,7 +1,7 @@
 #include <algorithm>
-#include <vector>
 
 #include "la/kernel/kernel.hpp"
+#include "la/kernel/pool.hpp"
 
 namespace catrsm::la::kernel {
 
@@ -18,39 +18,49 @@ constexpr index_t kNc = 1024;
 // branch-free naive loop instead (identical results up to summation order).
 constexpr index_t kSmallProduct = 16 * 1024;
 
+// Below this flop count (2*m*n*k) the fork-join overhead beats the
+// speedup; stay on one thread. Engagement never changes the arithmetic —
+// only which thread executes an index — so results are identical either
+// way.
+constexpr double kMtFlopThreshold = 4.0e6;
+
 constexpr index_t kMaxMr = 8;
 constexpr index_t kMaxNr = 16;
 
 index_t round_up(index_t x, index_t to) { return ((x + to - 1) / to) * to; }
 
-/// Pack A(m x k, stride lda) into mr-row strips, column-major within each
-/// strip, alpha folded in; rows past m are zero so the inner kernel never
-/// needs an m-edge branch.
-void pack_a(const double* a, index_t lda, index_t m, index_t k, double alpha,
-            index_t mr_full, double* ap) {
-  for (index_t i0 = 0; i0 < m; i0 += mr_full) {
+/// Pack mr-row strips [s0, s1) of A(m x k, stride lda), column-major
+/// within each strip, alpha folded in; rows past m are zero so the inner
+/// kernel never needs an m-edge branch. Each strip writes a disjoint
+/// k * mr_full range of ap, so strips parallelize freely.
+void pack_a_strips(const double* a, index_t lda, index_t m, index_t k,
+                   double alpha, index_t mr_full, double* ap, index_t s0,
+                   index_t s1) {
+  for (index_t s = s0; s < s1; ++s) {
+    const index_t i0 = s * mr_full;
     const index_t mr = std::min(mr_full, m - i0);
+    double* dst = ap + s * k * mr_full;
     for (index_t l = 0; l < k; ++l) {
       for (index_t i = 0; i < mr; ++i)
-        ap[l * mr_full + i] = alpha * a[(i0 + i) * lda + l];
-      for (index_t i = mr; i < mr_full; ++i) ap[l * mr_full + i] = 0.0;
+        dst[l * mr_full + i] = alpha * a[(i0 + i) * lda + l];
+      for (index_t i = mr; i < mr_full; ++i) dst[l * mr_full + i] = 0.0;
     }
-    ap += k * mr_full;
   }
 }
 
-/// Pack B(k x n, stride ldb) into nr-column strips, row-major within each
-/// strip, zero-padded past n.
-void pack_b(const double* b, index_t ldb, index_t k, index_t n,
-            index_t nr_full, double* bp) {
-  for (index_t j0 = 0; j0 < n; j0 += nr_full) {
+/// Pack nr-column strips [s0, s1) of B(k x n, stride ldb), row-major
+/// within each strip, zero-padded past n. Disjoint writes per strip.
+void pack_b_strips(const double* b, index_t ldb, index_t k, index_t n,
+                   index_t nr_full, double* bp, index_t s0, index_t s1) {
+  for (index_t s = s0; s < s1; ++s) {
+    const index_t j0 = s * nr_full;
     const index_t nr = std::min(nr_full, n - j0);
+    double* dst = bp + s * k * nr_full;
     for (index_t l = 0; l < k; ++l) {
       const double* brow = b + l * ldb + j0;
-      for (index_t j = 0; j < nr; ++j) bp[l * nr_full + j] = brow[j];
-      for (index_t j = nr; j < nr_full; ++j) bp[l * nr_full + j] = 0.0;
+      for (index_t j = 0; j < nr; ++j) dst[l * nr_full + j] = brow[j];
+      for (index_t j = nr; j < nr_full; ++j) dst[l * nr_full + j] = 0.0;
     }
-    bp += k * nr_full;
   }
 }
 
@@ -81,52 +91,128 @@ void gemm_naive(index_t m, index_t n, index_t k, double alpha,
   }
 }
 
+/// One jr strip of the macro-kernel: every ir strip of the mc x nc block
+/// against packed panels. Each jr strip writes a disjoint column band of
+/// C, so strips parallelize freely and bit-identically (the per-strip
+/// computation does not depend on the split).
+void macro_strip(const MicroKernel& uk, index_t kc, index_t mc, index_t nc,
+                 const double* apack, const double* bpack, double* c,
+                 index_t ldc, index_t jr_strip) {
+  const index_t mr_full = uk.mr;
+  const index_t nr_full = uk.nr;
+  const index_t jr = jr_strip * nr_full;
+  const index_t nr = std::min(nr_full, nc - jr);
+  const double* bp = bpack + jr * kc;
+  for (index_t ir = 0; ir < mc; ir += mr_full) {
+    const index_t mr = std::min(mr_full, mc - ir);
+    const double* ap = apack + ir * kc;
+    double* ct = c + ir * ldc + jr;
+    if (mr == mr_full && nr == nr_full) {
+      uk.run(kc, ap, bp, ct, ldc);
+    } else {
+      // Partial tile: accumulate into a full-size local tile (the
+      // packed panels are zero-padded) and add back the live part.
+      alignas(64) double tile[kMaxMr * kMaxNr] = {};
+      uk.run(kc, ap, bp, tile, nr_full);
+      for (index_t i = 0; i < mr; ++i) {
+        double* crow = ct + i * ldc;
+        const double* trow = tile + i * nr_full;
+        for (index_t j = 0; j < nr; ++j) crow[j] += trow[j];
+      }
+    }
+  }
+}
+
+// Contexts for the pool's function-pointer callbacks (no per-call
+// std::function allocation on the hot path).
+struct PackACtx {
+  const double* a;
+  index_t lda, m, k;
+  double alpha;
+  index_t mr_full;
+  double* ap;
+};
+struct PackBCtx {
+  const double* b;
+  index_t ldb, k, n, nr_full;
+  double* bp;
+};
+struct MacroCtx {
+  const MicroKernel* uk;
+  index_t kc, mc, nc;
+  const double* apack;
+  const double* bpack;
+  double* c;
+  index_t ldc;
+};
+
+void pack_a_cb(index_t s0, index_t s1, void* p) {
+  auto* ctx = static_cast<PackACtx*>(p);
+  pack_a_strips(ctx->a, ctx->lda, ctx->m, ctx->k, ctx->alpha, ctx->mr_full,
+                ctx->ap, s0, s1);
+}
+void pack_b_cb(index_t s0, index_t s1, void* p) {
+  auto* ctx = static_cast<PackBCtx*>(p);
+  pack_b_strips(ctx->b, ctx->ldb, ctx->k, ctx->n, ctx->nr_full, ctx->bp, s0,
+                s1);
+}
+void macro_cb(index_t s0, index_t s1, void* p) {
+  auto* ctx = static_cast<MacroCtx*>(p);
+  for (index_t s = s0; s < s1; ++s)
+    macro_strip(*ctx->uk, ctx->kc, ctx->mc, ctx->nc, ctx->apack, ctx->bpack,
+                ctx->c, ctx->ldc, s);
+}
+
 /// The five-loop packed driver (C += alpha * A * B; beta already applied).
+/// The jr macro-kernel loop and both packing loops fan out over the
+/// kernel pool when the product is large enough; the fork-join barriers
+/// make the packed panels visible to every worker before they are read.
 void gemm_packed(const MicroKernel& uk, index_t m, index_t n, index_t k,
                  double alpha, const double* a, index_t lda, const double* b,
                  index_t ldb, double* c, index_t ldc) {
   const index_t mr_full = uk.mr;
   const index_t nr_full = uk.nr;
 
-  // Per-thread packing scratch: ranks are fibers that never yield inside a
-  // kernel call, so worker-thread locals cannot be shared mid-flight.
-  static thread_local std::vector<double> apack;
-  static thread_local std::vector<double> bpack;
-  apack.resize(static_cast<std::size_t>(round_up(std::min(kMc, m), mr_full) *
-                                        std::min(kKc, k)));
-  bpack.resize(static_cast<std::size_t>(std::min(kKc, k) *
-                                        round_up(std::min(kNc, n), nr_full)));
+  // Packing scratch comes from the caller's thread-local arenas: no
+  // allocation (and no value-init) per call, 64-byte aligned, reused
+  // across calls. Ranks are fibers that never yield inside a kernel
+  // call, so thread-locals cannot be shared mid-flight; pool workers
+  // only ever receive these pointers through the fork-join barrier.
+  double* apack = pack_arena_a().ensure(
+      static_cast<std::size_t>(round_up(std::min(kMc, m), mr_full) *
+                               std::min(kKc, k)));
+  double* bpack = pack_arena_b().ensure(
+      static_cast<std::size_t>(std::min(kKc, k) *
+                               round_up(std::min(kNc, n), nr_full)));
+
+  ThreadPool& pool = ThreadPool::instance();
+  const bool fan_out =
+      pool.active_threads() > 1 &&
+      2.0 * static_cast<double>(m) * static_cast<double>(n) *
+              static_cast<double>(k) >=
+          kMtFlopThreshold;
+  const auto run = [&](index_t strips, void (*cb)(index_t, index_t, void*),
+                       void* ctx) {
+    if (fan_out) {
+      pool.parallel_for(strips, cb, ctx);
+    } else {
+      cb(0, strips, ctx);
+    }
+  };
 
   for (index_t jc = 0; jc < n; jc += kNc) {
     const index_t nc = std::min(kNc, n - jc);
     for (index_t pc = 0; pc < k; pc += kKc) {
       const index_t kc = std::min(kKc, k - pc);
-      pack_b(b + pc * ldb + jc, ldb, kc, nc, nr_full, bpack.data());
+      PackBCtx pb{b + pc * ldb + jc, ldb, kc, nc, nr_full, bpack};
+      run((nc + nr_full - 1) / nr_full, pack_b_cb, &pb);
       for (index_t ic = 0; ic < m; ic += kMc) {
         const index_t mc = std::min(kMc, m - ic);
-        pack_a(a + ic * lda + pc, lda, mc, kc, alpha, mr_full, apack.data());
-        for (index_t jr = 0; jr < nc; jr += nr_full) {
-          const index_t nr = std::min(nr_full, nc - jr);
-          const double* bp = bpack.data() + jr * kc;
-          for (index_t ir = 0; ir < mc; ir += mr_full) {
-            const index_t mr = std::min(mr_full, mc - ir);
-            const double* ap = apack.data() + ir * kc;
-            double* ct = c + (ic + ir) * ldc + jc + jr;
-            if (mr == mr_full && nr == nr_full) {
-              uk.run(kc, ap, bp, ct, ldc);
-            } else {
-              // Partial tile: accumulate into a full-size local tile (the
-              // packed panels are zero-padded) and add back the live part.
-              alignas(64) double tile[kMaxMr * kMaxNr] = {};
-              uk.run(kc, ap, bp, tile, nr_full);
-              for (index_t i = 0; i < mr; ++i) {
-                double* crow = ct + i * ldc;
-                const double* trow = tile + i * nr_full;
-                for (index_t j = 0; j < nr; ++j) crow[j] += trow[j];
-              }
-            }
-          }
-        }
+        PackACtx pa{a + ic * lda + pc, lda, mc, kc, alpha, mr_full, apack};
+        run((mc + mr_full - 1) / mr_full, pack_a_cb, &pa);
+        MacroCtx mk{&uk,   kc, mc, nc, apack, bpack,
+                    c + ic * ldc + jc, ldc};
+        run((nc + nr_full - 1) / nr_full, macro_cb, &mk);
       }
     }
   }

@@ -9,12 +9,16 @@
 // AVX-512F 8x16 tile — selected once per process by CPU detection and
 // overridable with CATRSM_KERNEL=scalar|avx2|avx512.
 //
-// Everything here is single-threaded by design: parallelism in this
-// codebase belongs to sim::RankScheduler, which already multiplexes ranks
-// over the physical cores; the kernel's job is only to make each rank's
-// local flops run at hardware speed. Modeled costs (S, W, F) are charged
-// by the distributed layers from closed-form flop formulas, so nothing in
-// this layer affects the simulator's accounting.
+// Large products additionally fan the macro-kernel loops out over a
+// persistent worker pool (kernel/pool.hpp, CATRSM_KERNEL_THREADS) with a
+// deterministic static split, so results are bit-identical at any pool
+// size. The pool composes with the simulator rather than fighting it:
+// calls issued from inside a simulated rank (exec::in_sim_rank()) always
+// run single-threaded, because sim::RankScheduler already multiplexes the
+// p ranks over the physical cores — only direct/library callers fan out.
+// Modeled costs (S, W, F) are charged by the distributed layers from
+// closed-form flop formulas, so nothing in this layer affects the
+// simulator's accounting.
 
 #include "la/matrix.hpp"
 

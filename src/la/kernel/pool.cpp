@@ -1,0 +1,192 @@
+#include "la/kernel/pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/exec_context.hpp"
+
+namespace catrsm::la::kernel {
+
+namespace {
+
+std::atomic<int> g_test_threads{0};
+std::atomic<std::uint64_t> g_dispatches{0};
+thread_local bool tls_pool_worker = false;
+
+int env_threads() {
+  const char* v = std::getenv("CATRSM_KERNEL_THREADS");
+  if (v != nullptr && *v != '\0') {
+    const int n = std::atoi(v);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex dispatch_mu;  // serializes concurrent masters
+
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+  bool shutdown = false;
+
+  // Current job (valid while remaining > 0). Chunk t of [0, n) is
+  // [n*t/nt, n*(t+1)/nt); worker w runs chunk w + 1, the master chunk 0.
+  std::uint64_t generation = 0;
+  void (*body)(index_t, index_t, void*) = nullptr;
+  void* ctx = nullptr;
+  index_t n = 0;
+  int nthreads = 0;
+  int remaining = 0;
+
+  void ensure_workers(int count) {
+    while (static_cast<int>(workers.size()) < count) {
+      const int id = static_cast<int>(workers.size());
+      workers.emplace_back([this, id] { worker_loop(id); });
+    }
+  }
+
+  void worker_loop(int id) {
+    tls_pool_worker = true;
+    std::uint64_t seen = 0;
+    while (true) {
+      void (*job)(index_t, index_t, void*) = nullptr;
+      void* job_ctx = nullptr;
+      index_t job_n = 0;
+      int job_nt = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] {
+          return shutdown || (generation != seen && id + 1 < nthreads);
+        });
+        if (shutdown) return;
+        seen = generation;
+        job = body;
+        job_ctx = ctx;
+        job_n = n;
+        job_nt = nthreads;
+      }
+      const index_t begin = job_n * (id + 1) / job_nt;
+      const index_t end = job_n * (id + 2) / job_nt;
+      if (begin < end) job(begin, end, job_ctx);
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        last = --remaining == 0;
+      }
+      if (last) done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::size() const {
+  const int forced = g_test_threads.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  static const int configured = env_threads();
+  return configured;
+}
+
+int ThreadPool::active_threads() const {
+  if (exec::in_sim_rank() || tls_pool_worker) return 1;
+  return size();
+}
+
+void ThreadPool::parallel_for(index_t n,
+                              void (*body)(index_t, index_t, void*),
+                              void* ctx) {
+  if (n <= 0) return;
+  int nt = active_threads();
+  if (nt > n) nt = static_cast<int>(n);
+  if (nt <= 1) {
+    body(0, n, ctx);
+    return;
+  }
+
+  std::lock_guard<std::mutex> dispatch(impl_->dispatch_mu);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->ensure_workers(nt - 1);
+    impl_->body = body;
+    impl_->ctx = ctx;
+    impl_->n = n;
+    impl_->nthreads = nt;
+    impl_->remaining = nt - 1;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+  g_dispatches.fetch_add(1, std::memory_order_relaxed);
+
+  body(0, n / nt, ctx);  // chunk 0 on the caller
+
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->done_cv.wait(lock, [&] { return impl_->remaining == 0; });
+  impl_->body = nullptr;
+}
+
+std::uint64_t ThreadPool::dispatches() {
+  return g_dispatches.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::set_threads_for_testing(int n) {
+  g_test_threads.store(n, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// PackArena
+
+PackArena::~PackArena() {
+  if (data_ != nullptr)
+    ::operator delete[](data_, std::align_val_t{64});
+}
+
+double* PackArena::ensure(std::size_t n) {
+  if (n > capacity_) {
+    std::size_t cap = capacity_ > 0 ? capacity_ : 1024;
+    while (cap < n) cap *= 2;
+    if (data_ != nullptr)
+      ::operator delete[](data_, std::align_val_t{64});
+    data_ = static_cast<double*>(
+        ::operator new[](cap * sizeof(double), std::align_val_t{64}));
+    capacity_ = cap;
+  }
+  return data_;
+}
+
+PackArena& pack_arena_a() {
+  static thread_local PackArena arena;
+  return arena;
+}
+
+PackArena& pack_arena_b() {
+  static thread_local PackArena arena;
+  return arena;
+}
+
+}  // namespace catrsm::la::kernel

@@ -1,0 +1,94 @@
+#pragma once
+// Persistent fork-join worker pool for the macro-kernel loops, plus the
+// cache-aligned packing arenas that replace per-call panel allocation.
+//
+// The pool is lazily started on the first multi-threaded dispatch and
+// sized from CATRSM_KERNEL_THREADS (default: hardware_concurrency; 1
+// reproduces the single-threaded behavior exactly). parallel_for splits
+// an index range into contiguous chunks, runs chunk 0 on the caller and
+// the rest on parked workers, and joins before returning.
+//
+// Determinism contract: every index's work item is self-contained and
+// writes a disjoint output region, so results are BIT-IDENTICAL for any
+// pool size — the split only decides which thread executes an item,
+// never what the item computes.
+//
+// Composition with the simulator: when the caller is a simulated rank
+// (exec::in_sim_rank(), set by sim::RankScheduler), parallel_for always
+// runs inline — p ranks already occupy the cores, and fanning out per
+// rank would oversubscribe the machine. Only direct callers (Plan on
+// p = 1, tests, benches) use the workers.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "la/matrix.hpp"
+
+namespace catrsm::la::kernel {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool (workers start on first multi-threaded use).
+  static ThreadPool& instance();
+
+  /// Configured worker count: testing override if set, else
+  /// CATRSM_KERNEL_THREADS, else hardware_concurrency (>= 1).
+  int size() const;
+
+  /// Fan-out a parallel_for issued from this thread would use right now:
+  /// 1 inside a simulated rank or on a pool worker, else size().
+  int active_threads() const;
+
+  /// Run body(begin, end) over a partition of [0, n) into at most
+  /// active_threads() contiguous chunks; blocks until every chunk is
+  /// done. Runs inline when the effective fan-out is 1. Chunking is a
+  /// static split by index, so the computation each index performs is
+  /// independent of the pool size (bit-identical results).
+  void parallel_for(index_t n, void (*body)(index_t begin, index_t end,
+                                            void* ctx),
+                    void* ctx);
+
+  /// Number of multi-threaded fan-outs since process start. Test hook:
+  /// a rank-context kernel call must leave this unchanged.
+  static std::uint64_t dispatches();
+
+  /// Test hook: force the pool size (0 restores the environment-derived
+  /// size). Takes effect on the next parallel_for; workers are spawned
+  /// on demand, so raising the count mid-process is safe.
+  static void set_threads_for_testing(int n);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Cache-aligned, growable scratch buffer that never value-initializes
+/// and is reused across calls (the packed-panel arena). One per thread
+/// per panel via pack_arena_a / pack_arena_b; simulated ranks are fibers
+/// that never yield inside a kernel call, so thread-locals are safe.
+class PackArena {
+ public:
+  PackArena() = default;
+  ~PackArena();
+  PackArena(const PackArena&) = delete;
+  PackArena& operator=(const PackArena&) = delete;
+
+  /// A buffer of at least n doubles, 64-byte aligned, contents
+  /// unspecified. Grows geometrically and never shrinks.
+  double* ensure(std::size_t n);
+
+ private:
+  double* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// Thread-local arenas for the packed A and B panels.
+PackArena& pack_arena_a();
+PackArena& pack_arena_b();
+
+}  // namespace catrsm::la::kernel

@@ -95,4 +95,29 @@ void trmm_lu_block(const double* t, index_t ldt, double* b, index_t ldb,
   }
 }
 
+void tri_inv_ll_block(const double* t, index_t ldt, double* inv, index_t ldi,
+                      index_t nb) {
+  for (index_t j = 0; j < nb; ++j) {
+    inv[j * ldi + j] = 1.0 / t[j * ldt + j];
+    for (index_t i = j + 1; i < nb; ++i) {
+      double s = 0.0;
+      for (index_t l = j; l < i; ++l) s += t[i * ldt + l] * inv[l * ldi + j];
+      inv[i * ldi + j] = -s / t[i * ldt + i];
+    }
+  }
+}
+
+void tri_inv_uu_block(const double* t, index_t ldt, double* inv, index_t ldi,
+                      index_t nb) {
+  for (index_t j = 0; j < nb; ++j) {
+    inv[j * ldi + j] = 1.0 / t[j * ldt + j];
+    for (index_t i = j - 1; i >= 0; --i) {
+      double s = 0.0;
+      for (index_t l = i + 1; l <= j; ++l)
+        s += t[i * ldt + l] * inv[l * ldi + j];
+      inv[i * ldi + j] = -s / t[i * ldt + i];
+    }
+  }
+}
+
 }  // namespace catrsm::la::kernel

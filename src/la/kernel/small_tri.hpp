@@ -36,4 +36,16 @@ void trmm_ll_block(const double* t, index_t ldt, double* b, index_t ldb,
 void trmm_lu_block(const double* t, index_t ldt, double* b, index_t ldb,
                    index_t nb, index_t k, bool unit);
 
+/// inv := T^-1 for an nb x nb lower triangular block by column-wise
+/// forward substitution on the identity (nb^3/3 flops — the substitution
+/// skips the identity's structural zeros). Writes ONLY the lower triangle
+/// of inv; the strict upper triangle is never touched, so a zero-
+/// initialized destination stays exactly triangular.
+void tri_inv_ll_block(const double* t, index_t ldt, double* inv, index_t ldi,
+                      index_t nb);
+
+/// Same for an upper triangular block (writes only the upper triangle).
+void tri_inv_uu_block(const double* t, index_t ldt, double* inv, index_t ldi,
+                      index_t nb);
+
 }  // namespace catrsm::la::kernel

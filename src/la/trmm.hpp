@@ -11,6 +11,14 @@ namespace catrsm::la {
 /// B := L * B with L lower (or upper) triangular, n x n, B n x k.
 void trmm_left(Uplo uplo, Diag diag, const Matrix& t, Matrix& b);
 
+/// Strided form over raw row-major storage: T is n x n triangular with
+/// leading dim ldt, B is n x k with leading dim ldb, updated in place.
+/// Lets callers multiply by a triangular SUBMATRIX (e.g. the trailing
+/// block of a partially built inverse) without copying it out first.
+/// T and the updated B region must not overlap.
+void trmm_left_strided(Uplo uplo, Diag diag, index_t n, index_t k,
+                       const double* t, index_t ldt, double* b, index_t ldb);
+
 /// Returns T * B without overwriting B.
 Matrix trmm(Uplo uplo, const Matrix& t, const Matrix& b);
 

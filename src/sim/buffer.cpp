@@ -1,8 +1,22 @@
 #include "sim/buffer.hpp"
 
+#include <cstring>
+
 #include "support/check.hpp"
 
 namespace catrsm::sim {
+
+Buffer::Buffer(std::span<const double> s) {
+  if (s.empty()) return;
+  slab_ = Slab::uninit(s.size());
+  std::memcpy(slab_->data(), s.data(), s.size() * sizeof(double));
+  len_ = s.size();
+}
+
+Buffer Buffer::uninit(std::size_t n) {
+  if (n == 0) return Buffer{};
+  return Buffer(Slab::uninit(n), 0, n);
+}
 
 Buffer Buffer::slice(std::size_t off, std::size_t len) const {
   CATRSM_CHECK(off + len <= len_, "Buffer::slice: view out of range");
@@ -13,7 +27,8 @@ Buffer Buffer::slice(std::size_t off, std::size_t len) const {
 double* Buffer::mutable_data() {
   if (!slab_) return nullptr;
   if (slab_.use_count() != 1) {
-    auto copy = std::make_shared<std::vector<double>>(begin(), end());
+    auto copy = Slab::uninit(len_);
+    std::memcpy(copy->data(), data(), len_ * sizeof(double));
     slab_ = std::move(copy);
     off_ = 0;
   }
@@ -22,8 +37,9 @@ double* Buffer::mutable_data() {
 
 std::vector<double> Buffer::take() && {
   if (!slab_) return {};
-  if (slab_.use_count() == 1 && off_ == 0 && len_ == slab_->size()) {
-    std::vector<double> out = std::move(*slab_);
+  if (slab_->adopted() && slab_.use_count() == 1 && off_ == 0 &&
+      len_ == slab_->size()) {
+    std::vector<double> out = slab_->release_vector();
     slab_.reset();
     len_ = 0;
     return out;
@@ -68,10 +84,14 @@ Buffer concat(std::span<const Buffer> parts) {
   if (first != nullptr && contiguous)
     return Buffer(first->slab_, first->off_, total);
 
-  std::vector<double> packed;
-  packed.reserve(total);
-  for (const Buffer& p : parts) packed.insert(packed.end(), p.begin(), p.end());
-  return Buffer(std::move(packed));
+  Buffer packed = Buffer::uninit(total);
+  double* dst = packed.mutable_data();
+  for (const Buffer& p : parts) {
+    if (p.empty()) continue;
+    std::memcpy(dst, p.data(), p.size() * sizeof(double));
+    dst += p.size();
+  }
+  return packed;
 }
 
 }  // namespace catrsm::sim

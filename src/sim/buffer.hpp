@@ -1,24 +1,31 @@
 #pragma once
 // Zero-copy message payloads for the simulated transport stack.
 //
-// A Buffer is an immutable view (offset + length) into a refcounted slab of
-// doubles. Sending a Buffer shares the slab (a refcount bump, no copy);
-// slicing a received payload into per-block views is free; and the slab is
-// released when the last view drops. Mutation goes through mutable_data(),
-// which writes in place only when this view is the slab's sole owner and
-// copies otherwise (copy-on-write), so aliased views can never observe each
-// other's writes.
+// A Buffer is an immutable view (offset + length) into a refcounted slab
+// of doubles (sim/slab.hpp: pooled uninitialized storage, or an adopted
+// std::vector). Sending a Buffer shares the slab (a refcount bump, no
+// copy); slicing a received payload into per-block views is free; and the
+// slab is released — pooled storage back to the slab pool, recycled
+// across Machine runs — when the last view drops. Mutation goes through
+// mutable_data(), which writes in place only when this view is the slab's
+// sole owner and copies otherwise (copy-on-write), so aliased views can
+// never observe each other's writes.
 //
 // Ownership rules for user SPMD code: treat every Buffer handed to send()
-// or returned by recv() as frozen. Build payloads in a std::vector<double>
-// and move it into a Buffer (zero-copy adoption), or pass a span (one
-// copy, at the boundary, exactly where the old transport copied).
+// or returned by recv() as frozen. Build payloads either in a
+// std::vector<double> moved into a Buffer (zero-copy adoption), in an
+// uninitialized pooled slab via Buffer::uninit(n) + mutable_data() (no
+// memset, no malloc when the pool has a slab of this size class), or
+// pass a span (one copy, at the boundary, exactly where the old
+// transport copied).
 
 #include <cstddef>
 #include <initializer_list>
 #include <memory>
 #include <span>
 #include <vector>
+
+#include "sim/slab.hpp"
 
 namespace catrsm::sim {
 
@@ -31,16 +38,19 @@ class Buffer {
 
   /// Adopt `v` as a fresh slab (zero-copy for rvalues).
   Buffer(std::vector<double> v)
-      : slab_(std::make_shared<std::vector<double>>(std::move(v))),
-        off_(0),
-        len_(slab_->size()) {}
+      : slab_(Slab::adopt(std::move(v))), off_(0), len_(slab_->size()) {}
 
-  /// Copy `s` into a fresh slab (the migration path for span call sites).
-  Buffer(std::span<const double> s)
-      : Buffer(std::vector<double>(s.begin(), s.end())) {}
+  /// Copy `s` into a fresh pooled slab (the migration path for span call
+  /// sites — one copy, no value-init of the destination).
+  Buffer(std::span<const double> s);
   Buffer(std::span<double> s) : Buffer(std::span<const double>(s)) {}
   Buffer(std::initializer_list<double> init)
-      : Buffer(std::vector<double>(init)) {}
+      : Buffer(std::span<const double>(init.begin(), init.size())) {}
+
+  /// A writable view of n UNINITIALIZED doubles on a pooled slab: fill
+  /// every element through mutable_data() before sharing it. The
+  /// allocation-free way to build a payload that is computed, not copied.
+  static Buffer uninit(std::size_t n);
 
   std::size_t size() const { return len_; }
   bool empty() const { return len_ == 0; }
@@ -75,19 +85,20 @@ class Buffer {
     return std::vector<double>(begin(), end());
   }
 
-  /// Destructive extraction: moves the slab's vector out when this view is
-  /// the sole owner of the whole slab, otherwise copies. The cheap bridge
-  /// from transport buffers into la::Matrix storage.
+  /// Destructive extraction: moves the slab's vector out when this view
+  /// is the sole owner of a whole ADOPTED slab, otherwise copies (pooled
+  /// slabs have no vector to surrender — keep reading the view instead
+  /// where the consumer only needs const access). The cheap bridge from
+  /// transport buffers into la::Matrix storage.
   std::vector<double> take() &&;
 
  private:
   friend Buffer concat(std::span<const Buffer> parts);
 
-  Buffer(std::shared_ptr<std::vector<double>> slab, std::size_t off,
-         std::size_t len)
+  Buffer(std::shared_ptr<Slab> slab, std::size_t off, std::size_t len)
       : slab_(std::move(slab)), off_(off), len_(len) {}
 
-  std::shared_ptr<std::vector<double>> slab_;
+  std::shared_ptr<Slab> slab_;
   std::size_t off_ = 0;
   std::size_t len_ = 0;
 };
@@ -95,7 +106,7 @@ class Buffer {
 /// Concatenate views into one. When the parts are adjacent views of a
 /// single slab (the common case when re-forwarding slices of a received
 /// payload) the result is a zero-copy slice of that slab; otherwise the
-/// parts are packed into a fresh slab.
+/// parts are packed into a fresh pooled slab.
 Buffer concat(std::span<const Buffer> parts);
 
 }  // namespace catrsm::sim

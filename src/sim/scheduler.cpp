@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "support/check.hpp"
+#include "support/exec_context.hpp"
 
 #if defined(__linux__)
 #include <sys/mman.h>
@@ -211,7 +212,11 @@ void RankScheduler::worker_loop(Worker& w) {
 
 void RankScheduler::thread_worker_loop(Worker& w) {
   for (Fiber* f : w.fibers) {
+    // Mark the rank body so kernel-pool fan-out stays off inside it (p
+    // ranks already occupy the cores).
+    const bool prev = exec::set_in_sim_rank(true);
     (*job_)(f->index);
+    exec::set_in_sim_rank(prev);
     f->finished = true;
   }
 }
@@ -256,7 +261,11 @@ void RankScheduler::fiber_worker_loop(Worker& w) {
       if (f->finished) continue;
       if (!f->ready.exchange(false, std::memory_order_acquire)) continue;
       tls_fiber = static_cast<void*>(f);
+      // The residency window doubles as the sim-rank mark: while the
+      // worker thread is inside the fiber, kernel-pool fan-out is off.
+      const bool prev = exec::set_in_sim_rank(true);
       swapcontext(&w.sched_ctx, &f->ctx);
+      exec::set_in_sim_rank(prev);
       tls_fiber = nullptr;
       if (f->finished) --live;
       progressed = true;

@@ -1,0 +1,167 @@
+#include "sim/slab.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <new>
+
+namespace catrsm::sim {
+
+namespace {
+
+// Retain at most this much recycled storage; releases beyond it free.
+constexpr std::size_t kMaxPooledBytes = std::size_t{128} << 20;  // 128 MiB
+constexpr std::size_t kMinBucket = 64;                           // doubles
+constexpr int kBuckets = 26;  // kMinBucket << 25 = 2^31 doubles = 16 GiB
+
+std::size_t bucket_capacity(std::size_t n) {
+  std::size_t cap = kMinBucket;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+/// Freelist index for this capacity, or -1 when it exceeds the largest
+/// bucket — oversized slabs bypass the pool entirely (plain alloc/free).
+int bucket_index(std::size_t cap) {
+  int i = 0;
+  for (std::size_t c = kMinBucket; c < cap; c <<= 1) ++i;
+  return i < kBuckets ? i : -1;
+}
+
+struct Pool {
+  std::mutex mu;
+  std::vector<double*> free_lists[kBuckets];
+  std::size_t retained_bytes = 0;
+  SlabPoolStats stats;
+};
+
+// Leaked on purpose: Buffer/Slab objects in static storage (or released
+// by detached worker threads during shutdown) may return slabs after any
+// static destructor would have run.
+Pool& pool() {
+  static Pool* p = new Pool;
+  return *p;
+}
+
+std::atomic<bool> g_pool_enabled{true};
+
+bool poison_from_env() {
+  const char* v = std::getenv("CATRSM_SLAB_POISON");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+std::atomic<bool> g_poison{poison_from_env()};
+
+double* allocate_aligned(std::size_t cap) {
+  return static_cast<double*>(
+      ::operator new[](cap * sizeof(double), std::align_val_t{64}));
+}
+
+void free_aligned(double* p) {
+  ::operator delete[](p, std::align_val_t{64});
+}
+
+double* acquire(std::size_t cap) {
+  const int bucket = bucket_index(cap);
+  if (bucket >= 0 && g_pool_enabled.load(std::memory_order_relaxed)) {
+    Pool& po = pool();
+    std::lock_guard<std::mutex> lock(po.mu);
+    auto& list = po.free_lists[bucket];
+    if (!list.empty()) {
+      double* p = list.back();
+      list.pop_back();
+      po.retained_bytes -= cap * sizeof(double);
+      ++po.stats.hits;
+      return p;
+    }
+    ++po.stats.misses;
+  } else {
+    std::lock_guard<std::mutex> lock(pool().mu);
+    ++pool().stats.misses;
+  }
+  return allocate_aligned(cap);
+}
+
+void release(double* p, std::size_t cap) {
+  const int bucket = bucket_index(cap);
+  if (bucket >= 0 && g_pool_enabled.load(std::memory_order_relaxed)) {
+    Pool& po = pool();
+    std::lock_guard<std::mutex> lock(po.mu);
+    const std::size_t bytes = cap * sizeof(double);
+    if (po.retained_bytes + bytes <= kMaxPooledBytes) {
+      po.free_lists[bucket].push_back(p);
+      po.retained_bytes += bytes;
+      ++po.stats.returned;
+      return;
+    }
+    ++po.stats.dropped;
+  }
+  free_aligned(p);
+}
+
+}  // namespace
+
+std::shared_ptr<Slab> Slab::uninit(std::size_t n) {
+  auto slab = std::shared_ptr<Slab>(new Slab);
+  if (n == 0) return slab;
+  const std::size_t cap = bucket_capacity(n);
+  slab->data_ = acquire(cap);
+  slab->size_ = n;
+  slab->capacity_ = cap;
+  if (g_poison.load(std::memory_order_relaxed)) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t i = 0; i < cap; ++i) slab->data_[i] = nan;
+  }
+  return slab;
+}
+
+std::shared_ptr<Slab> Slab::adopt(std::vector<double> v) {
+  auto slab = std::shared_ptr<Slab>(new Slab);
+  slab->vec_ = std::move(v);
+  slab->data_ = slab->vec_.data();
+  slab->size_ = slab->vec_.size();
+  slab->adopted_ = true;
+  return slab;
+}
+
+Slab::~Slab() {
+  if (!adopted_ && data_ != nullptr) release(data_, capacity_);
+}
+
+std::vector<double> Slab::release_vector() {
+  std::vector<double> out = std::move(vec_);
+  data_ = nullptr;
+  size_ = 0;
+  adopted_ = false;
+  return out;
+}
+
+void set_slab_pool_enabled(bool enabled) {
+  g_pool_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool slab_pool_enabled() {
+  return g_pool_enabled.load(std::memory_order_relaxed);
+}
+
+void set_slab_poison(bool enabled) {
+  g_poison.store(enabled, std::memory_order_relaxed);
+}
+
+void clear_slab_pool() {
+  Pool& po = pool();
+  std::lock_guard<std::mutex> lock(po.mu);
+  for (auto& list : po.free_lists) {
+    for (double* p : list) free_aligned(p);
+    list.clear();
+  }
+  po.retained_bytes = 0;
+}
+
+SlabPoolStats slab_pool_stats() {
+  Pool& po = pool();
+  std::lock_guard<std::mutex> lock(po.mu);
+  return po.stats;
+}
+
+}  // namespace catrsm::sim

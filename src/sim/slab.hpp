@@ -1,0 +1,81 @@
+#pragma once
+// Uninitialized-by-default storage slabs for sim::Buffer, recycled
+// through a size-bucketed pool.
+//
+// The seed transport allocated a fresh std::vector<double> for every
+// message payload; value-initialization memset memory that the very next
+// line overwrote, and the malloc/free churn repeated across every
+// Machine run of a batch. A Slab is either
+//   - POOLED: a 64-byte-aligned, uninitialized array drawn from a global
+//     freelist bucketed by power-of-two capacity and returned to it on
+//     release (recycled across Machine runs), or
+//   - ADOPTED: a std::vector<double> moved in by user code (the zero-copy
+//     adoption path of Buffer(std::vector&&)); adopted storage never
+//     touches the pool, and Buffer::take() can move it back out.
+//
+// Debug aid: with CATRSM_SLAB_POISON=1 (or set_slab_poison(true)), every
+// pooled acquisition is filled with a NaN pattern, so a consumer that
+// reads a word it never wrote propagates NaN instead of silently reusing
+// stale message bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace catrsm::sim {
+
+class Slab {
+ public:
+  /// Pooled slab of n doubles, contents unspecified (NaN-filled under
+  /// poison mode). n == 0 yields a data() == nullptr slab.
+  static std::shared_ptr<Slab> uninit(std::size_t n);
+
+  /// Adopt a vector's storage (no copy, never pooled).
+  static std::shared_ptr<Slab> adopt(std::vector<double> v);
+
+  ~Slab();
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  double* data() noexcept { return data_; }
+  const double* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// True when this slab owns an adopted vector that take() may move out.
+  bool adopted() const noexcept { return adopted_; }
+  /// Move the adopted vector out (only valid when adopted()).
+  std::vector<double> release_vector();
+
+ private:
+  Slab() = default;
+
+  std::vector<double> vec_;       // engaged when adopted_
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;      // pooled bucket capacity (doubles)
+  bool adopted_ = false;
+};
+
+/// Turn pooled recycling on/off (off: every pooled slab is a fresh
+/// aligned allocation and is freed on release). For A/B benchmarking;
+/// defaults to on.
+void set_slab_pool_enabled(bool enabled);
+bool slab_pool_enabled();
+
+/// Poison-fill mode (see header comment). Also enabled by the
+/// CATRSM_SLAB_POISON=1 environment variable, read once at startup.
+void set_slab_poison(bool enabled);
+
+/// Drop every cached slab (test isolation; frees retained memory).
+void clear_slab_pool();
+
+struct SlabPoolStats {
+  std::uint64_t hits = 0;      // acquisitions served from the freelist
+  std::uint64_t misses = 0;    // acquisitions that had to allocate
+  std::uint64_t returned = 0;  // releases that re-entered the freelist
+  std::uint64_t dropped = 0;   // releases freed because the pool was full
+};
+SlabPoolStats slab_pool_stats();
+
+}  // namespace catrsm::sim

@@ -1,0 +1,17 @@
+#include "support/exec_context.hpp"
+
+namespace catrsm::exec {
+
+namespace {
+thread_local bool tls_in_sim_rank = false;
+}
+
+bool in_sim_rank() noexcept { return tls_in_sim_rank; }
+
+bool set_in_sim_rank(bool value) noexcept {
+  const bool prev = tls_in_sim_rank;
+  tls_in_sim_rank = value;
+  return prev;
+}
+
+}  // namespace catrsm::exec

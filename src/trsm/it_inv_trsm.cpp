@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "coll/collectives.hpp"
 #include "dist/grid.hpp"
 #include "la/gemm.hpp"
+#include "la/kernel/kernel.hpp"
 #include "support/check.hpp"
 
 namespace catrsm::trsm {
@@ -40,9 +42,15 @@ index_t strided_count(index_t n, int m, int res) {
   return (n - res - 1) / m + 1;
 }
 
-Matrix reshape(coll::Buffer buf, index_t rows, index_t cols) {
-  return Matrix(rows, cols, std::move(buf).take());
-}
+/// A received payload viewed as a frozen row-major rows x cols panel.
+/// The data stays on the transport slab — no take()/to_vector copy; every
+/// consumer below only reads, so the view is all that is needed.
+struct Panel {
+  sim::Buffer buf;
+  index_t rows = 0;
+  index_t cols = 0;
+  const double* ptr() const { return buf.data(); }
+};
 
 }  // namespace
 
@@ -143,49 +151,62 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
   const sim::Comm zf = grid.z_fiber();
   const int peer = grid.at(y, x, z);  // transpose partner
 
-  auto transpose_exchange = [&](const Matrix& mine, index_t peer_rows,
-                                int tag) -> Matrix {
-    if (x == y) return mine;
-    coll::Buffer got = comm.sendrecv(peer, mine.data(), tag);
+  // Ship a frozen payload to the transpose partner and view the reply in
+  // place: sends are refcount bumps and the received panel is never
+  // copied off its slab (the consumers below only read it).
+  auto transpose_exchange = [&](sim::Buffer mine, index_t my_rows,
+                                index_t peer_rows, int tag) -> Panel {
+    if (x == y) return Panel{std::move(mine), my_rows, kz};
+    sim::Buffer got = comm.sendrecv(peer, std::move(mine), tag);
     CATRSM_ASSERT(static_cast<index_t>(got.size()) == peer_rows * kz,
                   "it_inv_trsm: exchange size mismatch");
-    return reshape(std::move(got), peer_rows, kz);
+    return Panel{std::move(got), peer_rows, kz};
   };
 
   // --- Replicate B over the y-fibers, then transpose so every rank holds
   // the rows congruent to its own y (the contraction-ready orientation).
-  Matrix by_panel;
+  // by_panel is corrected in place each iteration, so it is the one
+  // received panel that gets materialized into owned storage.
+  Matrix by_panel(rows_y, kz);
   {
     sim::PhaseScope scope(ctx, "setup");
     coll::Buffer mine = b.participates() ? coll::Buffer(b.local().data())
                                          : coll::Buffer();
     coll::Buffer bx = coll::bcast(yf, /*root=*/0, std::move(mine),
                                   static_cast<std::size_t>(rows_x * kz));
-    Matrix bx_panel = reshape(std::move(bx), rows_x, kz);
-    by_panel = transpose_exchange(bx_panel, rows_y, kTagBExchange);
+    const Panel byp = transpose_exchange(std::move(bx), rows_x, rows_y,
+                                         kTagBExchange);
+    CATRSM_ASSERT(byp.rows == rows_y, "it_inv_trsm: B panel shape mismatch");
+    std::memcpy(by_panel.ptr(), byp.ptr(),
+                static_cast<std::size_t>(rows_y * kz) * sizeof(double));
   }
 
   Matrix x_panel(rows_x, kz);
   Matrix u_buffer(rows_x, kz);  // lazily accumulated updates, rows ≡ x
 
   // Extract a (row-range x col-range) piece of my ltilde block and
-  // broadcast it along the z-fiber (only z = 0 holds ltilde).
+  // broadcast it along the z-fiber (only z = 0 holds ltilde); the piece
+  // is packed straight onto a pooled slab and consumed as a view.
   auto bcast_piece = [&](index_t rlo, index_t rhi, index_t clo,
-                         index_t chi) -> Matrix {
+                         index_t chi) -> Panel {
     const auto [rx0, rx1] = local_range(rlo, rhi, x, p1);
     const auto [cy0, cy1] = local_range(clo, chi, y, p1);
     const index_t pr = rx1 - rx0;
     const index_t pc = cy1 - cy0;
-    coll::Buf mine;
+    sim::Buffer mine;
     if (z == 0) {
       CATRSM_ASSERT(ltilde.participates(),
                     "it_inv_trsm: front face must own ltilde");
-      const Matrix piece = ltilde.local().block(rx0, cy0, pr, pc);
-      mine.assign(piece.data().begin(), piece.data().end());
+      const Matrix& lt = ltilde.local();
+      mine = sim::Buffer::uninit(static_cast<std::size_t>(pr * pc));
+      double* dst = mine.mutable_data();
+      for (index_t r = 0; r < pr; ++r)
+        std::memcpy(dst + r * pc, lt.ptr() + (rx0 + r) * lt.cols() + cy0,
+                    static_cast<std::size_t>(pc) * sizeof(double));
     }
     coll::Buffer out = coll::bcast(zf, /*root=*/0, std::move(mine),
                                    static_cast<std::size_t>(pr * pc));
-    return reshape(std::move(out), pr, pc);
+    return Panel{std::move(out), pr, pc};
   };
 
   // --- Main iteration (Section VI-B / VII).
@@ -194,23 +215,31 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
     const index_t sz = std::min(nb, n - oi);
 
     // Solve: X(Si) = Ltilde(Si, Si) * B(Si).
-    Matrix xred;
+    Panel xred;
     index_t sy_count = 0;
     {
       sim::PhaseScope solve_scope(ctx, "solve");
-      const Matrix diag_piece = bcast_piece(oi, oi + sz, oi, oi + sz);
+      const Panel diag_piece = bcast_piece(oi, oi + sz, oi, oi + sz);
       const auto [sy0, sy1] = local_range(oi, oi + sz, y, p1);
       sy_count = sy1 - sy0;
-      const Matrix b_slice = by_panel.block(sy0, 0, sy_count, kz);
-      Matrix xp = la::matmul(diag_piece, b_slice);
-      ctx.charge_flops(la::gemm_flops(diag_piece.rows(), kz, b_slice.rows()));
+      CATRSM_ASSERT(diag_piece.cols == sy_count,
+                    "it_inv_trsm: diagonal piece width mismatch");
+      // The product lands straight on an uninitialized pooled slab, so
+      // the allreduce ships it without a packing copy.
+      sim::Buffer xp =
+          sim::Buffer::uninit(static_cast<std::size_t>(diag_piece.rows * kz));
+      la::kernel::gemm(diag_piece.rows, kz, sy_count, 1.0, diag_piece.ptr(),
+                       diag_piece.cols, by_panel.ptr() + sy0 * kz, kz, 0.0,
+                       xp.mutable_data(), kz);
+      ctx.charge_flops(la::gemm_flops(diag_piece.rows, kz, sy_count));
 
-      coll::Buffer xsum = coll::allreduce(yf, xp.data());
-      xred = reshape(std::move(xsum), diag_piece.rows(), kz);
+      coll::Buffer xsum = coll::allreduce(yf, std::move(xp));
+      xred = Panel{std::move(xsum), diag_piece.rows, kz};
       const auto [sx0, sx1] = local_range(oi, oi + sz, x, p1);
-      CATRSM_ASSERT(sx1 - sx0 == xred.rows(),
+      CATRSM_ASSERT(sx1 - sx0 == xred.rows,
                     "it_inv_trsm: X slice mismatch");
-      x_panel.set_block(sx0, 0, xred);
+      std::memcpy(x_panel.ptr() + sx0 * kz, xred.ptr(),
+                  static_cast<std::size_t>(xred.rows * kz) * sizeof(double));
     }
 
     if (i + 1 >= nblocks) break;
@@ -218,13 +247,19 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
     sim::PhaseScope update_scope(ctx, "update");
 
     // Update: accumulate L(T_{i+1}, Si) * X(Si) into the lazy buffer.
-    const Matrix panel_piece = bcast_piece(o2, n, oi, oi + sz);
-    const Matrix xt = transpose_exchange(xred, sy_count, kTagXExchange);
+    const Panel panel_piece = bcast_piece(o2, n, oi, oi + sz);
+    const Panel xt = transpose_exchange(xred.buf, xred.rows, sy_count,
+                                        kTagXExchange);
     const auto [tx0, tx1] = local_range(o2, n, x, p1);
-    if (panel_piece.rows() > 0 && xt.rows() > 0) {
-      Matrix contrib = la::matmul(panel_piece, xt);
+    if (panel_piece.rows > 0 && xt.rows > 0) {
+      CATRSM_ASSERT(panel_piece.cols == xt.rows,
+                    "it_inv_trsm: update contraction mismatch");
+      Matrix contrib(panel_piece.rows, kz);
+      la::kernel::gemm(panel_piece.rows, kz, panel_piece.cols, 1.0,
+                       panel_piece.ptr(), panel_piece.cols, xt.ptr(), kz,
+                       0.0, contrib.ptr(), kz);
       ctx.charge_flops(
-          la::gemm_flops(panel_piece.rows(), kz, panel_piece.cols()));
+          la::gemm_flops(panel_piece.rows, kz, panel_piece.cols));
       CATRSM_ASSERT(tx1 - tx0 == contrib.rows(),
                     "it_inv_trsm: update row mismatch");
       // Contiguous row axpy (the checked accessor would bounds-test every
@@ -237,22 +272,25 @@ DistMatrix it_inv_trsm(const DistMatrix& l, const DistMatrix& b,
       ctx.charge_flops(static_cast<double>(contrib.size()));
     }
 
-    // Reduce only the next block row of the buffer and correct B.
+    // Reduce only the next block row of the buffer and correct B. The
+    // reduced rows are contiguous full-width rows of u_buffer, so they
+    // ship as a span view — no block copy before the collective.
     const index_t s2 = std::min(nb, n - o2);
     const auto [nx0, nx1] = local_range(o2, o2 + s2, x, p1);
-    const Matrix useg = u_buffer.block(nx0, 0, nx1 - nx0, kz);
-    coll::Buffer csum = coll::allreduce(yf, useg.data());
-    Matrix corr = reshape(std::move(csum), nx1 - nx0, kz);
+    coll::Buffer csum = coll::allreduce(
+        yf, std::span<const double>(
+                u_buffer.ptr() + nx0 * kz,
+                static_cast<std::size_t>((nx1 - nx0) * kz)));
 
     const auto [ny0, ny1] = local_range(o2, o2 + s2, y, p1);
-    const Matrix corr_t =
-        transpose_exchange(corr, ny1 - ny0, kTagCorrExchange);
-    for (index_t r = 0; r < corr_t.rows(); ++r) {
+    const Panel corr_t = transpose_exchange(std::move(csum), nx1 - nx0,
+                                            ny1 - ny0, kTagCorrExchange);
+    for (index_t r = 0; r < corr_t.rows; ++r) {
       double* dst = by_panel.ptr() + (ny0 + r) * kz;
       const double* src = corr_t.ptr() + r * kz;
       for (index_t c = 0; c < kz; ++c) dst[c] -= src[c];
     }
-    ctx.charge_flops(static_cast<double>(corr_t.size()));
+    ctx.charge_flops(static_cast<double>(corr_t.rows * kz));
   }
 
   // --- The y = 0 plane holds the solution in B's layout.

@@ -107,11 +107,16 @@ DistMatrix rec_split_columns(const DistMatrix& l, const DistMatrix& b,
           offset[static_cast<std::size_t>(zz)] +
           counts[static_cast<std::size_t>(zz)];
     std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
-    // Piece data is row-major (rows outer); walk rows outer here too.
+    // Operate on the frozen allgather payload directly: hoist the slab
+    // pointer (and the destination row pointer) out of the element loop
+    // instead of re-deriving the view base per element.
+    const double* src = all.data();
+    double* dst = lsub.local().ptr();
     for (index_t rr = 0; rr < lrows; ++rr) {
+      double* drow = dst + rr * lcols;
       for (index_t t = 0; t < lcols; ++t) {
         const auto zz = static_cast<std::size_t>(t % q);
-        lsub.local()(rr, t) = all[cursor[zz]++];
+        drow[t] = src[cursor[zz]++];
       }
     }
   }

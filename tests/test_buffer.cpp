@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <utility>
 #include <vector>
 
 #include "sim/buffer.hpp"
+#include "sim/slab.hpp"
 
 namespace catrsm::sim {
 namespace {
@@ -107,6 +109,79 @@ TEST(Buffer, ConcatSkipsEmptyPartsAndForwardsSingletons) {
   EXPECT_TRUE(joined.aliases(b));
   EXPECT_EQ(joined.data(), b.data());
   EXPECT_EQ(concat(std::vector<Buffer>{}).size(), 0u);
+}
+
+TEST(Buffer, UninitSlabPoolRecyclesSameStorage) {
+  clear_slab_pool();
+  const double* storage = nullptr;
+  {
+    Buffer a = Buffer::uninit(1000);
+    storage = a.data();
+    ASSERT_NE(storage, nullptr);
+  }  // last view dropped: the slab re-enters the pool
+  // Same power-of-two size class (1024 doubles): the freelist hands the
+  // identical storage back instead of allocating.
+  const SlabPoolStats before = slab_pool_stats();
+  Buffer b = Buffer::uninit(900);
+  EXPECT_EQ(b.data(), storage);
+  EXPECT_EQ(slab_pool_stats().hits, before.hits + 1);
+}
+
+TEST(Buffer, SlabPoolDisabledAllocatesFresh) {
+  clear_slab_pool();
+  const double* storage = nullptr;
+  {
+    Buffer a = Buffer::uninit(512);
+    storage = a.data();
+  }
+  set_slab_pool_enabled(false);
+  {
+    // With recycling off the retained slab must not be handed out...
+    Buffer b = Buffer::uninit(512);
+    EXPECT_NE(b.data(), storage);
+  }
+  set_slab_pool_enabled(true);
+  // ...but it is still waiting in the pool once recycling resumes.
+  Buffer c = Buffer::uninit(512);
+  EXPECT_EQ(c.data(), storage);
+}
+
+TEST(Buffer, PoisonFillExposesUnwrittenWords) {
+  // Under poison mode a recycled slab arrives NaN-filled, so any consumer
+  // that reads a word it never wrote propagates NaN instead of silently
+  // reusing stale message bytes. A fully-written payload is NaN-free.
+  clear_slab_pool();
+  {
+    Buffer dirty = Buffer::uninit(256);
+    double* w = dirty.mutable_data();
+    for (std::size_t i = 0; i < dirty.size(); ++i) w[i] = 1.0;
+  }  // recycled: stale 1.0s now sit in the pool
+  set_slab_poison(true);
+  Buffer a = Buffer::uninit(256);
+  EXPECT_TRUE(std::isnan(a[0]));    // the stale bytes were overwritten
+  EXPECT_TRUE(std::isnan(a[255]));  // ... out to the full view
+  double* w = a.mutable_data();
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = 2.0;
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], 2.0);
+
+  // concat's packing path writes every destination word.
+  Buffer src(std::vector<double>{0.0, 1.0, 2.0, 3.0});
+  std::vector<Buffer> parts{src.slice(2, 2), src.slice(0, 2)};
+  Buffer joined = concat(parts);
+  for (std::size_t i = 0; i < joined.size(); ++i)
+    ASSERT_FALSE(std::isnan(joined[i]));
+  set_slab_poison(false);
+}
+
+TEST(Buffer, TakeCopiesFromPooledSlabWithoutDisturbingIt) {
+  Buffer a = Buffer::uninit(8);
+  double* w = a.mutable_data();
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = static_cast<double>(i);
+  Buffer alias = a;
+  std::vector<double> out = std::move(a).take();  // pooled: must copy
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_DOUBLE_EQ(out[3], 3.0);
+  EXPECT_DOUBLE_EQ(alias[3], 3.0);  // surviving view untouched
 }
 
 TEST(Buffer, SpanAndVectorInterop) {

@@ -14,6 +14,7 @@
 #include "la/generate.hpp"
 #include "la/gemm.hpp"
 #include "la/kernel/kernel.hpp"
+#include "la/kernel/pool.hpp"
 #include "la/matrix.hpp"
 #include "la/norms.hpp"
 #include "la/tri_inv.hpp"
@@ -200,6 +201,71 @@ TEST(Kernel, BlockedTrmmMatchesGemmAcrossBlockBoundary) {
         << "n=" << n;
     EXPECT_LT(max_abs_diff(trmm(Uplo::kUpper, up, b), matmul(up, b)), 1e-11)
         << "n=" << n;
+  }
+}
+
+/// RAII pool-size override so a failing assertion cannot leak a forced
+/// thread count into later tests.
+class PoolThreads {
+ public:
+  explicit PoolThreads(int n) { kernel::ThreadPool::set_threads_for_testing(n); }
+  ~PoolThreads() { kernel::ThreadPool::set_threads_for_testing(0); }
+};
+
+double frobenius_distance(const Matrix& a, const Matrix& b) {
+  double s = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j) {
+      const double d = a(i, j) - b(i, j);
+      s += d * d;
+    }
+  return std::sqrt(s);
+}
+
+TEST(KernelPool, GemmBitIdenticalAcrossPoolSizes) {
+  // The pool's static split only decides WHICH thread runs a strip, never
+  // what the strip computes, so any pool size must reproduce the single-
+  // threaded result exactly (Frobenius distance 0, not merely small).
+  for (const index_t n : {129, 257, 512}) {
+    const Matrix a = make_dense(901 + n, n, n);
+    const Matrix b = make_dense(902 + n, n, n);
+    Matrix c1(n, n), c4(n, n);
+    {
+      PoolThreads single(1);
+      c1 = matmul(a, b);
+    }
+    {
+      PoolThreads four(4);
+      const auto before = kernel::ThreadPool::dispatches();
+      c4 = matmul(a, b);
+      EXPECT_GT(kernel::ThreadPool::dispatches(), before)
+          << "n=" << n << ": the multi-threaded run never fanned out";
+    }
+    EXPECT_TRUE(c1.equals(c4)) << "n=" << n;
+    EXPECT_EQ(frobenius_distance(c1, c4), 0.0) << "n=" << n;
+  }
+}
+
+TEST(KernelPool, TrsmAndTriInvBitIdenticalAcrossPoolSizes) {
+  for (const index_t n : {129, 257, 512}) {
+    const Matrix l = make_lower_triangular(911 + n, n);
+    const Matrix b = make_rhs(912 + n, n, n);
+    Matrix x1 = b, x4 = b;
+    Matrix t1(n, n), t4(n, n);
+    {
+      PoolThreads single(1);
+      trsm_left(Uplo::kLower, Diag::kNonUnit, l, x1);
+      t1 = tri_inv(Uplo::kLower, l);
+    }
+    {
+      PoolThreads four(4);
+      trsm_left(Uplo::kLower, Diag::kNonUnit, l, x4);
+      t4 = tri_inv(Uplo::kLower, l);
+    }
+    EXPECT_TRUE(x1.equals(x4)) << "trsm n=" << n;
+    EXPECT_EQ(frobenius_distance(x1, x4), 0.0) << "trsm n=" << n;
+    EXPECT_TRUE(t1.equals(t4)) << "tri_inv n=" << n;
+    EXPECT_EQ(frobenius_distance(t1, t4), 0.0) << "tri_inv n=" << n;
   }
 }
 

@@ -8,6 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "la/generate.hpp"
+#include "la/gemm.hpp"
+#include "la/kernel/pool.hpp"
 #include "sim/comm.hpp"
 #include "sim/machine.hpp"
 
@@ -239,6 +242,32 @@ TEST(Scheduler, WorkersPersistAcrossFailedRuns) {
     after[static_cast<std::size_t>(r.id())] = std::this_thread::get_id();
   });
   EXPECT_EQ(before, after);
+}
+
+TEST(Machine, RankContextKernelCallsDoNotSpawnPoolWorkers) {
+  // A la:: call big enough to fan out over the kernel pool from a direct
+  // caller must stay single-threaded inside a simulated rank: the
+  // scheduler already multiplexes p ranks over the cores, and the
+  // sim-context TLS flag tells the pool to run inline.
+  la::kernel::ThreadPool::set_threads_for_testing(4);
+  const la::index_t n = 192;  // 2n^3 is past the pool's fan-out threshold
+  const la::Matrix a = la::make_dense(1201, n, n);
+  const la::Matrix b = la::make_dense(1202, n, n);
+
+  // Sanity: the same product from a direct caller does fan out.
+  const auto direct_before = la::kernel::ThreadPool::dispatches();
+  const la::Matrix reference = la::matmul(a, b);
+  ASSERT_GT(la::kernel::ThreadPool::dispatches(), direct_before);
+
+  const auto rank_before = la::kernel::ThreadPool::dispatches();
+  Machine m(2);
+  m.run([&](Rank& r) {
+    const la::Matrix c = la::matmul(a, b);
+    ASSERT_TRUE(c.equals(reference)) << "rank " << r.id();
+  });
+  EXPECT_EQ(la::kernel::ThreadPool::dispatches(), rank_before)
+      << "a simulated rank fanned out over the kernel pool";
+  la::kernel::ThreadPool::set_threads_for_testing(0);
 }
 
 TEST(Machine, DeterministicAcrossRuns) {
