@@ -217,6 +217,66 @@ void run_batch_case(std::vector<Record>& records, bool pooled) {
   sim::set_slab_pool_enabled(true);
 }
 
+/// The resident-operand A/B of the same scenario: upload L ONCE, then 32
+/// execute_dist calls (per-item B upload + X download included — that is
+/// the serving traffic pattern), versus batch/it_trsm_32x_p64 which
+/// re-scatters L, re-collects X, and re-checks the residual on every
+/// execute. Modeled algorithm cost must be identical to the batch record
+/// (same solver body); the wall-clock gap is the driver overhead the
+/// resident path eliminates.
+void run_resident_batch_case(std::vector<Record>& records) {
+  const int p = 64;
+  const index_t n = 96, k = 48;
+  const int items = 32;
+  api::Context ctx(p);
+  api::TrsmSpec spec;
+  spec.force_algorithm = true;
+  spec.algorithm = model::Algorithm::kIterative;
+  auto plan = ctx.plan(api::trsm_op(n, k, spec));
+  const la::Matrix l = la::make_lower_triangular(11, n);
+  std::vector<la::Matrix> bs;
+  bs.reserve(items);
+  for (int i = 0; i < items; ++i)
+    bs.push_back(la::make_rhs(100 + static_cast<std::uint64_t>(i), n, k));
+
+  const auto t0 = Clock::now();
+  const api::DistHandle hl = ctx.upload(l, plan->input_layout(0));
+  sim::Cost modeled;
+  double critical = 0.0;
+  for (int i = 0; i < items; ++i) {
+    const api::DistHandle hb =
+        ctx.upload(bs[static_cast<std::size_t>(i)], plan->input_layout(1));
+    const api::DistExecResult r = plan->execute_dist(hl, hb);
+    (void)ctx.download(r.x);
+    if (i == 0) {
+      modeled = r.algorithm_cost();
+      critical = r.stats.critical_time;
+    }
+  }
+  const double wall = ms_since(t0);
+  records.push_back({"resident/it_trsm_32x_p64", p, n, k, wall,
+                     double(items), modeled, critical});
+  std::cout << "resident/it_trsm_32x_p64: " << wall << " ms for " << items
+            << " solves (" << wall / items << " ms/solve)\n";
+}
+
+/// The full SPD pipeline as a 3-op program (factor -> solve -> reversed
+/// solve) in one simulated run with no intermediate collects.
+void run_program_case(std::vector<Record>& records) {
+  const int p = 16;
+  const index_t n = 128, k = 32;
+  api::Context ctx(p);
+  const la::Matrix a = la::make_spd(41, n);
+  const la::Matrix b = la::make_rhs(42, n, k);
+  auto plan = ctx.plan(api::cholesky_solve_op(n, k));
+  const auto t0 = Clock::now();
+  const api::ExecResult r = plan->execute(a, b);
+  records.push_back({"program/spd_pipeline", p, n, k, ms_since(t0), 1.0,
+                     r.algorithm_cost(), r.stats.critical_time});
+  std::cout << "program/spd_pipeline: " << records.back().wall_ms
+            << " ms (residual " << r.residual << ")\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +307,8 @@ int main(int argc, char** argv) {
   run_crossover_cases(records);
   run_batch_case(records, /*pooled=*/true);
   run_batch_case(records, /*pooled=*/false);
+  run_resident_batch_case(records);
+  run_program_case(records);
 
   std::string out = "[\n";
   for (std::size_t i = 0; i < records.size(); ++i)

@@ -23,9 +23,25 @@
 // the fully distributed Cholesky factor + two-solve pipeline, and 3D / 2D
 // matrix multiplication.
 //
+// Beyond the matrix-in / matrix-out path, operands can be made RESIDENT:
+// Context::upload scatters a matrix once into per-rank storage that
+// survives Machine::run (sim::HandleStore), Plan::execute_dist consumes
+// and produces such DistHandles with ZERO per-execute redistribution
+// (a required-layout mismatch inserts one dist::redistribute
+// automatically), and api::Program chains several plans through one
+// simulated run with no intermediate host collects:
+//
+//   auto hl = ctx.upload(l, plan->input_layout(0));
+//   for (auto& b : panels) {
+//     auto hb = ctx.upload(b, plan->input_layout(1));
+//     auto hx = plan->execute_dist(hl, hb).x;   // no scatter, no collect
+//     la::Matrix x = ctx.download(hx);
+//   }
+//
 // Lifetime: a Plan must not outlive the Context that created it (and a
-// borrowed machine must outlive both). Handles are not thread-safe; one
-// Context per client thread.
+// borrowed machine must outlive both); a DistHandle must not outlive its
+// Context either — its storage lives in the machine. Handles are not
+// thread-safe; one Context per client thread.
 
 #include <cstdint>
 #include <functional>
@@ -47,6 +63,7 @@ using la::index_t;
 enum class Op {
   kTrsm,           // op(T) X = B (left) or X op(T) = B (right)
   kTriInv,         // X = L^-1
+  kCholesky,       // A = L L^T — the factor alone (program building block)
   kCholeskySolve,  // A = L L^T; L Y = B; L^T X = Y — fully distributed
   kMatmul3D,       // C = A * X on a p1 x p1 x p2 grid (Section III)
   kMatmul2D,       // C = A * X via 2D SUMMA (baseline)
@@ -72,6 +89,12 @@ struct TrsmSpec {
   /// Override the diagonal block count (iterative) / base size (recursive).
   int nblocks = 0;
   index_t rec_n0 = 0;
+  /// Override the processor grid (iterative: p1 x p1 x p2; also the square
+  /// side for kCholesky). 0 = derive from the machine size. Programs use
+  /// this to run an op on a subgrid of a larger machine — e.g. the
+  /// Cholesky pipeline's solves on its q x q subgrid.
+  int grid_p1 = 0;
+  int grid_p2 = 0;
 };
 
 /// What to plan. (n, k) is the shape of the normalized lower-left kernel:
@@ -89,9 +112,93 @@ struct OpDesc {
 /// Convenience descriptor builders.
 OpDesc trsm_op(index_t n, index_t k, TrsmSpec spec = {});
 OpDesc tri_inv_op(index_t n);
+OpDesc cholesky_op(index_t n, int grid_q = 0);
 OpDesc cholesky_solve_op(index_t n, index_t k, int nblocks = 0);
 OpDesc matmul3d_op(index_t m, index_t inner, index_t k);
 OpDesc matmul2d_op(index_t n, index_t k);
+
+/// Element generator over GLOBAL indices: pure functions of (i, j), so a
+/// rank can materialize exactly the entries it owns.
+using Gen = std::function<double(index_t, index_t)>;
+
+// ---------------------------------------------------------------------------
+// Resident distributed operands
+
+/// Canonical data layouts a resident operand can live in. Realized over
+/// the machine's world ranks deterministically, so two equal descriptors
+/// always denote the exact same element->rank map.
+enum class LayoutKind {
+  /// Elementwise cyclic on a p1 x p2 face over world ranks 0..p1*p2-1
+  /// (column-major: world rank gi + p1 * gj holds rows ≡ gi (mod p1),
+  /// cols ≡ gj (mod p2)). What every solver's triangular operand uses.
+  kCyclic2D,
+  /// The iterative TRSM's B layout on a p1 x p1 x p2 grid: rows cyclic
+  /// over p1, columns in p2 contiguous slabs, resident on the grid's
+  /// y = 0 plane (world ranks x + p1^2 z).
+  kRowCyclicColBlocked,
+};
+
+struct Layout {
+  LayoutKind kind = LayoutKind::kCyclic2D;
+  int p1 = 1;
+  int p2 = 1;
+};
+
+inline bool operator==(const Layout& a, const Layout& b) {
+  return a.kind == b.kind && a.p1 == b.p1 && a.p2 == b.p2;
+}
+inline bool operator!=(const Layout& a, const Layout& b) { return !(a == b); }
+
+/// Descriptor helpers.
+inline Layout cyclic_layout(int p1, int p2) {
+  return Layout{LayoutKind::kCyclic2D, p1, p2};
+}
+inline Layout row_blocked_layout(int p1, int p2) {
+  return Layout{LayoutKind::kRowCyclicColBlocked, p1, p2};
+}
+
+/// A refcounted persistent distributed operand: per-rank blocks resident
+/// in the machine's sim::HandleStore (surviving Machine::run), plus the
+/// layout that gives them meaning. Copies share the storage; the last
+/// copy releases it. Must not outlive the Context whose machine holds
+/// the storage.
+class DistHandle {
+ public:
+  DistHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  index_t rows() const;
+  index_t cols() const;
+  Layout layout() const;
+  /// Store id (unique per machine, never reused) — stable identity of
+  /// the resident data, observable for cache/reuse tests.
+  std::uint64_t id() const;
+  /// Write stamp of the resident data (see sim::HandleStore::epoch).
+  std::uint64_t epoch() const;
+
+ private:
+  friend class Context;
+  friend class Plan;
+  friend class Program;
+  struct State;
+  explicit DistHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Result of a handle-in / handle-out execution. There is no scatter, no
+/// output collect, and no host-side residual check on this path — the
+/// stats contain the "algorithm" phase (plus "redistribute" when a layout
+/// mismatch forced a transition) and nothing else.
+struct DistExecResult {
+  DistHandle x;
+  sim::RunStats stats;
+  model::Config config;
+
+  /// Max-over-ranks cost of the distributed computation only.
+  sim::Cost algorithm_cost() const;
+  /// Cost of automatic layout transitions (zero when layouts matched).
+  sim::Cost redistribute_cost() const;
+};
 
 struct ExecResult {
   la::Matrix x;
@@ -121,7 +228,7 @@ struct CacheStats {
 
 class Context;
 
-class Plan {
+class Plan : public std::enable_shared_from_this<Plan> {
  public:
   const OpDesc& desc() const { return desc_; }
   /// The frozen configuration decided at plan time. A cache-hit plan is
@@ -131,9 +238,27 @@ class Plan {
   /// Execute the planned op. Operand roles per op:
   ///   kTrsm:          a = T (n x n), b = B
   ///   kTriInv:        a = L (n x n), b ignored
+  ///   kCholesky:      a = SPD A (n x n), b ignored
   ///   kCholeskySolve: a = SPD A (n x n), b = B (n x k)
   ///   kMatmul3D/2D:   a = A (n x inner), b = X (inner x k)
   ExecResult execute(const la::Matrix& a, const la::Matrix& b = {});
+
+  /// Execute against RESIDENT operands: no scatter, no collect — the
+  /// whole point for batched solves against a fixed factor. A handle
+  /// whose layout differs from the required input_layout() is
+  /// redistributed automatically (charged to the "redistribute" phase).
+  /// TRSM on this path supports the normalized kernel variants only
+  /// (lower operand, left side; transpose requires the iterative
+  /// algorithm, which reverses distributedly — the Cholesky backward
+  /// step). Other variants: use execute().
+  DistExecResult execute_dist(const DistHandle& a,
+                              const DistHandle& b = DistHandle());
+
+  /// The layout this plan requires of operand `slot` (0 = a, 1 = b) /
+  /// produces for its result — what to pass to Context::upload so
+  /// execute_dist runs with zero redistribution.
+  Layout input_layout(int slot) const;
+  Layout output_layout() const;
 
   /// Execute over many right-hand-side panels, amortizing planning and —
   /// for the iterative TRSM — the diagonal-block inversion, which runs
@@ -141,9 +266,8 @@ class Plan {
   std::vector<ExecResult> execute_batch(const la::Matrix& a,
                                         const std::vector<la::Matrix>& bs);
 
-  /// Element generator over GLOBAL indices: pure functions of (i, j), so
-  /// a rank can materialize exactly the entries it owns.
-  using Gen = std::function<double(index_t, index_t)>;
+  /// Element generator over GLOBAL indices (namespace-level api::Gen).
+  using Gen = api::Gen;
 
   /// kCholeskySolve only: generator-fed execution. Each rank fills only
   /// the elements it owns from the (i, j) generators, so no rank ever
@@ -162,14 +286,22 @@ class Plan {
 
  private:
   friend class Context;
+  friend class Program;
   Plan(Context& ctx, OpDesc desc);
 
   ExecResult run_trsm(const la::Matrix& t, const la::Matrix& b,
                       const TrsmSpec& spec);
   ExecResult run_trsm_kernel(const la::Matrix& l, const la::Matrix& b);
   ExecResult run_tri_inv(const la::Matrix& l);
+  ExecResult run_cholesky(const la::Matrix& a);
   ExecResult run_cholesky_solve(const Gen& a_gen, const Gen& b_gen);
   ExecResult run_matmul(const la::Matrix& a, const la::Matrix& x);
+
+  /// The Cholesky pipeline as a 3-op Program over resident operands:
+  /// factor, forward solve, reversed backward solve — one Machine::run,
+  /// no intermediate collects.
+  std::pair<DistHandle, sim::RunStats> run_cholesky_program(
+      const DistHandle& a, const DistHandle& b);
 
   Context* ctx_;
   OpDesc desc_;
@@ -215,11 +347,24 @@ class Context {
   /// machine hits the cache and returns the SAME Plan handle.
   std::shared_ptr<Plan> plan(const OpDesc& desc);
 
+  /// Scatter a matrix (or a generator, which no rank ever materializes
+  /// globally) into resident per-rank storage under `layout`. Host-side:
+  /// charges nothing to the simulated machine — the whole point is that
+  /// this happens ONCE, not per execute.
+  DistHandle upload(const la::Matrix& m, Layout layout);
+  DistHandle upload(const Gen& gen, index_t rows, index_t cols,
+                    Layout layout);
+
+  /// Assemble the global matrix from a handle's resident blocks.
+  /// Host-side; charges nothing.
+  la::Matrix download(const DistHandle& h);
+
   CacheStats cache_stats() const { return stats_; }
   void clear_cache();
 
  private:
   friend class Plan;
+  friend class Program;
 
   std::unique_ptr<sim::Machine> owned_;
   sim::Machine* machine_;
@@ -228,6 +373,81 @@ class Context {
   // LRU: most recently used at the front.
   std::list<std::pair<std::string, std::shared_ptr<Plan>>> lru_;
   std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+};
+
+/// A small op-DAG over resident operands: chain several plans through ONE
+/// Machine::run with no intermediate host collects — intermediates stay
+/// as per-rank blocks, and a consumer whose required layout differs from
+/// its producer's gets a dist::redistribute inserted automatically.
+/// Op::kCholeskySolve is internally this: factor -> solve -> reversed
+/// solve.
+///
+///   api::Program prog(ctx);
+///   auto a = prog.input(n, n);
+///   auto b = prog.input(n, k);
+///   auto l = prog.add(factor_plan, {a}, "cholesky");
+///   auto y = prog.add(fwd_plan, {l, b}, "forward-trsm");
+///   auto x = prog.add(bwd_plan, {l, y}, "backward-trsm");
+///   prog.mark_output(x);
+///   auto res = prog.run({ha, hb});   // one simulated run
+///
+/// A Program is a reusable recipe: run() may be called many times against
+/// different input handles. Not thread-safe; must not outlive its
+/// Context.
+class Program {
+ public:
+  using NodeId = int;
+
+  explicit Program(Context& ctx);
+
+  /// Declare the next external input (bound positionally by run()).
+  NodeId input(index_t rows, index_t cols);
+
+  /// Append a step executing `plan` against `args` (each a prior node).
+  /// Operand roles follow Plan::execute_dist. `phase`, when non-empty,
+  /// labels the step's charges (nested inside "algorithm").
+  NodeId add(std::shared_ptr<Plan> plan, std::vector<NodeId> args,
+             std::string phase = {});
+
+  /// Mark a node to be materialized as a DistHandle by run(). Outputs are
+  /// returned in mark order.
+  void mark_output(NodeId node);
+
+  struct Result {
+    std::vector<DistHandle> outputs;
+    sim::RunStats stats;
+    sim::Cost algorithm_cost() const;
+  };
+
+  /// Execute every step in one Machine::run against the positionally
+  /// bound input handles.
+  Result run(const std::vector<DistHandle>& inputs);
+
+ private:
+  friend class Plan;  // execute_dist runs as a one-step program
+
+  struct Node {
+    index_t rows = 0;
+    index_t cols = 0;
+    Layout layout;      // op nodes: the producing plan's output layout
+    int input_index = -1;  // >= 0 for input nodes
+  };
+  struct Step {
+    std::shared_ptr<Plan> plan;
+    std::vector<NodeId> args;
+    std::string phase;
+    NodeId out = -1;
+    // Cross-execute state threaded into the iterative TRSM body (the
+    // plan's diagonal-inverse cache; see detail::TrsmBodyOptions).
+    std::vector<la::Matrix>* ltilde_store = nullptr;
+    bool reuse_ltilde = false;
+  };
+
+  Context* ctx_;
+  std::vector<Node> nodes_;
+  std::vector<Step> steps_;
+  std::vector<NodeId> outputs_;
+  int n_inputs_ = 0;
 };
 
 }  // namespace catrsm::api

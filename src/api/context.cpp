@@ -10,6 +10,7 @@ const char* op_name(Op op) {
   switch (op) {
     case Op::kTrsm: return "trsm";
     case Op::kTriInv: return "tri-inv";
+    case Op::kCholesky: return "cholesky";
     case Op::kCholeskySolve: return "cholesky-solve";
     case Op::kMatmul3D: return "matmul-3d";
     case Op::kMatmul2D: return "matmul-2d";
@@ -30,6 +31,14 @@ OpDesc tri_inv_op(index_t n) {
   OpDesc d;
   d.op = Op::kTriInv;
   d.n = n;
+  return d;
+}
+
+OpDesc cholesky_op(index_t n, int grid_q) {
+  OpDesc d;
+  d.op = Op::kCholesky;
+  d.n = n;
+  d.trsm.grid_p1 = grid_q;
   return d;
 }
 
@@ -75,7 +84,8 @@ std::string cache_key(const OpDesc& d, int p, const sim::MachineParams& mp) {
      << static_cast<int>(d.trsm.side) << '|' << d.trsm.transpose << '|'
      << d.trsm.force_algorithm << '|'
      << static_cast<int>(d.trsm.algorithm) << '|' << d.trsm.nblocks << '|'
-     << d.trsm.rec_n0 << '|' << p << '|' << std::hexfloat << mp.alpha << '|'
+     << d.trsm.rec_n0 << '|' << d.trsm.grid_p1 << '|' << d.trsm.grid_p2
+     << '|' << p << '|' << std::hexfloat << mp.alpha << '|'
      << mp.beta << '|' << mp.gamma;
   return os.str();
 }

@@ -1,0 +1,97 @@
+// Resident distributed operands: DistHandle lifecycle and the host-side
+// scatter (upload) / assemble (download) endpoints. Both endpoints are
+// pure host arithmetic over describe-only layout realizations — nothing
+// here touches the simulated machine's clocks or counters, which is what
+// keeps algorithm_cost() on the handle path free of driver artifacts.
+
+#include "api/op_bodies.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::api {
+
+DistHandle::State::~State() {
+  // The machine's store outlives every handle by the documented lifetime
+  // rule (handles must not outlive their Context / machine).
+  machine->handle_store().release(id);
+}
+
+index_t DistHandle::rows() const {
+  CATRSM_CHECK(state_ != nullptr, "DistHandle: empty handle");
+  return state_->rows;
+}
+
+index_t DistHandle::cols() const {
+  CATRSM_CHECK(state_ != nullptr, "DistHandle: empty handle");
+  return state_->cols;
+}
+
+Layout DistHandle::layout() const {
+  CATRSM_CHECK(state_ != nullptr, "DistHandle: empty handle");
+  return state_->layout;
+}
+
+std::uint64_t DistHandle::id() const {
+  CATRSM_CHECK(state_ != nullptr, "DistHandle: empty handle");
+  return state_->id;
+}
+
+std::uint64_t DistHandle::epoch() const {
+  CATRSM_CHECK(state_ != nullptr, "DistHandle: empty handle");
+  return state_->epoch;
+}
+
+sim::Cost DistExecResult::algorithm_cost() const {
+  return stats.phase_cost("algorithm");
+}
+
+sim::Cost DistExecResult::redistribute_cost() const {
+  return stats.phase_cost("redistribute");
+}
+
+DistHandle Context::upload(const la::Matrix& m, Layout layout) {
+  return upload([&m](index_t i, index_t j) { return m(i, j); }, m.rows(),
+                m.cols(), layout);
+}
+
+DistHandle Context::upload(const Gen& gen, index_t rows, index_t cols,
+                           Layout layout) {
+  CATRSM_CHECK(rows >= 1 && cols >= 1, "upload: empty operand");
+  const auto d = detail::realize_host(layout, rows, cols, nprocs());
+  sim::HandleStore& store = machine_->handle_store();
+  const std::uint64_t id = store.create();
+  for (int w = 0; w < nprocs(); ++w) {
+    dist::DistMatrix dm(d, w);
+    if (!dm.participates()) continue;
+    dm.fill(gen);
+    store.local(id, w) = std::move(dm.local());
+  }
+  return DistHandle(std::make_shared<DistHandle::State>(
+      machine_, id, layout, rows, cols, store.epoch(id)));
+}
+
+la::Matrix Context::download(const DistHandle& h) {
+  CATRSM_CHECK(h.valid(), "download: empty handle");
+  CATRSM_CHECK(h.state_->machine == machine_,
+               "download: handle belongs to a different machine");
+  const auto d =
+      detail::realize_host(h.layout(), h.rows(), h.cols(), nprocs());
+  sim::HandleStore& store = machine_->handle_store();
+  la::Matrix out(h.rows(), h.cols());
+  for (int w = 0; w < nprocs(); ++w) {
+    const auto parts = d->parts_of_world(w);
+    if (!parts.has_value()) continue;
+    const auto rows_w = d->rows_of_part(parts->first);
+    const auto cols_w = d->cols_of_part(parts->second);
+    const la::Matrix& loc = store.local(h.id(), w);
+    CATRSM_CHECK(loc.rows() == static_cast<index_t>(rows_w.size()) &&
+                     loc.cols() == static_cast<index_t>(cols_w.size()),
+                 "download: stored block does not match the handle layout");
+    for (std::size_t r = 0; r < rows_w.size(); ++r)
+      for (std::size_t c = 0; c < cols_w.size(); ++c)
+        out(rows_w[r], cols_w[c]) =
+            loc(static_cast<index_t>(r), static_cast<index_t>(c));
+  }
+  return out;
+}
+
+}  // namespace catrsm::api

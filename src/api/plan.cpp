@@ -1,20 +1,15 @@
 #include <cmath>
 #include <mutex>
+#include <numeric>
 #include <optional>
 
-#include "api/catrsm.hpp"
+#include "api/op_bodies.hpp"
 #include "dist/redistribute.hpp"
-#include "factor/cholesky_dist.hpp"
 #include "la/gemm.hpp"
 #include "la/norms.hpp"
 #include "mm/mm3d.hpp"
-#include "mm/summa2d.hpp"
 #include "support/check.hpp"
 #include "trsm/it_inv_trsm.hpp"
-#include "trsm/rec_trsm.hpp"
-#include "trsm/tri_inv_dist.hpp"
-#include "trsm/trsm2d.hpp"
-#include "trsm/trsv1d.hpp"
 
 namespace catrsm::api {
 
@@ -49,10 +44,10 @@ Matrix effective_operand(const Matrix& t, const TrsmSpec& spec) {
   return spec.transpose ? t.transposed() : t;
 }
 
-/// The host-gather epilogue shared by every op: run `body` on all ranks;
-/// ranks that return a (matrix, communicator) pair join the
-/// "output-collect" gather, and rank 0's collected global result is
-/// returned alongside the run stats.
+/// The host-gather epilogue shared by every legacy (matrix-in) op: run
+/// `body` on all ranks; ranks that return a (matrix, communicator) pair
+/// join the "output-collect" gather, and rank 0's collected global result
+/// is returned alongside the run stats.
 std::pair<Matrix, sim::RunStats> run_and_collect(
     sim::Machine& machine, index_t rows, index_t cols,
     const std::function<std::optional<std::pair<DistMatrix, sim::Comm>>(
@@ -81,8 +76,13 @@ double spd_residual(const Matrix& a, const Matrix& b, const Matrix& x) {
           la::frobenius_norm(b) + 1e-300);
 }
 
+/// The two diagonal-inverse cache key domains share one diag_fp_ field;
+/// the top bit tags which domain produced a key, so a byte-hash of some
+/// L can never collide with a handle identity.
+constexpr std::uint64_t kHandleFpTag = 1ull << 63;
+
 /// FNV-1a over shape and raw element bytes: identifies the operand a
-/// plan's diagonal-inverse cache belongs to.
+/// plan's diagonal-inverse cache belongs to (matrix-path executes).
 std::uint64_t fingerprint(const Matrix& m) {
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](const void* p, std::size_t len) {
@@ -97,7 +97,25 @@ std::uint64_t fingerprint(const Matrix& m) {
   mix(&r, sizeof r);
   mix(&c, sizeof c);
   mix(m.ptr(), sizeof(double) * static_cast<std::size_t>(m.size()));
-  return h;
+  return h & ~kHandleFpTag;
+}
+
+/// Content identity of a resident operand: handles are never rewritten in
+/// place, so (id, epoch) pins the bytes without hashing them. Note that
+/// alternating execute() and execute_dist() against the same operand
+/// re-inverts on each switch (one cache, two key domains) — batch through
+/// one path.
+std::uint64_t handle_fingerprint(const DistHandle& h) {
+  return ((h.id() * 0x9E3779B97F4A7C15ull) ^
+          (h.epoch() + 0x517CC1B727220A95ull)) |
+         kHandleFpTag;
+}
+
+/// Largest q with q * q <= p: the square subgrid the Cholesky ops run on.
+int square_side(int p) {
+  int q = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while (q > 1 && q * q > p) --q;
+  return std::max(q, 1);
 }
 
 }  // namespace
@@ -113,6 +131,12 @@ Plan::Plan(Context& ctx, OpDesc desc) : ctx_(&ctx), desc_(desc) {
                     ? model::configure_forced(n, k, p, desc_.trsm.algorithm)
                     : model::configure(n, k, p, ctx.params());
       if (desc_.trsm.nblocks > 0) config_.nblocks = desc_.trsm.nblocks;
+      if (desc_.trsm.grid_p1 > 0) {
+        config_.p1 = desc_.trsm.grid_p1;
+        config_.p2 = std::max(desc_.trsm.grid_p2, 1);
+        CATRSM_CHECK(config_.p1 * config_.p1 * config_.p2 <= p,
+                     "plan: forced grid does not fit the machine");
+      }
       break;
     }
     case Op::kTriInv: {
@@ -128,13 +152,27 @@ Plan::Plan(Context& ctx, OpDesc desc) : ctx_(&ctx), desc_(desc) {
       config_.predicted = model::tri_inv_cost(static_cast<double>(n), p1, p2);
       break;
     }
+    case Op::kCholesky: {
+      CATRSM_CHECK(n >= 1, "plan: cholesky needs n >= 1");
+      const int q =
+          desc_.trsm.grid_p1 > 0 ? desc_.trsm.grid_p1 : square_side(p);
+      CATRSM_CHECK(q >= 1 && q * q <= p,
+                   "plan: cholesky grid does not fit the machine");
+      config_.algorithm = model::Algorithm::kIterative;
+      config_.p1 = q;
+      config_.p2 = 1;
+      config_.pr = q;
+      config_.pc = q;
+      config_.regime = model::classify(static_cast<double>(n),
+                                       static_cast<double>(n),
+                                       static_cast<double>(q) * q);
+      break;
+    }
     case Op::kCholeskySolve: {
       CATRSM_CHECK(n >= 1 && k >= 1,
                    "plan: cholesky-solve needs n >= 1 and k >= 1");
       // The factor and both solves run on the largest square subgrid.
-      int q = static_cast<int>(std::sqrt(static_cast<double>(p)));
-      while (q > 1 && q * q > p) --q;
-      q = std::max(q, 1);
+      const int q = square_side(p);
       config_.algorithm = model::Algorithm::kIterative;
       config_.p1 = q;
       config_.p2 = 1;
@@ -179,6 +217,54 @@ Plan::Plan(Context& ctx, OpDesc desc) : ctx_(&ctx), desc_(desc) {
   }
 }
 
+Layout Plan::input_layout(int slot) const {
+  CATRSM_CHECK(slot == 0 || slot == 1,
+               "input_layout: ops take at most two operands");
+  switch (desc_.op) {
+    case Op::kTrsm:
+      switch (config_.algorithm) {
+        case model::Algorithm::kIterative:
+          return slot == 0 ? cyclic_layout(config_.p1, config_.p1)
+                           : row_blocked_layout(config_.p1, config_.p2);
+        case model::Algorithm::kRecursive:
+          return cyclic_layout(config_.pr, config_.pc);
+        case model::Algorithm::kTrsm2D: {
+          const auto [pr, pc] = dist::balanced_factors(ctx_->nprocs());
+          return cyclic_layout(pr, pc);
+        }
+        case model::Algorithm::kTrsv1D:
+          return cyclic_layout(ctx_->nprocs(), 1);
+      }
+      throw Error("input_layout: unknown algorithm");
+    case Op::kTriInv:
+      return cyclic_layout(config_.pr, config_.pc);
+    case Op::kCholesky:
+      return cyclic_layout(config_.p1, config_.p1);
+    case Op::kCholeskySolve:
+      return slot == 0 ? cyclic_layout(config_.p1, config_.p1)
+                       : row_blocked_layout(config_.p1, 1);
+    case Op::kMatmul3D:
+    case Op::kMatmul2D:
+      return cyclic_layout(config_.pr, config_.pc);
+  }
+  throw Error("input_layout: unknown op");
+}
+
+Layout Plan::output_layout() const {
+  switch (desc_.op) {
+    case Op::kTrsm:
+    case Op::kCholeskySolve:
+      return input_layout(1);
+    case Op::kTriInv:
+    case Op::kCholesky:
+      return input_layout(0);
+    case Op::kMatmul3D:
+    case Op::kMatmul2D:
+      return cyclic_layout(config_.pr, config_.pc);
+  }
+  throw Error("output_layout: unknown op");
+}
+
 ExecResult Plan::execute(const Matrix& a, const Matrix& b) {
   const index_t n = desc_.n;
   switch (desc_.op) {
@@ -196,6 +282,11 @@ ExecResult Plan::execute(const Matrix& a, const Matrix& b) {
     }
     case Op::kTriInv:
       return run_tri_inv(a);
+    case Op::kCholesky: {
+      CATRSM_CHECK(a.rows() == n && a.cols() == n,
+                   "execute: A must match the planned n x n shape");
+      return run_cholesky(a);
+    }
     case Op::kCholeskySolve: {
       CATRSM_CHECK(a.rows() == n && a.cols() == n,
                    "execute: A must match the planned n x n shape");
@@ -239,6 +330,66 @@ ExecResult Plan::execute_generated(const Gen& a_gen, const Gen& b_gen,
     r.residual = spd_residual(a, b, r.x);
   }
   return r;
+}
+
+DistExecResult Plan::execute_dist(const DistHandle& a, const DistHandle& b) {
+  CATRSM_CHECK(a.valid(), "execute_dist: operand handle is empty");
+  const bool needs_b = desc_.op != Op::kTriInv && desc_.op != Op::kCholesky;
+  CATRSM_CHECK(!needs_b || b.valid(),
+               "execute_dist: op needs a second operand handle");
+
+  DistExecResult result;
+  result.config = config_;
+
+  if (desc_.op == Op::kCholeskySolve) {
+    auto [hx, stats] = run_cholesky_program(a, b);
+    result.x = std::move(hx);
+    result.stats = std::move(stats);
+    return result;
+  }
+
+  // One-step program: ALL validation (variant rules, shapes, machine
+  // ownership) and all orchestration (slot load/restore with exception
+  // unwinding, grid subsetting, redistribute-on-mismatch, output
+  // materialization) live in Program::add/run — one implementation.
+  Program prog(*ctx_);
+  std::vector<Program::NodeId> args{prog.input(a.rows(), a.cols())};
+  std::vector<DistHandle> inputs{a};
+  if (needs_b) {
+    args.push_back(prog.input(b.rows(), b.cols()));
+    inputs.push_back(b);
+  }
+  const Program::NodeId nx = prog.add(shared_from_this(), std::move(args));
+
+  // Diagonal-inverse reuse keyed on the handle's content identity — no
+  // byte hashing on the resident path. Set up only after add() accepted
+  // the step, so a rejected call cannot clobber a live cache.
+  bool diag_store = false;
+  bool reuse = false;
+  if (desc_.op == Op::kTrsm && !desc_.trsm.transpose &&
+      config_.algorithm == model::Algorithm::kIterative) {
+    const std::uint64_t fp = handle_fingerprint(a);
+    reuse = diag_valid_ && diag_fp_ == fp;
+    if (!reuse) {
+      diag_locals_.assign(static_cast<std::size_t>(ctx_->nprocs()),
+                          Matrix{});
+      diag_fp_ = fp;
+      diag_valid_ = false;
+    }
+    diag_store = true;
+    prog.steps_.back().ltilde_store = &diag_locals_;
+    prog.steps_.back().reuse_ltilde = reuse;
+  }
+  prog.mark_output(nx);
+  Program::Result pr = prog.run(inputs);
+
+  if (diag_store && !reuse) {
+    diag_valid_ = true;
+    ++diag_inversions_;
+  }
+  result.x = std::move(pr.outputs[0]);
+  result.stats = std::move(pr.stats);
+  return result;
 }
 
 ExecResult Plan::run_trsm(const Matrix& t, const Matrix& b,
@@ -324,56 +475,15 @@ ExecResult Plan::run_trsm_kernel(const Matrix& l, const Matrix& b) {
     // algorithm_cost() excludes the driver's collect, as documented.
     DistMatrix x = [&]() -> DistMatrix {
       sim::PhaseScope algorithm_scope(r, "algorithm");
-      switch (cfg.algorithm) {
-        case model::Algorithm::kIterative: {
-          Face2D lface = trsm::it_inv_l_face(world, cfg.p1, cfg.p2);
-          auto ldist = dist::cyclic_on(lface, n, n);
-          DistMatrix dl(ldist, r.id());
-          dl.fill([&](index_t i, index_t j) { return l(i, j); });
-          auto bdist = trsm::it_inv_b_dist(world, cfg.p1, cfg.p2, n, k);
-          DistMatrix db(bdist, r.id());
-          db.fill([&](index_t i, index_t j) { return b(i, j); });
-          trsm::ItInvOptions iio;
-          iio.nblocks = cfg.nblocks;
-          iio.ltilde_store = store;
-          iio.reuse_ltilde = reuse;
-          return trsm::it_inv_trsm(dl, db, world, cfg.p1, cfg.p2, iio);
-        }
-        case model::Algorithm::kRecursive: {
-          Face2D face(world, cfg.pr, cfg.pc);
-          auto ldist = dist::cyclic_on(face, n, n);
-          auto bdist = dist::cyclic_on(face, n, k);
-          DistMatrix dl(ldist, r.id());
-          dl.fill([&](index_t i, index_t j) { return l(i, j); });
-          DistMatrix db(bdist, r.id());
-          db.fill([&](index_t i, index_t j) { return b(i, j); });
-          trsm::RecTrsmOptions ro;
-          ro.n0 = desc_.trsm.rec_n0;
-          return trsm::rec_trsm(dl, db, world, ro);
-        }
-        case model::Algorithm::kTrsm2D: {
-          const auto [pr, pc] = dist::balanced_factors(p);
-          Face2D face(world, pr, pc);
-          auto ldist = dist::cyclic_on(face, n, n);
-          auto bdist = dist::cyclic_on(face, n, k);
-          DistMatrix dl(ldist, r.id());
-          dl.fill([&](index_t i, index_t j) { return l(i, j); });
-          DistMatrix db(bdist, r.id());
-          db.fill([&](index_t i, index_t j) { return b(i, j); });
-          return trsm::trsm2d(dl, db, world);
-        }
-        case model::Algorithm::kTrsv1D: {
-          Face2D face(world, p, 1);
-          auto ldist = dist::cyclic_on(face, n, n);
-          auto bdist = dist::cyclic_on(face, n, k);
-          DistMatrix dl(ldist, r.id());
-          dl.fill([&](index_t i, index_t j) { return l(i, j); });
-          DistMatrix db(bdist, r.id());
-          db.fill([&](index_t i, index_t j) { return b(i, j); });
-          return trsm::trsv1d(dl, db, world);
-        }
-      }
-      throw Error("execute: unknown algorithm");
+      const detail::TrsmDists dists = detail::trsm_dists(world, cfg, n, k);
+      DistMatrix dl(dists.l, r.id());
+      dl.fill([&](index_t i, index_t j) { return l(i, j); });
+      DistMatrix db(dists.b, r.id());
+      db.fill([&](index_t i, index_t j) { return b(i, j); });
+      detail::TrsmBodyOptions bopts;
+      bopts.ltilde_store = store;
+      bopts.reuse_ltilde = reuse;
+      return detail::trsm_solve(desc_, cfg, world, dl, db, bopts);
     }();
     return std::pair<DistMatrix, sim::Comm>{std::move(x), world};
   });
@@ -406,7 +516,8 @@ ExecResult Plan::run_tri_inv(const Matrix& l) {
     dl.fill([&](index_t i, index_t j) { return l(i, j); });
     DistMatrix dinv = [&] {
       sim::PhaseScope scope(r, "algorithm");
-      return trsm::tri_inv_dist(dl, world);
+      return detail::op_body(desc_, config_, world, dl, DistMatrix{},
+                             detail::TrsmBodyOptions{});
     }();
     return std::pair<DistMatrix, sim::Comm>{std::move(dinv), world};
   });
@@ -417,65 +528,88 @@ ExecResult Plan::run_tri_inv(const Matrix& l) {
   return result;
 }
 
-ExecResult Plan::run_cholesky_solve(const Gen& a_gen, const Gen& b_gen) {
+ExecResult Plan::run_cholesky(const Matrix& a) {
   const index_t n = desc_.n;
-  const index_t k = desc_.k;
   sim::Machine& machine = ctx_->machine();
-  const int q = config_.p1;
-  const int active = q * q;
+  const int active = config_.p1 * config_.p1;
 
   ExecResult result;
   result.config = config_;
-  auto [x_out, stats] = run_and_collect(machine, n, k, [&](sim::Rank& r)
+  auto [l_out, stats] = run_and_collect(machine, n, n, [&](sim::Rank& r)
       -> std::optional<std::pair<DistMatrix, sim::Comm>> {
-    // The pipeline runs on the q x q subgrid; surplus ranks idle.
+    // The factor runs on the q x q subgrid; surplus ranks idle.
     if (r.id() >= active) return std::nullopt;
     std::vector<int> members(static_cast<std::size_t>(active));
-    for (int i = 0; i < active; ++i) members[static_cast<std::size_t>(i)] = i;
+    std::iota(members.begin(), members.end(), 0);
     sim::Comm sub(r, members);
-
-    Face2D face(sub, q, q);
+    Face2D face(sub, config_.p1, config_.p1);
     auto ad = dist::cyclic_on(face, n, n);
-    auto bd = trsm::it_inv_b_dist(sub, q, 1, n, k);
-
-    // The "algorithm" scope closes before the output gather so that
-    // algorithm_cost() excludes the driver's collect, as documented.
-    DistMatrix x = [&] {
-      sim::PhaseScope algorithm_scope(r, "algorithm");
-
-      DistMatrix da(ad, r.id());
-      da.fill(a_gen);
-
-      DistMatrix dl = [&] {
-        sim::PhaseScope scope(r, "cholesky");
-        return factor::cholesky_dist(da, sub);
-      }();
-
-      DistMatrix db(bd, r.id());
-      if (db.participates()) db.fill(b_gen);
-
-      trsm::ItInvOptions iio;
-      iio.nblocks = config_.nblocks;
-
-      DistMatrix y = [&] {
-        sim::PhaseScope scope(r, "forward-trsm");
-        return trsm::it_inv_trsm(dl, db, sub, q, 1, iio);
-      }();
-
-      // L^T X = Y via the same kernel after a distributed reversal:
-      // J L^T J is lower-triangular.
-      sim::PhaseScope scope(r, "backward-trsm");
-      DistMatrix lt = dist::transpose(dl, ad, sub);
-      DistMatrix ltr = dist::reverse_both(lt, ad, sub);
-      DistMatrix yrev = dist::reverse_rows(y, bd, sub);
-      DistMatrix xrev = trsm::it_inv_trsm(ltr, yrev, sub, q, 1, iio);
-      return dist::reverse_rows(xrev, bd, sub);
+    DistMatrix da(ad, r.id());
+    da.fill([&](index_t i, index_t j) { return a(i, j); });
+    DistMatrix dl = [&] {
+      sim::PhaseScope scope(r, "algorithm");
+      return detail::op_body(desc_, config_, sub, da, DistMatrix{},
+                             detail::TrsmBodyOptions{});
     }();
-    return std::pair<DistMatrix, sim::Comm>{std::move(x), sub};
+    return std::pair<DistMatrix, sim::Comm>{std::move(dl), sub};
   });
 
   result.stats = std::move(stats);
-  result.x = std::move(x_out);
+  result.x = std::move(l_out);
+  // Factorization residual: ||L L^T - A|| / ||A||.
+  Matrix llt = la::matmul(result.x, result.x.transposed());
+  llt.sub(a);
+  result.residual =
+      la::frobenius_norm(llt) / (la::frobenius_norm(a) + 1e-300);
+  return result;
+}
+
+std::pair<DistHandle, sim::RunStats> Plan::run_cholesky_program(
+    const DistHandle& a, const DistHandle& b) {
+  const index_t n = desc_.n;
+  const index_t k = desc_.k;
+  const int q = config_.p1;
+
+  // The three building-block plans (cache hits after the first execute).
+  auto factor_plan = ctx_->plan(cholesky_op(n, q));
+  TrsmSpec fwd_spec;
+  fwd_spec.force_algorithm = true;
+  fwd_spec.algorithm = model::Algorithm::kIterative;
+  fwd_spec.nblocks = config_.nblocks;
+  fwd_spec.grid_p1 = q;
+  fwd_spec.grid_p2 = 1;
+  auto fwd_plan = ctx_->plan(trsm_op(n, k, fwd_spec));
+  TrsmSpec bwd_spec = fwd_spec;
+  bwd_spec.transpose = true;
+  auto bwd_plan = ctx_->plan(trsm_op(n, k, bwd_spec));
+
+  Program prog(*ctx_);
+  const auto na = prog.input(n, n);
+  const auto nb = prog.input(n, k);
+  const auto nl = prog.add(factor_plan, {na}, "cholesky");
+  const auto ny = prog.add(fwd_plan, {nl, nb}, "forward-trsm");
+  const auto nx = prog.add(bwd_plan, {nl, ny}, "backward-trsm");
+  prog.mark_output(nx);
+  Program::Result r = prog.run({a, b});
+  return {std::move(r.outputs[0]), std::move(r.stats)};
+}
+
+ExecResult Plan::run_cholesky_solve(const Gen& a_gen, const Gen& b_gen) {
+  const index_t n = desc_.n;
+  const index_t k = desc_.k;
+  const int q = config_.p1;
+
+  // Scatter once (host-side, generator-fed: no rank ever materializes a
+  // global operand), run the 3-op program in ONE simulated run with no
+  // intermediate collects, assemble X host-side.
+  DistHandle ha = ctx_->upload(a_gen, n, n, cyclic_layout(q, q));
+  DistHandle hb = ctx_->upload(b_gen, n, k, row_blocked_layout(q, 1));
+  auto [hx, stats] = run_cholesky_program(ha, hb);
+
+  ExecResult result;
+  result.config = config_;
+  result.stats = std::move(stats);
+  result.x = ctx_->download(hx);
   return result;
 }
 
@@ -497,17 +631,14 @@ ExecResult Plan::run_matmul(const Matrix& a, const Matrix& x) {
     Face2D face(world, config_.pr, config_.pc);
     auto ad = dist::cyclic_on(face, m, inner);
     auto xd = dist::cyclic_on(face, inner, k);
-    auto od = dist::cyclic_on(face, m, k);
     DistMatrix da(ad, r.id());
     da.fill([&](index_t i, index_t j) { return a(i, j); });
     DistMatrix dx(xd, r.id());
     dx.fill([&](index_t i, index_t j) { return x(i, j); });
     DistMatrix dc = [&] {
       sim::PhaseScope scope(r, "algorithm");
-      return desc_.op == Op::kMatmul3D
-                 ? mm::mm3d(da, dx, od, world,
-                            mm::MMGrid{config_.p1, config_.p2})
-                 : mm::summa2d(da, dx);
+      return detail::op_body(desc_, config_, world, da, dx,
+                             detail::TrsmBodyOptions{});
     }();
     return std::pair<DistMatrix, sim::Comm>{std::move(dc), world};
   });

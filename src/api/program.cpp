@@ -1,0 +1,270 @@
+// api::Program — deterministic op-DAG execution over resident operands:
+// every step's body runs inside ONE Machine::run, intermediates never
+// leave per-rank storage, and a consumer whose required layout differs
+// from its producer's gets exactly one dist::redistribute (charged to the
+// "redistribute" phase; everything else lands under "algorithm" plus the
+// step's own label).
+
+#include <optional>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "api/op_bodies.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::api {
+
+using dist::DistMatrix;
+
+namespace {
+
+/// Operand count of an op's body (see Plan::execute operand roles).
+int op_arity(Op op) {
+  return op == Op::kTriInv || op == Op::kCholesky ? 1 : 2;
+}
+
+}  // namespace
+
+sim::Cost Program::Result::algorithm_cost() const {
+  return stats.phase_cost("algorithm");
+}
+
+Program::Program(Context& ctx) : ctx_(&ctx) {}
+
+Program::NodeId Program::input(index_t rows, index_t cols) {
+  CATRSM_CHECK(rows >= 1 && cols >= 1, "program: empty input shape");
+  Node node;
+  node.rows = rows;
+  node.cols = cols;
+  node.input_index = n_inputs_++;
+  nodes_.push_back(node);
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+Program::NodeId Program::add(std::shared_ptr<Plan> plan,
+                             std::vector<NodeId> args, std::string phase) {
+  CATRSM_CHECK(plan != nullptr, "program: null plan");
+  CATRSM_CHECK(plan->ctx_ == ctx_,
+               "program: plan belongs to a different Context");
+  const OpDesc& d = plan->desc();
+  CATRSM_CHECK(d.op != Op::kCholeskySolve,
+               "program: kCholeskySolve IS a program — compose kCholesky "
+               "and two kTrsm steps instead");
+  if (d.op == Op::kTrsm) {
+    CATRSM_CHECK(d.trsm.side == Side::kLeft &&
+                     d.trsm.uplo == la::Uplo::kLower,
+                 "program: trsm steps run the normalized lower-left kernel");
+    if (d.trsm.transpose)
+      CATRSM_CHECK(plan->config().algorithm == model::Algorithm::kIterative,
+                   "program: transposed trsm steps require the iterative "
+                   "algorithm");
+  }
+  const int arity = op_arity(d.op);
+  CATRSM_CHECK(static_cast<int>(args.size()) == arity,
+               "program: wrong operand count for op");
+  for (const NodeId a : args)
+    CATRSM_CHECK(a >= 0 && a < static_cast<NodeId>(nodes_.size()),
+                 "program: argument references an unknown node");
+
+  // Shape-check the wiring now, so run() can't fail mid-simulation.
+  const Node& a0 = nodes_[static_cast<std::size_t>(args[0])];
+  Node out;
+  switch (d.op) {
+    case Op::kTrsm:
+      CATRSM_CHECK(a0.rows == d.n && a0.cols == d.n,
+                   "program: trsm operand must be the planned n x n");
+      CATRSM_CHECK(nodes_[static_cast<std::size_t>(args[1])].rows == d.n &&
+                       nodes_[static_cast<std::size_t>(args[1])].cols == d.k,
+                   "program: trsm rhs must be the planned n x k");
+      out.rows = d.n;
+      out.cols = d.k;
+      break;
+    case Op::kTriInv:
+    case Op::kCholesky:
+      CATRSM_CHECK(a0.rows == d.n && a0.cols == d.n,
+                   "program: operand must be the planned n x n");
+      out.rows = d.n;
+      out.cols = d.n;
+      break;
+    case Op::kMatmul3D:
+    case Op::kMatmul2D:
+      CATRSM_CHECK(a0.rows == d.n && a0.cols == d.inner,
+                   "program: matmul A must be the planned shape");
+      CATRSM_CHECK(nodes_[static_cast<std::size_t>(args[1])].rows ==
+                           d.inner &&
+                       nodes_[static_cast<std::size_t>(args[1])].cols == d.k,
+                   "program: matmul X must be the planned shape");
+      out.rows = d.n;
+      out.cols = d.k;
+      break;
+    case Op::kCholeskySolve:
+      throw Error("program: unreachable");
+  }
+  out.layout = plan->output_layout();
+
+  nodes_.push_back(out);
+  const NodeId out_id = static_cast<NodeId>(nodes_.size()) - 1;
+  Step step;
+  step.plan = std::move(plan);
+  step.args = std::move(args);
+  step.phase = std::move(phase);
+  step.out = out_id;
+  steps_.push_back(std::move(step));
+  return out_id;
+}
+
+void Program::mark_output(NodeId node) {
+  CATRSM_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()),
+               "program: unknown node");
+  CATRSM_CHECK(nodes_[static_cast<std::size_t>(node)].input_index < 0,
+               "program: inputs are already handles — mark op outputs only");
+  for (const NodeId existing : outputs_)
+    CATRSM_CHECK(existing != node, "program: node is already an output");
+  outputs_.push_back(node);
+}
+
+Program::Result Program::run(const std::vector<DistHandle>& inputs) {
+  CATRSM_CHECK(static_cast<int>(inputs.size()) == n_inputs_,
+               "program: wrong number of input handles");
+  sim::Machine& machine = ctx_->machine();
+  sim::HandleStore& store = machine.handle_store();
+  const int p = machine.nprocs();
+
+  // Bind input layouts for this run and validate the handles.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    if (node.input_index < 0) continue;
+    const DistHandle& h = inputs[static_cast<std::size_t>(node.input_index)];
+    CATRSM_CHECK(h.valid(), "program: empty input handle");
+    CATRSM_CHECK(h.state_->machine == &machine,
+                 "program: input handle belongs to a different machine");
+    CATRSM_CHECK(h.rows() == node.rows && h.cols() == node.cols,
+                 "program: input handle shape mismatch");
+    node.layout = h.layout();
+  }
+
+  std::vector<std::uint64_t> out_ids;
+  out_ids.reserve(outputs_.size());
+  for (std::size_t i = 0; i < outputs_.size(); ++i)
+    out_ids.push_back(store.create());
+
+  const auto rank_body = [&](sim::Rank& r) {
+    const int me = r.id();
+    sim::Comm world = sim::Comm::world(r);
+    std::vector<DistMatrix> vals(nodes_.size());
+
+    // Input slots are moved OUT of the store for the duration of the run;
+    // restore them even when a peer's failure unwinds this rank, so a
+    // failed program never destroys the caller's resident operands. A
+    // handle bound to several input nodes is moved out once and copied
+    // for the rest.
+    std::unordered_map<std::uint64_t, std::size_t> first_node_of;
+    const auto restore_inputs = [&] {
+      for (const auto& [id, node] : first_node_of)
+        detail::restore_slot(store, id, vals[node]);
+      first_node_of.clear();
+    };
+    try {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& node = nodes_[i];
+      if (node.input_index < 0) continue;
+      const DistHandle& h =
+          inputs[static_cast<std::size_t>(node.input_index)];
+      auto d = detail::realize(node.layout, node.rows, node.cols, world);
+      const auto seen = first_node_of.find(h.id());
+      if (seen == first_node_of.end()) {
+        vals[i] = detail::load_slot(store, h.id(), std::move(d), me);
+        first_node_of.emplace(h.id(), i);
+      } else {
+        DistMatrix dm(std::move(d), me);
+        dm.local() = vals[seen->second].local();
+        vals[i] = std::move(dm);
+      }
+    }
+
+    for (const Step& step : steps_) {
+      const Plan& plan = *step.plan;
+      const int gr = detail::grid_ranks(plan.desc(), plan.config(), p);
+      sim::Comm grid = [&] {
+        if (gr == p) return world;
+        std::vector<int> idx(static_cast<std::size_t>(gr));
+        std::iota(idx.begin(), idx.end(), 0);
+        return world.subset(idx);
+      }();
+
+      // Layout transitions: only where the producer's layout differs from
+      // what this step's algorithm consumes.
+      const int arity = op_arity(plan.desc().op);
+      const DistMatrix* arg[2] = {nullptr, nullptr};
+      DistMatrix moved[2];
+      for (int slot = 0; slot < arity; ++slot) {
+        const NodeId nid = step.args[static_cast<std::size_t>(slot)];
+        const Node& node = nodes_[static_cast<std::size_t>(nid)];
+        const Layout need = plan.input_layout(slot);
+        if (node.layout == need) {
+          arg[slot] = &vals[static_cast<std::size_t>(nid)];
+        } else {
+          sim::PhaseScope scope(r, "redistribute");
+          moved[slot] = dist::redistribute(
+              vals[static_cast<std::size_t>(nid)],
+              detail::realize(need, node.rows, node.cols, world), world);
+          arg[slot] = &moved[slot];
+        }
+      }
+
+      const DistMatrix empty;
+      DistMatrix out;
+      {
+        sim::PhaseScope algorithm_scope(r, "algorithm");
+        std::optional<sim::PhaseScope> label;
+        if (!step.phase.empty()) label.emplace(r, step.phase);
+        detail::TrsmBodyOptions opts;
+        opts.ltilde_store = step.ltilde_store;
+        opts.reuse_ltilde = step.reuse_ltilde;
+        out = detail::op_body(plan.desc(), plan.config(), grid, *arg[0],
+                              arity == 2 ? *arg[1] : empty, opts);
+      }
+      const Node& out_node = nodes_[static_cast<std::size_t>(step.out)];
+      if (out.dist_ptr() == nullptr) {
+        // Idle rank (outside the step's grid): keep a proper empty view of
+        // the output layout so later redistributes see a valid descriptor.
+        out = DistMatrix(detail::realize(out_node.layout, out_node.rows,
+                                         out_node.cols, world),
+                         me);
+      }
+      vals[static_cast<std::size_t>(step.out)] = std::move(out);
+    }
+
+    for (std::size_t i = 0; i < outputs_.size(); ++i)
+      store.local(out_ids[i], me) = std::move(
+          vals[static_cast<std::size_t>(outputs_[i])].local());
+
+    restore_inputs();
+    } catch (...) {
+      restore_inputs();
+      throw;
+    }
+  };
+  sim::RunStats stats;
+  try {
+    stats = machine.run(rank_body);
+  } catch (...) {
+    for (const std::uint64_t id : out_ids) store.release(id);
+    throw;
+  }
+
+  Result result;
+  result.stats = std::move(stats);
+  result.outputs.reserve(outputs_.size());
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    const Node& node = nodes_[static_cast<std::size_t>(outputs_[i])];
+    result.outputs.push_back(
+        DistHandle(std::make_shared<DistHandle::State>(
+            &machine, out_ids[i], node.layout, node.rows, node.cols,
+            store.epoch(out_ids[i]))));
+  }
+  return result;
+}
+
+}  // namespace catrsm::api

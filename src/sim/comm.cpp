@@ -30,6 +30,13 @@ Comm Comm::world(Rank& rank) {
   return Comm(rank, std::move(all));
 }
 
+Comm Comm::describe(std::vector<int> members) {
+  CATRSM_CHECK(!members.empty(), "communicator cannot be empty");
+  Comm c;
+  c.members_ = std::move(members);
+  return c;
+}
+
 int Comm::world_rank(int r) const {
   CATRSM_CHECK(r >= 0 && r < size(), "communicator rank out of range");
   return members_[static_cast<std::size_t>(r)];
@@ -42,18 +49,22 @@ int Comm::index_of_world(int w) const {
 }
 
 void Comm::send(int dst, Buffer data, int tag) const {
+  CATRSM_CHECK(rank_ != nullptr, "send: describe-only communicator");
   rank_->send(world_rank(dst), std::move(data), tag);
 }
 
 Buffer Comm::recv(int src, int tag) const {
+  CATRSM_CHECK(rank_ != nullptr, "recv: describe-only communicator");
   return rank_->recv(world_rank(src), tag);
 }
 
 Buffer Comm::sendrecv(int peer, Buffer data, int tag) const {
+  CATRSM_CHECK(rank_ != nullptr, "sendrecv: describe-only communicator");
   return rank_->sendrecv(world_rank(peer), std::move(data), tag);
 }
 
 Buffer Comm::shift(int dst, int src, Buffer data, int tag) const {
+  CATRSM_CHECK(rank_ != nullptr, "shift: describe-only communicator");
   return rank_->shift(world_rank(dst), world_rank(src), std::move(data), tag);
 }
 
@@ -61,6 +72,7 @@ Comm Comm::subset(const std::vector<int>& indices) const {
   std::vector<int> world;
   world.reserve(indices.size());
   for (const int i : indices) world.push_back(world_rank(i));
+  if (rank_ == nullptr) return describe(std::move(world));
   return Comm(*rank_, std::move(world));
 }
 

@@ -27,16 +27,28 @@ class Comm {
   /// The full machine as a communicator.
   static Comm world(Rank& rank);
 
+  /// Describe-only communicator with NO attached rank: pure membership,
+  /// usable outside a simulated run (host-side layout realization for
+  /// resident operands). Any communication attempt throws; subset() of a
+  /// describe-only comm is again describe-only.
+  static Comm describe(std::vector<int> members);
+
   /// My index within this communicator (throws for non-members).
   int rank() const;
   /// Number of members.
   int size() const { return static_cast<int>(members_.size()); }
   /// Translate a communicator rank to a world rank.
   int world_rank(int r) const;
+  /// The ordered world-rank member list.
+  const std::vector<int>& members() const { return members_; }
   /// Inverse translation; returns -1 when `w` is not a member.
   int index_of_world(int w) const;
-  /// The underlying simulated rank context.
-  Rank& ctx() const { return *rank_; }
+  /// The underlying simulated rank context (throws for describe-only
+  /// communicators, which have none).
+  Rank& ctx() const {
+    CATRSM_CHECK(rank_ != nullptr, "ctx: describe-only communicator");
+    return *rank_;
+  }
 
   /// Identity of this group: a sequential id from the machine's epoch
   /// registry, identical on every member (the registry keys on the
@@ -66,10 +78,12 @@ class Comm {
   Comm range(int begin, int count) const;
 
  private:
-  Rank* rank_;
+  Comm() = default;  // describe-only construction
+
+  Rank* rank_ = nullptr;
   std::vector<int> members_;
-  int my_index_;
-  std::uint64_t epoch_;
+  int my_index_ = -1;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace catrsm::sim

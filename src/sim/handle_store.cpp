@@ -1,0 +1,52 @@
+#include "sim/handle_store.hpp"
+
+#include "support/check.hpp"
+
+namespace catrsm::sim {
+
+HandleStore::HandleStore(int p) : p_(p) {
+  CATRSM_CHECK(p >= 1, "HandleStore: machine needs at least one rank");
+}
+
+std::uint64_t HandleStore::create() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  auto entry = std::make_unique<Entry>();
+  entry->locals.resize(static_cast<std::size_t>(p_));
+  entry->epoch = ++writes_;
+  entries_.emplace(id, std::move(entry));
+  return id;
+}
+
+void HandleStore::release(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(id);
+}
+
+bool HandleStore::contains(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(id) != entries_.end();
+}
+
+std::size_t HandleStore::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+HandleStore::Entry& HandleStore::entry(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  CATRSM_CHECK(it != entries_.end(), "HandleStore: unknown handle id");
+  return *it->second;
+}
+
+la::Matrix& HandleStore::local(std::uint64_t id, int rank) {
+  CATRSM_CHECK(rank >= 0 && rank < p_, "HandleStore: rank out of range");
+  return entry(id).locals[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t HandleStore::epoch(std::uint64_t id) const {
+  return entry(id).epoch;
+}
+
+}  // namespace catrsm::sim

@@ -1,0 +1,78 @@
+#pragma once
+// Rank-local persistent operand storage: the machine-side backing of
+// api::DistHandle.
+//
+// A handle entry is one slot per world rank, each holding that rank's
+// local block of a distributed matrix. Entries live OUTSIDE any
+// Machine::run — they are created and released from the host thread and
+// survive arbitrarily many runs, which is what lets a factor be scattered
+// once and solved against many times with no per-execute redistribution.
+// During a run, each rank touches only its own slot, so concurrent access
+// from the rank fibers is data-race free by construction; the mutex only
+// guards the id -> entry map itself.
+//
+// The store holds la::Matrix values (moved in and out — never copied on
+// the hot path). The layout that gives the blocks meaning lives with the
+// api-level handle; the store is deliberately layout-agnostic.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace catrsm::sim {
+
+class HandleStore {
+ public:
+  /// Store for a machine of `p` ranks.
+  explicit HandleStore(int p);
+
+  HandleStore(const HandleStore&) = delete;
+  HandleStore& operator=(const HandleStore&) = delete;
+
+  int nprocs() const { return p_; }
+
+  /// New entry with p empty per-rank slots; returns its id (never 0,
+  /// never reused).
+  std::uint64_t create();
+
+  /// Drop an entry and free its blocks. No-op for unknown ids (handles
+  /// may race machine teardown in shutdown paths).
+  void release(std::uint64_t id);
+
+  bool contains(std::uint64_t id) const;
+
+  /// Live entry count (observability for leak tests).
+  std::size_t count() const;
+
+  /// Rank `rank`'s slot of entry `id`. The reference stays valid until
+  /// release(id); distinct ranks may use their slots concurrently.
+  la::Matrix& local(std::uint64_t id, int rank);
+
+  /// Monotonic write stamp of the entry (assigned at creation; entries
+  /// are never rewritten in place): together with the id this identifies
+  /// the CONTENT of a handle (the diagonal-inverse cache keys on it
+  /// instead of hashing operand bytes).
+  std::uint64_t epoch(std::uint64_t id) const;
+
+ private:
+  struct Entry {
+    std::vector<la::Matrix> locals;
+    std::uint64_t epoch = 0;
+  };
+
+  Entry& entry(std::uint64_t id) const;
+
+  int p_;
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t writes_ = 0;
+  // unique_ptr values: entry addresses stay stable across map rehashes,
+  // so the references ranks hold during a run never dangle.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace catrsm::sim

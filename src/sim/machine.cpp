@@ -133,6 +133,11 @@ RankScheduler& Machine::scheduler() {
   return *scheduler_;
 }
 
+HandleStore& Machine::handle_store() {
+  if (!handles_) handles_ = std::make_unique<HandleStore>(p_);
+  return *handles_;
+}
+
 void Machine::deliver(int src, int dst, int tag, Message msg) {
   Mailbox& box = box_of(dst, src);
   void* waiter = nullptr;

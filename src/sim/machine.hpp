@@ -31,8 +31,13 @@
 
 #include "sim/buffer.hpp"
 #include "sim/cost.hpp"
+#include "sim/handle_store.hpp"
 #include "sim/scheduler.hpp"
 #include "support/check.hpp"
+
+namespace catrsm::api {
+class Context;  // forward-declared for Machine's typed driver slot
+}
 
 namespace catrsm::sim {
 
@@ -171,6 +176,18 @@ class Machine {
   /// The persistent worker pool (created lazily by the first run).
   RankScheduler& scheduler();
 
+  /// Rank-local persistent operand storage (created lazily): one slot per
+  /// (handle, rank), surviving across runs — the machine-side backing of
+  /// api::DistHandle resident operands.
+  HandleStore& handle_store();
+
+  /// Host-side slot where trsm::context_on keeps its per-machine
+  /// plan-caching Context, so the Context's lifetime equals the
+  /// machine's (destroyed with it). Typed but only forward-declared
+  /// here: the sim layer never looks inside. Never touched by runs;
+  /// same thread-affinity rules as the machine itself.
+  std::shared_ptr<api::Context>& driver_context() { return driver_ctx_; }
+
  private:
   friend class Rank;
 
@@ -222,6 +239,8 @@ class Machine {
   std::atomic<bool> aborted_{false};
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::unique_ptr<RankScheduler> scheduler_;
+  std::unique_ptr<HandleStore> handles_;
+  std::shared_ptr<api::Context> driver_ctx_;
 };
 
 }  // namespace catrsm::sim

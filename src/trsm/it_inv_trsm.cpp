@@ -62,14 +62,18 @@ Face2D it_inv_l_face(const sim::Comm& comm, int p1, int p2) {
   return Face2D(comm.subset(idx), p1, p1);
 }
 
-Face2D it_inv_b_face(const sim::Comm& comm, int p1, int p2) {
-  CATRSM_CHECK(comm.size() == p1 * p1 * p2,
-               "it_inv_b_face: comm must hold the whole grid");
+std::vector<int> it_inv_b_face_members(int p1, int p2) {
   std::vector<int> idx;
   idx.reserve(static_cast<std::size_t>(p1 * p2));
   for (int z = 0; z < p2; ++z)
     for (int x = 0; x < p1; ++x) idx.push_back(x + p1 * p1 * z);
-  return Face2D(comm.subset(idx), p1, p2);
+  return idx;
+}
+
+Face2D it_inv_b_face(const sim::Comm& comm, int p1, int p2) {
+  CATRSM_CHECK(comm.size() == p1 * p1 * p2,
+               "it_inv_b_face: comm must hold the whole grid");
+  return Face2D(comm.subset(it_inv_b_face_members(p1, p2)), p1, p2);
 }
 
 std::shared_ptr<BlockCyclicDist> it_inv_b_dist(const sim::Comm& comm, int p1,

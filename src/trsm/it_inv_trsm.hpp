@@ -55,6 +55,13 @@ struct ItInvOptions {
 /// The canonical L face (front face of the grid) for it_inv_trsm inputs.
 dist::Face2D it_inv_l_face(const sim::Comm& comm, int p1, int p2);
 
+/// Comm-relative member indices of the y = 0 plane (the canonical B
+/// face) of the p1 x p1 x p2 grid, z-major. Single source of truth for
+/// that rank set: it_inv_b_face AND the api layer's resident-operand
+/// layout realizer both build from it, so uploaded blocks can never land
+/// on different ranks than the solver reads.
+std::vector<int> it_inv_b_face_members(int p1, int p2);
+
 /// The canonical B face (the y = 0 plane) for it_inv_trsm inputs.
 dist::Face2D it_inv_b_face(const sim::Comm& comm, int p1, int p2);
 

@@ -1,5 +1,7 @@
 #include "trsm/solver.hpp"
 
+#include <memory>
+
 #include "support/check.hpp"
 
 namespace catrsm::trsm {
@@ -23,9 +25,19 @@ api::OpDesc solve_desc(const Matrix& l, const Matrix& b,
   return api::trsm_op(n, k, spec);
 }
 
-SolveResult solve_on(sim::Machine& machine, const Matrix& l, const Matrix& b,
-                     SolveOptions opts) {
-  api::Context ctx(machine);
+api::Context& context_on(sim::Machine& machine) {
+  // The Context rides in the machine's driver slot, so its lifetime is
+  // EXACTLY the machine's: no global registry, nothing to evict, and the
+  // returned reference stays valid as long as the machine does.
+  std::shared_ptr<api::Context>& slot = machine.driver_context();
+  if (!slot) slot = std::make_shared<api::Context>(machine);
+  return *slot;
+}
+
+namespace {
+
+SolveResult solve_with(api::Context& ctx, const Matrix& l, const Matrix& b,
+                       const SolveOptions& opts) {
   api::ExecResult r = ctx.plan(solve_desc(l, b, opts))->execute(l, b);
   SolveResult out;
   out.x = std::move(r.x);
@@ -35,9 +47,20 @@ SolveResult solve_on(sim::Machine& machine, const Matrix& l, const Matrix& b,
   return out;
 }
 
+}  // namespace
+
+SolveResult solve_on(sim::Machine& machine, const Matrix& l, const Matrix& b,
+                     SolveOptions opts) {
+  return solve_with(context_on(machine), l, b, opts);
+}
+
 SolveResult solve(const Matrix& l, const Matrix& b, int p, SolveOptions opts) {
+  // A fresh machine per call: nothing to reuse, so no registry entry —
+  // a short-lived Context avoids aliasing a later machine that happens to
+  // land at the same address.
   sim::Machine machine(p, opts.machine);
-  return solve_on(machine, l, b, opts);
+  api::Context ctx(machine);
+  return solve_with(ctx, l, b, opts);
 }
 
 }  // namespace catrsm::trsm

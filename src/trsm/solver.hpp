@@ -72,8 +72,19 @@ api::OpDesc solve_desc(const la::Matrix& l, const la::Matrix& b,
 SolveResult solve(const la::Matrix& l, const la::Matrix& b, int p,
                   SolveOptions opts = {});
 
-/// Solve on an existing machine (reuses threads-per-run semantics).
+/// Solve on an existing machine. Repeated calls on the SAME machine share
+/// one plan-caching api::Context (see context_on), so the plan cache and
+/// the iterative algorithm's inverted diagonal blocks are reused across
+/// calls instead of being rebuilt per solve.
 SolveResult solve_on(sim::Machine& machine, const la::Matrix& l,
                      const la::Matrix& b, SolveOptions opts = {});
+
+/// The per-machine Context behind solve_on: created on first use and
+/// stored in the machine's driver slot, so it lives exactly as long as
+/// the machine (the returned reference is valid for the machine's
+/// lifetime). Exposed so callers and tests can observe cache_stats() /
+/// pre-plan ops. Follows the machine's thread-affinity rules: one
+/// machine per client thread.
+api::Context& context_on(sim::Machine& machine);
 
 }  // namespace catrsm::trsm

@@ -93,6 +93,33 @@ TEST(Solver, MachineReuseAcrossSolves) {
   EXPECT_LT(r2.residual, 1e-12);
 }
 
+TEST(Solver, SolveOnSharesThePerMachinePlanCache) {
+  // Regression: solve_on used to build a fresh api::Context per call,
+  // which made the plan cache (and the diagonal-inverse reuse behind it)
+  // useless across repeated solves on the same machine.
+  sim::Machine machine(8);
+  const index_t n = 32, k = 8;
+  const Matrix l = la::make_lower_triangular(95, n);
+  const Matrix b1 = la::make_rhs(96, n, k);
+  const Matrix b2 = la::make_rhs(97, n, k);
+  SolveOptions opts;
+  opts.force_algorithm = true;
+  opts.algorithm = model::Algorithm::kIterative;
+
+  api::Context& ctx = context_on(machine);
+  EXPECT_EQ(&context_on(machine), &ctx);  // stable per machine
+  const api::CacheStats before = ctx.cache_stats();
+  const SolveResult r1 = solve_on(machine, l, b1, opts);
+  const SolveResult r2 = solve_on(machine, l, b2, opts);
+  const api::CacheStats after = ctx.cache_stats();
+  EXPECT_EQ(after.misses - before.misses, 1u);  // planned once...
+  EXPECT_GE(after.hits - before.hits, 1u);      // ...hit on the second call
+  // The shared plan reuses the inverted diagonal blocks for the same L.
+  EXPECT_EQ(r1.stats.phase_max.count("inversion"), 1u);
+  EXPECT_EQ(r2.stats.phase_max.count("inversion"), 0u);
+  EXPECT_LT(r2.residual, 1e-12);
+}
+
 TEST(Solver, RejectsNonSquareL) {
   const Matrix l(4, 5);
   const Matrix b(4, 2);
