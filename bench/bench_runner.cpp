@@ -277,6 +277,35 @@ void run_program_case(std::vector<Record>& records) {
             << " ms (residual " << r.residual << ")\n";
 }
 
+/// Oracle-overhead A/B: the same solve with the correctness oracle
+/// (collective matching; the deadlock detector is always armed) off and
+/// on. The oracle observes, never participates, so the two records'
+/// modeled S/W/F and critical time must be byte-identical in the
+/// committed JSON — a divergence is a regression in that zero-cost
+/// guarantee. The wall-clock delta is the oracle's real overhead.
+void run_oracle_cases(std::vector<Record>& records) {
+  const int p = 16;
+  const index_t n = 128, k = 32;
+  const la::Matrix l = la::make_lower_triangular(51, n);
+  const la::Matrix b = la::make_rhs(52, n, k);
+  for (const bool checked : {false, true}) {
+    api::Context ctx(p);
+    ctx.machine().set_collective_checking(checked);
+    api::TrsmSpec spec;
+    spec.force_algorithm = true;
+    spec.algorithm = model::Algorithm::kIterative;
+    auto plan = ctx.plan(api::trsm_op(n, k, spec));
+    const auto t0 = Clock::now();
+    const api::ExecResult r = plan->execute(l, b);
+    records.push_back({checked ? "oracle/it_trsm_p16_check"
+                               : "oracle/it_trsm_p16_nocheck",
+                       p, n, k, ms_since(t0), 1.0, r.algorithm_cost(),
+                       r.stats.critical_time});
+    std::cout << records.back().name << ": " << records.back().wall_ms
+              << " ms\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,6 +338,7 @@ int main(int argc, char** argv) {
   run_batch_case(records, /*pooled=*/false);
   run_resident_batch_case(records);
   run_program_case(records);
+  run_oracle_cases(records);
 
   std::string out = "[\n";
   for (std::size_t i = 0; i < records.size(); ++i)

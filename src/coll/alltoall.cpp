@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "coll/check_hook.hpp"
 #include "support/check.hpp"
 
 namespace catrsm::coll {
@@ -42,10 +43,20 @@ std::vector<Routed> deserialize(const Buffer& in) {
   return blocks;
 }
 
+std::size_t total_words(const std::vector<Buffer>& to_send) {
+  std::size_t w = 0;
+  for (const Buffer& b : to_send) w += b.size();
+  return w;
+}
+
 std::vector<Buffer> alltoallv_bruck(const sim::Comm& comm,
                                     std::vector<Buffer> to_send) {
   const int g = comm.size();
   const int r = comm.rank();
+  // Per-pair payload sizes are rank-local by design, so no counts are
+  // registered for validation — only the op sequence itself.
+  CheckScope check(comm, CollOp::kAlltoallBruck, -1, nullptr,
+                   total_words(to_send));
   const int tag = coll_tag(CollOp::kAlltoallBruck, comm);
 
   std::vector<Buffer> result(static_cast<std::size_t>(g));
@@ -92,6 +103,8 @@ std::vector<Buffer> alltoallv_direct(const sim::Comm& comm,
                                      std::vector<Buffer> to_send) {
   const int g = comm.size();
   const int r = comm.rank();
+  CheckScope check(comm, CollOp::kAlltoallDirect, -1, nullptr,
+                   total_words(to_send));
   const int tag = coll_tag(CollOp::kAlltoallDirect, comm);
   std::vector<Buffer> result(static_cast<std::size_t>(g));
   result[static_cast<std::size_t>(r)] =

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "coll/check_hook.hpp"
 #include "support/check.hpp"
 
 namespace catrsm::coll {
@@ -56,6 +57,7 @@ Buffer allgather(const sim::Comm& comm, Buffer mine, const Counts& counts) {
   const int r = comm.rank();
   CATRSM_CHECK(mine.size() == counts[static_cast<std::size_t>(r)],
                "allgather: contribution size mismatch");
+  CheckScope check(comm, CollOp::kAllgather, -1, &counts, mine.size());
   const int tag = coll_tag(CollOp::kAllgather, comm);
 
   std::vector<Buffer> blocks(static_cast<std::size_t>(g));
@@ -168,6 +170,7 @@ Buffer reduce_scatter(const sim::Comm& comm, Buffer full,
   CATRSM_CHECK(full.size() == sum_counts(counts),
                "reduce_scatter: input must cover every segment");
   const int r = comm.rank();
+  CheckScope check(comm, CollOp::kReduceScatter, -1, &counts, full.size());
   if (g == 1) return full;
   const int tag = coll_tag(CollOp::kReduceScatter, comm);
 
@@ -279,6 +282,7 @@ Buffer scatter(const sim::Comm& comm, int root, Buffer all,
                "scatter: counts size mismatch");
   CATRSM_CHECK(root >= 0 && root < g, "scatter: bad root");
   const int r = comm.rank();
+  CheckScope check(comm, CollOp::kScatter, root, &counts, all.size());
   const int rel = ((r - root) % g + g) % g;
   const int tag = coll_tag(CollOp::kScatter, comm);
 
@@ -329,6 +333,7 @@ Buffer gather(const sim::Comm& comm, int root, Buffer mine,
                "gather: counts size mismatch");
   CATRSM_CHECK(root >= 0 && root < g, "gather: bad root");
   const int r = comm.rank();
+  CheckScope check(comm, CollOp::kGather, root, &counts, mine.size());
   const int rel = ((r - root) % g + g) % g;
   const int tag = coll_tag(CollOp::kGather, comm);
   auto abs_of = [&](int q) { return (q + root) % g; };
@@ -408,6 +413,7 @@ Buffer allreduce(const sim::Comm& comm, Buffer full) {
 
 void barrier(const sim::Comm& comm) {
   const int g = comm.size();
+  CheckScope check(comm, CollOp::kBarrier, -1, nullptr, 0);
   const int tag = coll_tag(CollOp::kBarrier, comm);
   for (int d = 1; d < g; d <<= 1) {
     const int dst = (comm.rank() + d) % g;

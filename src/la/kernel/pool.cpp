@@ -3,12 +3,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <new>
 #include <thread>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/env.hpp"
 #include "support/exec_context.hpp"
 
 namespace catrsm::la::kernel {
@@ -20,13 +22,12 @@ std::atomic<std::uint64_t> g_dispatches{0};
 thread_local bool tls_pool_worker = false;
 
 int env_threads() {
-  const char* v = std::getenv("CATRSM_KERNEL_THREADS");
-  if (v != nullptr && *v != '\0') {
-    const int n = std::atoi(v);
-    if (n >= 1) return n;
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+  // Strict parsing: zero, negative, or non-numeric overrides warn and
+  // fall back to the core count instead of being silently dropped.
+  return env::int_or("CATRSM_KERNEL_THREADS", fallback, 1,
+                     std::numeric_limits<int>::max());
 }
 
 }  // namespace

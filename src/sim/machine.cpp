@@ -4,6 +4,11 @@
 #include <exception>
 #include <utility>
 
+#include "sim/check/coll_matcher.hpp"
+#include "sim/check/deadlock.hpp"
+#include "sim/check/trace.hpp"
+#include "support/env.hpp"
+
 namespace catrsm::sim {
 
 // ---------------------------------------------------------------------------
@@ -35,10 +40,12 @@ void Rank::send(int dst, Buffer data, int tag) {
   CATRSM_CHECK(dst >= 0 && dst < nprocs_, "send: bad destination rank");
   CATRSM_CHECK(dst != id_, "send: self-sends are a bug in SPMD code");
   const double w = static_cast<double>(data.size());
-  Machine::Message msg{std::move(data), vtime_};
+  const double sent_at = vtime_;
   account(1.0, w, 0.0);
   vtime_ += params().alpha + params().beta * w;
-  machine_->deliver(id_, dst, tag, std::move(msg));
+  if (check::TraceRecorder* t = machine_->tracer_.get())
+    t->on_send(id_, dst, tag, data, vtime_);
+  machine_->deliver(id_, dst, tag, Machine::Message{std::move(data), sent_at});
 }
 
 Buffer Rank::recv(int src, int tag) {
@@ -52,6 +59,8 @@ Buffer Rank::recv(int src, int tag) {
   // ready to receive.
   vtime_ = std::max(vtime_, msg.sender_vtime) + params().alpha +
            params().beta * w;
+  if (check::TraceRecorder* t = machine_->tracer_.get())
+    t->on_recv(id_, src, tag, msg.data, vtime_);
   return std::move(msg.data);
 }
 
@@ -64,6 +73,9 @@ Buffer Rank::shift(int dst, int src, Buffer data, int tag) {
   CATRSM_CHECK(src >= 0 && src < nprocs_, "shift: bad source rank");
   CATRSM_CHECK(dst != id_ && src != id_, "shift: peers must differ from self");
   const double sent = static_cast<double>(data.size());
+  check::TraceRecorder* const tracer = machine_->tracer_.get();
+  Buffer sent_view;
+  if (tracer != nullptr) sent_view = data;  // slab share, no copy
   machine_->deliver(id_, dst, tag, Machine::Message{std::move(data), vtime_});
   Machine::Message in = machine_->take(id_, src, tag);
   // One simultaneous exchange round: a single latency unit, and the wire
@@ -74,6 +86,8 @@ Buffer Rank::shift(int dst, int src, Buffer data, int tag) {
   account(1.0, w, 0.0);
   vtime_ = std::max(vtime_, in.sender_vtime) + params().alpha +
            params().beta * w;
+  if (tracer != nullptr)
+    tracer->on_shift(id_, dst, src, tag, sent_view, in.data, vtime_);
   return std::move(in.data);
 }
 
@@ -81,9 +95,17 @@ void Rank::charge_flops(double f) {
   CATRSM_CHECK(f >= 0.0, "charge_flops: negative flop count");
   account(0.0, 0.0, f);
   vtime_ += params().gamma * f;
+  if (check::TraceRecorder* t = machine_->tracer_.get())
+    t->on_flops(id_, f, vtime_);
 }
 
 const MachineParams& Rank::params() const { return machine_->params_; }
+
+check::CollectiveMatcher* Rank::matcher() const {
+  return machine_->matcher_.get();
+}
+
+check::TraceRecorder* Rank::tracer() const { return machine_->tracer_.get(); }
 
 std::uint64_t Rank::comm_epoch(const std::vector<int>& members) {
   std::lock_guard<std::mutex> lock(machine_->epoch_mu_);
@@ -124,9 +146,30 @@ Machine::Machine(int p, MachineParams params) : p_(p), params_(params) {
   mailboxes_.reserve(static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
   for (int i = 0; i < p * p; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  waits_.resize(static_cast<std::size_t>(p));
+  if (env::flag_or("CATRSM_SIM_CHECK", false)) set_collective_checking(true);
 }
 
 Machine::~Machine() = default;
+
+void Machine::set_collective_checking(bool on) {
+  if (on && matcher_ == nullptr)
+    matcher_ = std::make_unique<check::CollectiveMatcher>(p_);
+  else if (!on)
+    matcher_.reset();
+}
+
+void Machine::set_tracing(bool on, bool capture_payloads) {
+  if (on)
+    tracer_ = std::make_unique<check::TraceRecorder>(p_, capture_payloads);
+  else
+    tracer_.reset();
+}
+
+check::Trace Machine::take_trace() {
+  CATRSM_CHECK(tracer_ != nullptr, "take_trace: tracing is not enabled");
+  return tracer_->take();
+}
 
 RankScheduler& Machine::scheduler() {
   if (!scheduler_) scheduler_ = std::make_unique<RankScheduler>(p_);
@@ -160,27 +203,174 @@ Machine::Message Machine::take(int dst, int src, int tag) {
   Mailbox& box = box_of(dst, src);
   std::unique_lock<std::mutex> lock(box.mu);
   auto& queue = box.queue_for(tag);
+  // Deadlock detection piggybacks on the block path: the first iteration
+  // that finds the queue empty registers this rank's wait record, and if
+  // that registration completes the all-blocked-or-finished set, this
+  // rank validates the stall before parking (see sim/check/deadlock.hpp
+  // for why the protocol cannot fire spuriously). Receives that find
+  // their message waiting never touch the detector.
+  bool registered = false;
   if (void* self = RankScheduler::current_fiber()) {
     // Fiber backend: a blocked receive yields the worker to another rank
     // instead of parking the OS thread.
     while (queue.empty() && !aborted_.load()) {
       box.waiter = self;
       box.waiter_tag = tag;
+      bool candidate = false;
+      if (!registered) {
+        registered = true;
+        candidate = register_blocked(dst, src, tag);
+      }
       lock.unlock();
+      if (candidate && confirm_deadlock()) fault_deadlock();
       RankScheduler::block_current_fiber();
       lock.lock();
     }
     if (box.waiter == self) box.waiter = nullptr;  // abort-path cleanup
   } else {
-    box.cv.wait(lock, [&] { return !queue.empty() || aborted_.load(); });
+    while (queue.empty() && !aborted_.load()) {
+      bool candidate = false;
+      if (!registered) {
+        registered = true;
+        candidate = register_blocked(dst, src, tag);
+      }
+      if (candidate) {
+        lock.unlock();
+        const bool dead = confirm_deadlock();
+        if (dead) fault_deadlock();
+        lock.lock();
+        continue;  // validation dropped the box lock: re-check the queue
+      }
+      box.cv.wait(lock);
+    }
   }
+  if (registered) unregister_blocked(dst);
   if (queue.empty()) {
-    // Another rank failed; propagate so the whole run unwinds cleanly.
+    // Another rank failed; propagate so the whole run unwinds cleanly
+    // (when the failure was a declared deadlock, rethrow it as such so
+    // every rank's unwind carries the diagnostic dump).
+    bool dead = false;
+    {
+      std::lock_guard<std::mutex> wl(wait_mu_);
+      dead = deadlocked_;
+    }
+    if (dead) fault_deadlock();
     throw Error("simulated run aborted by failure on a peer rank");
   }
   Message msg = std::move(queue.front());
   queue.pop_front();
   return msg;
+}
+
+bool Machine::register_blocked(int dst, int src, int tag) {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  WaitRecord& w = waits_[static_cast<std::size_t>(dst)];
+  w.active = true;
+  w.src = src;
+  w.tag = tag;
+  ++n_blocked_;
+  ++wait_seq_;
+  return n_blocked_ > 0 && n_blocked_ + n_finished_ == p_ && !deadlocked_ &&
+         !aborted_.load();
+}
+
+void Machine::unregister_blocked(int dst) {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  WaitRecord& w = waits_[static_cast<std::size_t>(dst)];
+  if (!w.active) return;
+  w.active = false;
+  --n_blocked_;
+  ++wait_seq_;
+}
+
+bool Machine::finish_rank() {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  ++n_finished_;
+  ++wait_seq_;
+  return n_blocked_ > 0 && n_blocked_ + n_finished_ == p_ && !deadlocked_ &&
+         !aborted_.load();
+}
+
+bool Machine::confirm_deadlock() {
+  // Step 1: snapshot the wait set and its sequence number. The candidate
+  // observed "every rank blocked or finished", so no rank is executing —
+  // in particular no deliver is in flight — unless something moves, which
+  // step 3 detects.
+  std::vector<check::RankWait> snapshot(static_cast<std::size_t>(p_));
+  std::uint64_t seq0 = 0;
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    if (deadlocked_) return true;  // a peer already declared; just unwind
+    if (n_blocked_ == 0 || n_blocked_ + n_finished_ != p_) return false;
+    seq0 = wait_seq_;
+    for (int r = 0; r < p_; ++r) {
+      const WaitRecord& w = waits_[static_cast<std::size_t>(r)];
+      auto& s = snapshot[static_cast<std::size_t>(r)];
+      s.finished = !w.active;
+      s.src = w.src;
+      s.tag = w.tag;
+    }
+  }
+  if (aborted_.load()) return false;
+
+  // Step 2: a pending message matching any blocked rank's wait means its
+  // wake-up is merely unscheduled — stand down.
+  for (int r = 0; r < p_; ++r) {
+    const auto& s = snapshot[static_cast<std::size_t>(r)];
+    if (s.finished) continue;
+    Mailbox& box = box_of(r, s.src);
+    std::lock_guard<std::mutex> lock(box.mu);
+    if (!box.queue_for(s.tag).empty()) return false;
+  }
+
+  // Step 3: declare only if nothing moved while we scanned. Any message
+  // consumption or new registration bumps wait_seq_, so a stale snapshot
+  // can never be declared.
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    if (deadlocked_) return true;
+    if (wait_seq_ != seq0 || aborted_.load()) return false;
+    deadlocked_ = true;
+  }
+
+  // Every rank is parked and stays parked until abort_all below, so the
+  // mailboxes are quiescent: summarize them for the dump without racing.
+  std::vector<check::PendingQueue> pending;
+  for (int dst = 0; dst < p_; ++dst) {
+    for (int src = 0; src < p_; ++src) {
+      if (dst == src) continue;
+      Mailbox& box = box_of(dst, src);
+      std::lock_guard<std::mutex> lock(box.mu);
+      for (const auto& [qtag, q] : box.queues) {
+        if (q.empty()) continue;
+        std::size_t words = 0;
+        for (const Message& m : q) words += m.data.size();
+        pending.push_back({dst, src, qtag, q.size(), words});
+      }
+    }
+  }
+  std::vector<std::string> contexts(static_cast<std::size_t>(p_));
+  if (matcher_ != nullptr)
+    for (int r = 0; r < p_; ++r)
+      contexts[static_cast<std::size_t>(r)] = matcher_->context_of(r);
+  std::string dump = check::describe_deadlock(snapshot, pending, contexts);
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    deadlock_dump_ = std::move(dump);
+  }
+  abort_all();
+  return true;
+}
+
+void Machine::fault_deadlock() {
+  std::string dump;
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    dump = deadlock_dump_;
+  }
+  if (dump.empty())
+    throw Error("simulated run aborted: deadlock detected on a peer rank");
+  throw check::DeadlockError(dump);
 }
 
 void Machine::abort_all() {
@@ -210,6 +400,17 @@ RunStats Machine::run(const std::function<void(Rank&)>& fn) {
     }
     box->waiter = nullptr;
   }
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    for (auto& w : waits_) w = WaitRecord{};
+    n_blocked_ = 0;
+    n_finished_ = 0;
+    ++wait_seq_;
+    deadlocked_ = false;
+    deadlock_dump_.clear();
+  }
+  if (matcher_ != nullptr) matcher_->reset();
+  if (tracer_ != nullptr) tracer_->begin_run(params_);
 
   std::vector<std::unique_ptr<Rank>> ranks;
   ranks.reserve(static_cast<std::size_t>(p_));
@@ -222,6 +423,11 @@ RunStats Machine::run(const std::function<void(Rank&)>& fn) {
   scheduler().run([&](int i) {
     try {
       fn(*ranks[static_cast<std::size_t>(i)]);
+      // The last rank to finish while the rest are blocked is the one
+      // that can see their deadlock (e.g. a peer waiting on a rank that
+      // already returned): run the same detection a blocking receive
+      // would.
+      if (finish_rank() && confirm_deadlock()) fault_deadlock();
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(error_mu);
@@ -234,6 +440,9 @@ RunStats Machine::run(const std::function<void(Rank&)>& fn) {
   });
   {
     std::lock_guard<std::mutex> lock(error_mu);
+    // A deadlock declaration outranks the per-rank unwind errors racing
+    // with it: every rank should surface the same diagnostic dump.
+    if (!deadlock_dump_.empty()) throw check::DeadlockError(deadlock_dump_);
     if (first_error) std::rethrow_exception(first_error);
   }
 
@@ -248,6 +457,12 @@ RunStats Machine::run(const std::function<void(Rank&)>& fn) {
       agg.words = std::max(agg.words, cost.words);
       agg.flops = std::max(agg.flops, cost.flops);
     }
+  }
+  if (tracer_ != nullptr) {
+    std::vector<double> vtimes;
+    vtimes.reserve(static_cast<std::size_t>(p_));
+    for (const auto& r : ranks) vtimes.push_back(r->vtime());
+    tracer_->finish_run(stats.per_rank, vtimes, stats.critical_time);
   }
   return stats;
 }

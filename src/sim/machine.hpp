@@ -41,6 +41,12 @@ class Context;  // forward-declared for Machine's typed driver slot
 
 namespace catrsm::sim {
 
+namespace check {
+class CollectiveMatcher;  // sim/check/coll_matcher.hpp
+class TraceRecorder;      // sim/check/trace.hpp
+struct Trace;
+}  // namespace check
+
 class Machine;
 
 /// The execution context handed to each simulated rank. Not copyable; lives
@@ -100,6 +106,13 @@ class Rank {
   }
 
   const MachineParams& params() const;
+
+  /// The machine's collective-matching validator, null when checking is
+  /// off (see Machine::set_collective_checking). Collective entry points
+  /// register their calls here.
+  check::CollectiveMatcher* matcher() const;
+  /// The machine's trace recorder, null when tracing is off.
+  check::TraceRecorder* tracer() const;
 
  private:
   friend class Machine;
@@ -188,6 +201,31 @@ class Machine {
   /// same thread-affinity rules as the machine itself.
   std::shared_ptr<api::Context>& driver_context() { return driver_ctx_; }
 
+  // --- Correctness tooling (sim/check) -----------------------------------
+  // A hung run is detected unconditionally: the wait-for-graph deadlock
+  // detector is always on (it costs nothing until a receive actually
+  // blocks — see sim/check/deadlock.hpp for the protocol) and faults the
+  // run with a per-rank diagnostic dump instead of hanging. The two
+  // tools below are opt-in; neither touches the cost counters, so
+  // modeled S/W/F are identical with or without them.
+
+  /// Attach (or detach) the collective-matching validator: every coll::
+  /// entry registers its (epoch, op, root, counts) and mismatched
+  /// sequences fault immediately with both sides' records. Also enabled
+  /// by CATRSM_SIM_CHECK=1 at machine construction. Must not be toggled
+  /// during a run.
+  void set_collective_checking(bool on);
+  bool collective_checking() const { return matcher_ != nullptr; }
+
+  /// Attach (or detach) the trace recorder: every run logs per-rank
+  /// communication events (with payloads when capture_payloads — the
+  /// replayable form). Must not be toggled during a run.
+  void set_tracing(bool on, bool capture_payloads = true);
+  bool tracing() const { return tracer_ != nullptr; }
+  /// Move out the most recent traced run's event log (throws when
+  /// tracing is off; include sim/check/trace.hpp for the Trace type).
+  check::Trace take_trace();
+
  private:
   friend class Rank;
 
@@ -234,6 +272,29 @@ class Machine {
   Message take(int dst, int src, int tag);
   void abort_all();
 
+  // --- Wait-for-graph deadlock detection (sim/check/deadlock.hpp) --------
+  // A blocking take() registers its wait record; the registration (or
+  // rank completion) that makes every rank blocked-or-finished nominates
+  // the caller as detection candidate, and confirm_deadlock() validates
+  // the stall race-free before declaring. Sends never touch this state.
+  struct WaitRecord {
+    bool active = false;
+    int src = -1;
+    int tag = 0;
+  };
+  /// Record rank `dst` as blocked on (src, tag); true when every rank is
+  /// now blocked or finished (caller must run confirm_deadlock()).
+  bool register_blocked(int dst, int src, int tag);
+  void unregister_blocked(int dst);
+  /// Count a completed rank body; same candidate contract as above.
+  bool finish_rank();
+  /// Validate a candidate stall: false on any sign of life (a pending
+  /// matching message, a wait-set change); on a genuine deadlock builds
+  /// the diagnostic dump, aborts the run, and returns true.
+  bool confirm_deadlock();
+  /// Throw the dump as a check::DeadlockError.
+  [[noreturn]] void fault_deadlock();
+
   int p_;
   MachineParams params_;
   std::atomic<bool> aborted_{false};
@@ -241,6 +302,17 @@ class Machine {
   std::unique_ptr<RankScheduler> scheduler_;
   std::unique_ptr<HandleStore> handles_;
   std::shared_ptr<api::Context> driver_ctx_;
+
+  std::mutex wait_mu_;  // guards the five fields below
+  std::vector<WaitRecord> waits_;
+  int n_blocked_ = 0;
+  int n_finished_ = 0;
+  std::uint64_t wait_seq_ = 0;  // bumped on every wait-set change
+  bool deadlocked_ = false;
+  std::string deadlock_dump_;  // set once by the declaring rank
+
+  std::unique_ptr<check::CollectiveMatcher> matcher_;
+  std::unique_ptr<check::TraceRecorder> tracer_;
 };
 
 }  // namespace catrsm::sim

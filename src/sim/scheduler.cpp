@@ -1,8 +1,10 @@
 #include "sim/scheduler.hpp"
 
 #include <cstdlib>
+#include <limits>
 
 #include "support/check.hpp"
+#include "support/env.hpp"
 #include "support/exec_context.hpp"
 
 #if defined(__linux__)
@@ -34,17 +36,11 @@ namespace {
 
 constexpr std::size_t kFiberStackBytes = 1024 * 1024;
 
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atoi(v);
-}
-
 bool fibers_requested() {
 #if !CATRSM_HAVE_UCONTEXT || CATRSM_SANITIZER
   return false;
 #else
-  return env_int("CATRSM_SIM_FIBERS", 1) != 0;
+  return env::flag_or("CATRSM_SIM_FIBERS", true);
 #endif
 }
 
@@ -125,9 +121,12 @@ RankScheduler::RankScheduler(int p) : p_(p), use_fibers_(fibers_requested()) {
   int w = p;
   if (use_fibers_) {
     const int hw = static_cast<int>(std::thread::hardware_concurrency());
-    w = env_int("CATRSM_SIM_WORKERS", hw > 0 ? hw : 1);
-    if (w < 1) w = 1;
-    if (w > p) w = p;
+    // Strict parsing: a malformed or non-positive override warns and
+    // falls back to the core count instead of silently running with a
+    // nonsensical pool.
+    w = env::int_or("CATRSM_SIM_WORKERS", hw > 0 ? hw : 1, 1,
+                    std::numeric_limits<int>::max());
+    if (w > p) w = p;  // more workers than ranks is just idle threads
   }
   fibers_.reserve(static_cast<std::size_t>(p));
   for (int i = 0; i < p; ++i) {

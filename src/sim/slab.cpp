@@ -6,6 +6,8 @@
 #include <mutex>
 #include <new>
 
+#include "support/env.hpp"
+
 namespace catrsm::sim {
 
 namespace {
@@ -46,11 +48,7 @@ Pool& pool() {
 
 std::atomic<bool> g_pool_enabled{true};
 
-bool poison_from_env() {
-  const char* v = std::getenv("CATRSM_SLAB_POISON");
-  return v != nullptr && *v != '\0' && *v != '0';
-}
-std::atomic<bool> g_poison{poison_from_env()};
+std::atomic<bool> g_poison{env::flag_or("CATRSM_SLAB_POISON", false)};
 
 double* allocate_aligned(std::size_t cap) {
   return static_cast<double*>(

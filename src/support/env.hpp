@@ -1,0 +1,25 @@
+#pragma once
+// Validated environment-variable parsing for the CATRSM_* knobs.
+//
+// The seed read tuning knobs with std::atoi, so CATRSM_SIM_WORKERS=banana
+// silently became 0 workers and CATRSM_KERNEL_THREADS=-4 silently fell
+// back — the user never learns their override was dropped. These helpers
+// parse strictly (the whole value must be an integer), enforce a range,
+// and on any malformed or out-of-range value print one warning to stderr
+// and return the documented fallback.
+
+#include <string>
+
+namespace catrsm::env {
+
+/// Parse `name` as a strict decimal integer in [lo, hi]. Unset or empty
+/// returns `fallback` silently; malformed (trailing garbage, overflow) or
+/// out-of-range values warn on stderr and return `fallback`.
+int int_or(const char* name, int fallback, long lo, long hi);
+
+/// Parse `name` as a boolean flag: any valid integer, nonzero = true
+/// (matching the historical CATRSM_SIM_FIBERS=0 convention). Unset or
+/// empty returns `fallback`; malformed values warn and return `fallback`.
+bool flag_or(const char* name, bool fallback);
+
+}  // namespace catrsm::env
