@@ -18,12 +18,14 @@
 namespace catrsm::bench {
 
 /// Median wall-clock milliseconds over `reps` timed runs of `body`, after
-/// one untimed warmup run (excludes first-touch page faults and cold
-/// caches, and the median shrugs off scheduler noise on shared CI boxes).
+/// `warmups` untimed runs (excludes first-touch page faults, cold caches,
+/// and — with two or more warmups — the frequency ramp on machines whose
+/// governor reacts to the first burst; the median shrugs off scheduler
+/// noise on shared CI boxes).
 template <typename F>
-double median_wall_ms(int reps, F&& body) {
+double median_wall_ms(int warmups, int reps, F&& body) {
   using Clock = std::chrono::steady_clock;
-  body();  // warmup
+  for (int w = 0; w < (warmups > 0 ? warmups : 1); ++w) body();
   std::vector<double> ms(static_cast<std::size_t>(reps > 0 ? reps : 1));
   for (double& t : ms) {
     const auto t0 = Clock::now();
@@ -32,6 +34,12 @@ double median_wall_ms(int reps, F&& body) {
   }
   std::nth_element(ms.begin(), ms.begin() + ms.size() / 2, ms.end());
   return ms[ms.size() / 2];
+}
+
+/// One warmup, median of `reps` — the historical default.
+template <typename F>
+double median_wall_ms(int reps, F&& body) {
+  return median_wall_ms(1, reps, static_cast<F&&>(body));
 }
 
 /// Run `body` on a fresh machine of p ranks and return the stats.

@@ -95,6 +95,13 @@ struct TrsmSpec {
   /// Cholesky pipeline's solves on its q x q subgrid.
   int grid_p1 = 0;
   int grid_p2 = 0;
+  /// Solve the normalized kernel in mixed precision on the host instead
+  /// of the distributed algorithm: f32 factor + solve with f64 iterative
+  /// refinement (la::trsm_refined). All BLAS variants reduce to it
+  /// through the same normalizations. The simulated machine is bypassed
+  /// (stats stay empty) — this is the single-node speed envelope, for
+  /// shapes where local flops beat distribution.
+  bool mixed_precision = false;
 };
 
 /// What to plan. (n, k) is the shape of the normalized lower-left kernel:

@@ -85,8 +85,8 @@ std::string cache_key(const OpDesc& d, int p, const sim::MachineParams& mp) {
      << d.trsm.force_algorithm << '|'
      << static_cast<int>(d.trsm.algorithm) << '|' << d.trsm.nblocks << '|'
      << d.trsm.rec_n0 << '|' << d.trsm.grid_p1 << '|' << d.trsm.grid_p2
-     << '|' << p << '|' << std::hexfloat << mp.alpha << '|'
-     << mp.beta << '|' << mp.gamma;
+     << '|' << d.trsm.mixed_precision << '|' << p << '|' << std::hexfloat
+     << mp.alpha << '|' << mp.beta << '|' << mp.gamma;
   return os.str();
 }
 

@@ -6,6 +6,7 @@
 #include "api/op_bodies.hpp"
 #include "dist/redistribute.hpp"
 #include "la/gemm.hpp"
+#include "la/mixed.hpp"
 #include "la/norms.hpp"
 #include "mm/mm3d.hpp"
 #include "support/check.hpp"
@@ -436,6 +437,19 @@ ExecResult Plan::run_trsm(const Matrix& t, const Matrix& b,
     r.x = reversed_rows(r.x);
     r.residual = la::trsm_residual(t.transposed(), r.x, b);
     return r;
+  }
+
+  // --- Mixed precision: normalized kernel, solved host-side by the f32 +
+  // f64-refinement path. No simulated machine involved.
+  if (spec.mixed_precision) {
+    ExecResult result;
+    result.config = config_;
+    Matrix x = b;
+    const la::RefineStats rs =
+        la::trsm_refined(la::Uplo::kLower, la::Diag::kNonUnit, t, x);
+    result.x = std::move(x);
+    result.residual = rs.residual;
+    return result;
   }
 
   return run_trsm_kernel(t, b);

@@ -26,7 +26,10 @@ Backend widest_supported() {
   return Backend::kScalar;
 }
 
-const MicroKernel* select() {
+/// One backend choice feeds both precisions: every TU registers its f64
+/// and f32 kernels together, so a backend that is usable for one is
+/// usable for the other.
+Backend select() {
   Backend chosen = widest_supported();
   if (const char* env = std::getenv("CATRSM_KERNEL")) {
     const std::optional<Backend> want = parse_backend(env);
@@ -44,7 +47,12 @@ const MicroKernel* select() {
       chosen = *want;
     }
   }
-  return microkernel_for(chosen);
+  return chosen;
+}
+
+Backend selected_backend() {
+  static const Backend b = select();
+  return b;
 }
 
 }  // namespace
@@ -57,6 +65,18 @@ const MicroKernel* microkernel_for(Backend b) {
       return avx2_microkernel();
     case Backend::kAvx512:
       return avx512_microkernel();
+  }
+  return nullptr;
+}
+
+const MicroKernelF32* microkernel_f32_for(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return scalar_microkernel_f32();
+    case Backend::kAvx2:
+      return avx2_microkernel_f32();
+    case Backend::kAvx512:
+      return avx512_microkernel_f32();
   }
   return nullptr;
 }
@@ -79,7 +99,13 @@ bool cpu_supports(Backend b) {
 }
 
 const MicroKernel& active_microkernel() {
-  static const MicroKernel* const k = select();
+  static const MicroKernel* const k = microkernel_for(selected_backend());
+  return *k;
+}
+
+const MicroKernelF32& active_microkernel_f32() {
+  static const MicroKernelF32* const k =
+      microkernel_f32_for(selected_backend());
   return *k;
 }
 

@@ -1,75 +1,137 @@
 #include <algorithm>
+#include <cstdint>
 
 #include "la/kernel/kernel.hpp"
 #include "la/kernel/pool.hpp"
+#include "support/env.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 namespace catrsm::la::kernel {
 
 namespace {
 
-// Cache blocking: an MC x KC packed panel of A (288 KB) lives in L2 while
-// KC x NC of packed B (2 MB) streams from L3. MC is a common multiple of
-// every backend's MR so full strips dominate; NC likewise for NR.
-constexpr index_t kMc = 144;
-constexpr index_t kKc = 256;
-constexpr index_t kNc = 1024;
+// Cache blocking per element type: an MC x KC packed panel of A lives in
+// L2 while KC x NC of packed B streams from L3. MC is a common multiple
+// of every backend's MR so full strips dominate; NC likewise for NR. The
+// f32 panels double MC and NC (same byte budget, twice the elements).
+template <class T>
+struct Blocking;
+template <>
+struct Blocking<double> {
+  static constexpr index_t kMc = 144;
+  static constexpr index_t kKc = 256;
+  static constexpr index_t kNc = 1024;
+};
+template <>
+struct Blocking<float> {
+  static constexpr index_t kMc = 288;
+  static constexpr index_t kKc = 256;
+  static constexpr index_t kNc = 2048;
+};
 
 // Below this m*n*k the packing and dispatch overhead beats the gain; run a
 // branch-free naive loop instead (identical results up to summation order).
 constexpr index_t kSmallProduct = 16 * 1024;
 
-// Below this flop count (2*m*n*k) the fork-join overhead beats the
-// speedup; stay on one thread. Engagement never changes the arithmetic —
-// only which thread executes an index — so results are identical either
-// way.
+// Below this flop count (2*m*n*k) even a single team dispatch plus its
+// barriers beats the speedup; stay on one thread. Engagement never
+// changes the arithmetic — only which thread executes an index — so
+// results are identical either way.
 constexpr double kMtFlopThreshold = 4.0e6;
 
+// Auto threshold for non-temporal C stores: a result larger than this
+// would only flush useful lines from the LLC on its way out, so stream
+// it past the hierarchy instead. Only consulted for the beta == 0
+// single-K-pass shape, where C is written exactly once and never read.
+constexpr std::size_t kNtAutoBytes = 8u << 20;
+
+// Largest micro-tile any backend uses (f32 AVX-512: 8 x 32); the partial
+// tile scratch is sized once for all of them.
 constexpr index_t kMaxMr = 8;
-constexpr index_t kMaxNr = 16;
+constexpr index_t kMaxNr = 32;
+
+std::atomic<int> g_nt_test_mode{-1};
 
 index_t round_up(index_t x, index_t to) { return ((x + to - 1) / to) * to; }
+
+/// How the macro-kernel writes the C tile. All modes compute identical
+/// values; kAssign/kStream additionally let the driver skip the beta==0
+/// zero-fill pass because the first K pass overwrites C outright.
+enum class Store { kAccum, kAssign, kStream };
+
+bool nt_policy(std::size_t c_bytes) {
+  const int forced = g_nt_test_mode.load(std::memory_order_relaxed);
+  int mode = forced;
+  if (mode < 0) {
+    static const int env_mode = env::int_or("CATRSM_KERNEL_NT", -1, -1, 1);
+    mode = env_mode;
+  }
+  if (mode == 0) return false;
+  if (mode == 1) return true;
+  return c_bytes > kNtAutoBytes;
+}
+
+template <class T>
+bool nt_aligned(const T* c, index_t ldc) {
+  return (reinterpret_cast<std::uintptr_t>(c) % 64 == 0) &&
+         ((static_cast<std::size_t>(ldc) * sizeof(T)) % 64 == 0);
+}
+
+void store_fence() {
+#if defined(__x86_64__)
+  _mm_sfence();
+#endif
+}
 
 /// Pack mr-row strips [s0, s1) of A(m x k, stride lda), column-major
 /// within each strip, alpha folded in; rows past m are zero so the inner
 /// kernel never needs an m-edge branch. Each strip writes a disjoint
 /// k * mr_full range of ap, so strips parallelize freely.
-void pack_a_strips(const double* a, index_t lda, index_t m, index_t k,
-                   double alpha, index_t mr_full, double* ap, index_t s0,
-                   index_t s1) {
+template <class T>
+void pack_a_strips(const T* a, index_t lda, index_t m, index_t k, T alpha,
+                   index_t mr_full, T* ap, index_t s0, index_t s1) {
   for (index_t s = s0; s < s1; ++s) {
     const index_t i0 = s * mr_full;
     const index_t mr = std::min(mr_full, m - i0);
-    double* dst = ap + s * k * mr_full;
+    T* dst = ap + s * k * mr_full;
     for (index_t l = 0; l < k; ++l) {
       for (index_t i = 0; i < mr; ++i)
         dst[l * mr_full + i] = alpha * a[(i0 + i) * lda + l];
-      for (index_t i = mr; i < mr_full; ++i) dst[l * mr_full + i] = 0.0;
+      for (index_t i = mr; i < mr_full; ++i) dst[l * mr_full + i] = T(0);
     }
   }
 }
 
 /// Pack nr-column strips [s0, s1) of B(k x n, stride ldb), row-major
-/// within each strip, zero-padded past n. Disjoint writes per strip.
-void pack_b_strips(const double* b, index_t ldb, index_t k, index_t n,
-                   index_t nr_full, double* bp, index_t s0, index_t s1) {
+/// within each strip, zero-padded past n. Disjoint writes per strip (and
+/// strip boundaries land on cache lines: k * nr_full * sizeof(T) is a
+/// multiple of 64 for every backend), so cooperative packing never
+/// false-shares.
+template <class T>
+void pack_b_strips(const T* b, index_t ldb, index_t k, index_t n,
+                   index_t nr_full, T* bp, index_t s0, index_t s1) {
   for (index_t s = s0; s < s1; ++s) {
     const index_t j0 = s * nr_full;
     const index_t nr = std::min(nr_full, n - j0);
-    double* dst = bp + s * k * nr_full;
+    T* dst = bp + s * k * nr_full;
     for (index_t l = 0; l < k; ++l) {
-      const double* brow = b + l * ldb + j0;
+      const T* brow = b + l * ldb + j0;
       for (index_t j = 0; j < nr; ++j) dst[l * nr_full + j] = brow[j];
-      for (index_t j = nr; j < nr_full; ++j) dst[l * nr_full + j] = 0.0;
+      for (index_t j = nr; j < nr_full; ++j) dst[l * nr_full + j] = T(0);
     }
   }
 }
 
-void apply_beta(double beta, index_t m, index_t n, double* c, index_t ldc) {
-  if (beta == 1.0) return;
+template <class T>
+void apply_beta(T beta, index_t m, index_t n, T* c, index_t ldc) {
+  if (beta == T(1)) return;
   for (index_t i = 0; i < m; ++i) {
-    double* crow = c + i * ldc;
-    if (beta == 0.0) {
-      std::fill(crow, crow + n, 0.0);
+    T* crow = c + i * ldc;
+    if (beta == T(0)) {
+      std::fill(crow, crow + n, T(0));
     } else {
       for (index_t j = 0; j < n; ++j) crow[j] *= beta;
     }
@@ -78,144 +140,208 @@ void apply_beta(double beta, index_t m, index_t n, double* c, index_t ldc) {
 
 /// Branch-free i-l-j loop for small products, alpha folded into the A
 /// element (C += alpha * A * B; beta already applied).
-void gemm_naive(index_t m, index_t n, index_t k, double alpha,
-                const double* a, index_t lda, const double* b, index_t ldb,
-                double* c, index_t ldc) {
+template <class T>
+void gemm_naive(index_t m, index_t n, index_t k, T alpha, const T* a,
+                index_t lda, const T* b, index_t ldb, T* c, index_t ldc) {
   for (index_t i = 0; i < m; ++i) {
-    double* crow = c + i * ldc;
+    T* crow = c + i * ldc;
     for (index_t l = 0; l < k; ++l) {
-      const double av = alpha * a[i * lda + l];
-      const double* brow = b + l * ldb;
+      const T av = alpha * a[i * lda + l];
+      const T* brow = b + l * ldb;
       for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
 }
 
 /// One jr strip of the macro-kernel: every ir strip of the mc x nc block
-/// against packed panels. Each jr strip writes a disjoint column band of
-/// C, so strips parallelize freely and bit-identically (the per-strip
-/// computation does not depend on the split).
-void macro_strip(const MicroKernel& uk, index_t kc, index_t mc, index_t nc,
-                 const double* apack, const double* bpack, double* c,
-                 index_t ldc, index_t jr_strip) {
+/// against packed panels. The store mode never changes the computed tile
+/// values — accumulate adds them to C, assign/stream overwrite C (legal
+/// only on the first K pass of a beta == 0 product, where the old C is
+/// dead).
+template <class T>
+void macro_strip(const MicroKernelT<T>& uk, index_t kc, index_t mc,
+                 index_t nc, const T* apack, const T* bpack, T* c,
+                 index_t ldc, index_t jr_strip, Store mode) {
   const index_t mr_full = uk.mr;
   const index_t nr_full = uk.nr;
   const index_t jr = jr_strip * nr_full;
   const index_t nr = std::min(nr_full, nc - jr);
-  const double* bp = bpack + jr * kc;
+  const T* bp = bpack + jr * kc;
   for (index_t ir = 0; ir < mc; ir += mr_full) {
     const index_t mr = std::min(mr_full, mc - ir);
-    const double* ap = apack + ir * kc;
-    double* ct = c + ir * ldc + jr;
+    const T* ap = apack + ir * kc;
+    T* ct = c + ir * ldc + jr;
     if (mr == mr_full && nr == nr_full) {
-      uk.run(kc, ap, bp, ct, ldc);
+      switch (mode) {
+        case Store::kAccum:
+          uk.run(kc, ap, bp, ct, ldc);
+          break;
+        case Store::kAssign:
+          uk.run_store(kc, ap, bp, ct, ldc);
+          break;
+        case Store::kStream:
+          uk.run_nt(kc, ap, bp, ct, ldc);
+          break;
+      }
     } else {
-      // Partial tile: accumulate into a full-size local tile (the
-      // packed panels are zero-padded) and add back the live part.
-      alignas(64) double tile[kMaxMr * kMaxNr] = {};
+      // Partial tile: compute a full-size local tile (the packed panels
+      // are zero-padded) and write back only the live part.
+      alignas(64) T tile[kMaxMr * kMaxNr] = {};
       uk.run(kc, ap, bp, tile, nr_full);
       for (index_t i = 0; i < mr; ++i) {
-        double* crow = ct + i * ldc;
-        const double* trow = tile + i * nr_full;
-        for (index_t j = 0; j < nr; ++j) crow[j] += trow[j];
+        T* crow = ct + i * ldc;
+        const T* trow = tile + i * nr_full;
+        if (mode == Store::kAccum) {
+          for (index_t j = 0; j < nr; ++j) crow[j] += trow[j];
+        } else {
+          for (index_t j = 0; j < nr; ++j) crow[j] = trow[j];
+        }
       }
     }
   }
 }
 
-// Contexts for the pool's function-pointer callbacks (no per-call
-// std::function allocation on the hot path).
-struct PackACtx {
-  const double* a;
-  index_t lda, m, k;
-  double alpha;
-  index_t mr_full;
-  double* ap;
-};
-struct PackBCtx {
-  const double* b;
-  index_t ldb, k, n, nr_full;
-  double* bp;
-};
-struct MacroCtx {
-  const MicroKernel* uk;
-  index_t kc, mc, nc;
-  const double* apack;
-  const double* bpack;
-  double* c;
-  index_t ldc;
+/// Everything a team participant needs. The B pack buffer is shared (the
+/// master's arena); A panels are per-thread (each participant's own
+/// arena).
+template <class T>
+struct TeamCtx {
+  const MicroKernelT<T>* uk;
+  index_t m, n, k, lda, ldb, ldc;
+  T alpha;
+  const T* a;
+  const T* b;
+  T* c;
+  T* bpack;
+  bool beta_zero;   // first K pass may overwrite C
+  bool stream;      // ... with non-temporal stores
+  TeamBarrier* barrier;
 };
 
-void pack_a_cb(index_t s0, index_t s1, void* p) {
-  auto* ctx = static_cast<PackACtx*>(p);
-  pack_a_strips(ctx->a, ctx->lda, ctx->m, ctx->k, ctx->alpha, ctx->mr_full,
-                ctx->ap, s0, s1);
-}
-void pack_b_cb(index_t s0, index_t s1, void* p) {
-  auto* ctx = static_cast<PackBCtx*>(p);
-  pack_b_strips(ctx->b, ctx->ldb, ctx->k, ctx->n, ctx->nr_full, ctx->bp, s0,
-                s1);
-}
-void macro_cb(index_t s0, index_t s1, void* p) {
-  auto* ctx = static_cast<MacroCtx*>(p);
-  for (index_t s = s0; s < s1; ++s)
-    macro_strip(*ctx->uk, ctx->kc, ctx->mc, ctx->nc, ctx->apack, ctx->bpack,
-                ctx->c, ctx->ldc, s);
-}
-
-/// The five-loop packed driver (C += alpha * A * B; beta already applied).
-/// The jr macro-kernel loop and both packing loops fan out over the
-/// kernel pool when the product is large enough; the fork-join barriers
-/// make the packed panels visible to every worker before they are read.
-void gemm_packed(const MicroKernel& uk, index_t m, index_t n, index_t k,
-                 double alpha, const double* a, index_t lda, const double* b,
-                 index_t ldb, double* c, index_t ldc) {
+/// The five-loop packed driver as a TEAM BODY: every participant runs the
+/// same loop nest, cooperatively packing the shared B panel and then
+/// sweeping its own contiguous band of C rows (per-thread C ownership —
+/// its band's A panels live in its own arena, and no other thread ever
+/// writes its rows). Two spin barriers per (jc, pc) block: packed B must
+/// be complete before anyone consumes it, and fully consumed before
+/// anyone repacks it. Called directly as (0, 1) on the single-threaded
+/// path, so both paths execute literally the same arithmetic.
+template <class T>
+void gemm_team_body(int tid, int nt, void* p) {
+  auto& tc = *static_cast<TeamCtx<T>*>(p);
+  const MicroKernelT<T>& uk = *tc.uk;
   const index_t mr_full = uk.mr;
   const index_t nr_full = uk.nr;
+  constexpr index_t kMc = Blocking<T>::kMc;
+  constexpr index_t kKc = Blocking<T>::kKc;
+  constexpr index_t kNc = Blocking<T>::kNc;
 
-  // Packing scratch comes from the caller's thread-local arenas: no
-  // allocation (and no value-init) per call, 64-byte aligned, reused
-  // across calls. Ranks are fibers that never yield inside a kernel
-  // call, so thread-locals cannot be shared mid-flight; pool workers
-  // only ever receive these pointers through the fork-join barrier.
-  double* apack = pack_arena_a().ensure(
-      static_cast<std::size_t>(round_up(std::min(kMc, m), mr_full) *
-                               std::min(kKc, k)));
-  double* bpack = pack_arena_b().ensure(
-      static_cast<std::size_t>(std::min(kKc, k) *
-                               round_up(std::min(kNc, n), nr_full)));
+  // This thread's band of C rows, split on micro-tile boundaries.
+  const index_t mstrips = (tc.m + mr_full - 1) / mr_full;
+  const index_t band0 = (mstrips * tid / nt) * mr_full;
+  const index_t band1 = std::min(tc.m, (mstrips * (tid + 1) / nt) * mr_full);
+  const index_t band_m = band1 - band0;
 
-  ThreadPool& pool = ThreadPool::instance();
-  const bool fan_out =
-      pool.active_threads() > 1 &&
-      2.0 * static_cast<double>(m) * static_cast<double>(n) *
-              static_cast<double>(k) >=
-          kMtFlopThreshold;
-  const auto run = [&](index_t strips, void (*cb)(index_t, index_t, void*),
-                       void* ctx) {
-    if (fan_out) {
-      pool.parallel_for(strips, cb, ctx);
-    } else {
-      cb(0, strips, ctx);
-    }
-  };
+  // Per-thread A arena (thread-local: workers each get their own).
+  T* apack = nullptr;
+  if (band_m > 0)
+    apack = pack_arena_a().ensure<T>(static_cast<std::size_t>(
+        round_up(std::min(kMc, band_m), mr_full) * std::min(kKc, tc.k)));
 
-  for (index_t jc = 0; jc < n; jc += kNc) {
-    const index_t nc = std::min(kNc, n - jc);
-    for (index_t pc = 0; pc < k; pc += kKc) {
-      const index_t kc = std::min(kKc, k - pc);
-      PackBCtx pb{b + pc * ldb + jc, ldb, kc, nc, nr_full, bpack};
-      run((nc + nr_full - 1) / nr_full, pack_b_cb, &pb);
-      for (index_t ic = 0; ic < m; ic += kMc) {
-        const index_t mc = std::min(kMc, m - ic);
-        PackACtx pa{a + ic * lda + pc, lda, mc, kc, alpha, mr_full, apack};
-        run((mc + mr_full - 1) / mr_full, pack_a_cb, &pa);
-        MacroCtx mk{&uk,   kc, mc, nc, apack, bpack,
-                    c + ic * ldc + jc, ldc};
-        run((nc + nr_full - 1) / nr_full, macro_cb, &mk);
+  for (index_t jc = 0; jc < tc.n; jc += kNc) {
+    const index_t nc = std::min(kNc, tc.n - jc);
+    const index_t bstrips = (nc + nr_full - 1) / nr_full;
+    for (index_t pc = 0; pc < tc.k; pc += kKc) {
+      const index_t kc = std::min(kKc, tc.k - pc);
+      // Cooperative B pack: contiguous strip ranges per thread.
+      pack_b_strips(tc.b + pc * tc.ldb + jc, tc.ldb, kc, nc, nr_full,
+                    tc.bpack, bstrips * tid / nt, bstrips * (tid + 1) / nt);
+      tc.barrier->wait(nt);
+
+      const Store mode = (tc.beta_zero && pc == 0)
+                             ? (tc.stream ? Store::kStream : Store::kAssign)
+                             : Store::kAccum;
+      for (index_t ic = band0; ic < band1; ic += kMc) {
+        const index_t mc = std::min(kMc, band1 - ic);
+        pack_a_strips(tc.a + ic * tc.lda + pc, tc.lda, mc, kc, tc.alpha,
+                      mr_full, apack, 0, (mc + mr_full - 1) / mr_full);
+        for (index_t s = 0; s < bstrips; ++s)
+          macro_strip(uk, kc, mc, nc, apack, tc.bpack,
+                      tc.c + ic * tc.ldc + jc, tc.ldc, s, mode);
       }
+      // B fully consumed; the next (pc/jc) iteration repacks it.
+      tc.barrier->wait(nt);
     }
   }
+  if (tc.stream) store_fence();
+}
+
+template <class T>
+void gemm_packed(const MicroKernelT<T>& uk, index_t m, index_t n, index_t k,
+                 T alpha, const T* a, index_t lda, const T* b, index_t ldb,
+                 T beta, T* c, index_t ldc) {
+  const index_t nr_full = uk.nr;
+  constexpr index_t kKc = Blocking<T>::kKc;
+  constexpr index_t kNc = Blocking<T>::kNc;
+
+  // beta == 0 skips the zero-fill pass entirely: the first K pass of the
+  // macro-kernel overwrites C (same values — 0 + x == x for every x an
+  // accumulator can produce). A C too big to be worth caching goes out
+  // through non-temporal stores when the policy and alignment allow; the
+  // stream path needs the single-pass overwrite, valid on the pc == 0
+  // pass regardless of k, but only PAYS when C is not re-read, so it is
+  // further gated to k <= KC (one pass total).
+  const bool beta_zero = beta == T(0);
+  if (!beta_zero) apply_beta(beta, m, n, c, ldc);
+  const bool stream =
+      beta_zero && k <= kKc && uk.run_nt != nullptr && nt_aligned(c, ldc) &&
+      nt_policy(static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
+                sizeof(T));
+
+  // Packing scratch comes from thread-local arenas: no allocation (and
+  // no value-init) per call, 64-byte aligned, reused across calls. Ranks
+  // are fibers that never yield inside a kernel call, so thread-locals
+  // cannot be shared mid-flight. The B arena is the MASTER's and is
+  // shared by the whole team; workers only receive the pointer through
+  // the dispatch (which synchronizes), and every write between barriers
+  // is to a disjoint strip.
+  T* bpack = pack_arena_b().ensure<T>(static_cast<std::size_t>(
+      std::min(kKc, k) * round_up(std::min(kNc, n), nr_full)));
+
+  TeamBarrier barrier;
+  TeamCtx<T> ctx{&uk, m,     n,         k,      lda,    ldb, ldc, alpha,
+                 a,   b,     c,         bpack,  beta_zero, stream, &barrier};
+
+  ThreadPool& pool = ThreadPool::instance();
+  const index_t mstrips = (m + uk.mr - 1) / uk.mr;
+  int nt = pool.active_threads();
+  if (nt > mstrips) nt = static_cast<int>(mstrips);
+  const bool fan_out = nt > 1 && 2.0 * static_cast<double>(m) *
+                                         static_cast<double>(n) *
+                                         static_cast<double>(k) >=
+                                     kMtFlopThreshold;
+  if (fan_out) {
+    pool.run_team(nt, gemm_team_body<T>, &ctx);
+  } else {
+    gemm_team_body<T>(0, 1, &ctx);
+  }
+}
+
+template <class T>
+void gemm_entry(const MicroKernelT<T>& uk, index_t m, index_t n, index_t k,
+                T alpha, const T* a, index_t lda, const T* b, index_t ldb,
+                T beta, T* c, index_t ldc, bool allow_naive) {
+  if (m == 0 || n == 0) return;
+  if (alpha == T(0) || k == 0) {
+    apply_beta(beta, m, n, c, ldc);
+    return;
+  }
+  if (allow_naive && m * n * k <= kSmallProduct) {
+    apply_beta(beta, m, n, c, ldc);
+    gemm_naive(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  gemm_packed(uk, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
 }  // namespace
@@ -223,21 +349,34 @@ void gemm_packed(const MicroKernel& uk, index_t m, index_t n, index_t k,
 void gemm(index_t m, index_t n, index_t k, double alpha, const double* a,
           index_t lda, const double* b, index_t ldb, double beta, double* c,
           index_t ldc) {
-  apply_beta(beta, m, n, c, ldc);
-  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
-  if (m * n * k <= kSmallProduct) {
-    gemm_naive(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-    return;
-  }
-  gemm_packed(active_microkernel(), m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  gemm_entry(active_microkernel(), m, n, k, alpha, a, lda, b, ldb, beta, c,
+             ldc, /*allow_naive=*/true);
+}
+
+void gemm_f32(index_t m, index_t n, index_t k, float alpha, const float* a,
+              index_t lda, const float* b, index_t ldb, float beta, float* c,
+              index_t ldc) {
+  gemm_entry(active_microkernel_f32(), m, n, k, alpha, a, lda, b, ldb, beta,
+             c, ldc, /*allow_naive=*/true);
 }
 
 void gemm_with(const MicroKernel& uk, index_t m, index_t n, index_t k,
                double alpha, const double* a, index_t lda, const double* b,
                index_t ldb, double beta, double* c, index_t ldc) {
-  apply_beta(beta, m, n, c, ldc);
-  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
-  gemm_packed(uk, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  gemm_entry(uk, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+             /*allow_naive=*/false);
+}
+
+void gemm_with_f32(const MicroKernelF32& uk, index_t m, index_t n, index_t k,
+                   float alpha, const float* a, index_t lda, const float* b,
+                   index_t ldb, float beta, float* c, index_t ldc) {
+  gemm_entry(uk, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+             /*allow_naive=*/false);
+}
+
+void set_nt_for_testing(int mode) {
+  g_nt_test_mode.store(mode < 0 ? -1 : (mode > 0 ? 1 : 0),
+                       std::memory_order_relaxed);
 }
 
 }  // namespace catrsm::la::kernel

@@ -1,17 +1,19 @@
 #include "la/kernel/pool.hpp"
 
-#include <atomic>
+#include <chrono>
 #include <condition_variable>
-#include <cstdlib>
 #include <limits>
 #include <mutex>
 #include <new>
 #include <thread>
 #include <vector>
 
-#include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/exec_context.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 namespace catrsm::la::kernel {
 
@@ -30,27 +32,99 @@ int env_threads() {
                      std::numeric_limits<int>::max());
 }
 
+/// How long a waiter spins before giving the core away. Workers park on
+/// a condvar past this; the master and barrier waiters degrade to
+/// sched_yield. 120 us comfortably covers the gap between consecutive
+/// GEMM panels of a blocked triangular sweep while costing at most one
+/// idle core-slice after the last kernel call of a burst.
+int spin_us() {
+  static const int v = env::int_or("CATRSM_KERNEL_SPIN_US", 120, 0, 100000);
+  return v;
+}
+
+inline void cpu_pause() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+using SpinClock = std::chrono::steady_clock;
+
+/// Spin on `done` with pause hints for ~spin_us, then yield between
+/// checks. Returns when done() is true.
+template <class F>
+void spin_then_yield(F&& done) {
+  const auto deadline =
+      SpinClock::now() + std::chrono::microseconds(spin_us());
+  int slice = 0;
+  while (!done()) {
+    cpu_pause();
+    if (++slice >= 256) {
+      slice = 0;
+      if (SpinClock::now() > deadline) {
+        while (!done()) std::this_thread::yield();
+        return;
+      }
+    }
+  }
+}
+
 }  // namespace
+
+void TeamBarrier::wait(int nt) {
+  if (nt <= 1) return;
+  const std::uint32_t sense = sense_.load(std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_acq_rel) == nt - 1) {
+    count_.store(0, std::memory_order_relaxed);
+    sense_.store(sense + 1, std::memory_order_release);
+  } else {
+    spin_then_yield([&] {
+      return sense_.load(std::memory_order_acquire) != sense;
+    });
+  }
+}
 
 struct ThreadPool::Impl {
   std::mutex dispatch_mu;  // serializes concurrent masters
 
-  std::mutex mu;
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  std::vector<std::thread> workers;
-  bool shutdown = false;
+  // Job publication: the master writes the job fields, then publishes a
+  // packed (seq, team size, mode) word with release semantics. A worker
+  // decides team membership from ONE atomic load of that word, so it can
+  // never mix one job's membership with another job's fields: the plain
+  // fields below are written before the word bump and stay untouched
+  // until the next publish, which the master only issues after join()
+  // saw every member of the previous team finish.
+  //
+  // Word layout: bits [0,40) sequence, bits [40,56) team size, bit 56
+  // mode (1 = team). 2^40 dispatches is unreachable in practice; the
+  // sequence must not wrap while a parked worker still compares against
+  // an old value.
+  static constexpr std::uint64_t kSeqMask = (1ULL << 40) - 1;
+  static constexpr int kNtShift = 40;
+  static constexpr std::uint64_t kTeamBit = 1ULL << 56;
 
-  // Current job (valid while remaining > 0). Chunk t of [0, n) is
-  // [n*t/nt, n*(t+1)/nt); worker w runs chunk w + 1, the master chunk 0.
-  std::uint64_t generation = 0;
-  void (*body)(index_t, index_t, void*) = nullptr;
+  std::atomic<std::uint64_t> job_word{0};
+  std::atomic<int> remaining{0};  // team members still inside the job
+  void (*for_body)(index_t, index_t, void*) = nullptr;
+  void (*team_body)(int, int, void*) = nullptr;
   void* ctx = nullptr;
   index_t n = 0;
-  int nthreads = 0;
-  int remaining = 0;
+  std::uint64_t seq = 0;
+
+  // Parking lot: a worker whose spin window expires sleeps here; the
+  // master only takes the lock when someone is actually parked.
+  std::mutex park_mu;
+  std::condition_variable park_cv;
+  std::atomic<int> parked{0};
+  std::atomic<bool> shutdown{false};
+
+  std::vector<std::thread> workers;
+  std::mutex spawn_mu;
 
   void ensure_workers(int count) {
+    std::lock_guard<std::mutex> lock(spawn_mu);
     while (static_cast<int>(workers.size()) < count) {
       const int id = static_cast<int>(workers.size());
       workers.emplace_back([this, id] { worker_loop(id); });
@@ -59,45 +133,85 @@ struct ThreadPool::Impl {
 
   void worker_loop(int id) {
     tls_pool_worker = true;
-    std::uint64_t seen = 0;
+    std::uint64_t seen_seq = 0;
     while (true) {
-      void (*job)(index_t, index_t, void*) = nullptr;
-      void* job_ctx = nullptr;
-      index_t job_n = 0;
-      int job_nt = 0;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        work_cv.wait(lock, [&] {
-          return shutdown || (generation != seen && id + 1 < nthreads);
-        });
-        if (shutdown) return;
-        seen = generation;
-        job = body;
-        job_ctx = ctx;
-        job_n = n;
-        job_nt = nthreads;
+      // Spin-then-park for the next job word.
+      const std::uint64_t word = spin_then_park(seen_seq);
+      if (shutdown.load(std::memory_order_acquire)) return;
+      seen_seq = word & kSeqMask;
+      const int nt = static_cast<int>((word >> kNtShift) & 0xffff);
+      if (id + 1 >= nt) continue;  // not in this job's team
+      if (word & kTeamBit) {
+        team_body(id + 1, nt, ctx);
+      } else {
+        const index_t begin = n * (id + 1) / nt;
+        const index_t end = n * (id + 2) / nt;
+        if (begin < end) for_body(begin, end, ctx);
       }
-      const index_t begin = job_n * (id + 1) / job_nt;
-      const index_t end = job_n * (id + 2) / job_nt;
-      if (begin < end) job(begin, end, job_ctx);
-      bool last = false;
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        last = --remaining == 0;
-      }
-      if (last) done_cv.notify_all();
+      remaining.fetch_sub(1, std::memory_order_release);
     }
+  }
+
+  /// Wait for the job word's sequence to move past seen_seq (or for
+  /// shutdown); returns the freshly observed word.
+  std::uint64_t spin_then_park(std::uint64_t seen_seq) {
+    const auto deadline =
+        SpinClock::now() + std::chrono::microseconds(spin_us());
+    int slice = 0;
+    while (true) {
+      const std::uint64_t w = job_word.load(std::memory_order_acquire);
+      if ((w & kSeqMask) != seen_seq ||
+          shutdown.load(std::memory_order_acquire))
+        return w;
+      cpu_pause();
+      if (++slice >= 256) {
+        slice = 0;
+        if (SpinClock::now() > deadline) break;
+      }
+    }
+    std::unique_lock<std::mutex> lock(park_mu);
+    parked.fetch_add(1, std::memory_order_seq_cst);
+    park_cv.wait(lock, [&] {
+      return (job_word.load(std::memory_order_acquire) & kSeqMask) !=
+                 seen_seq ||
+             shutdown.load(std::memory_order_acquire);
+    });
+    parked.fetch_sub(1, std::memory_order_relaxed);
+    return job_word.load(std::memory_order_acquire);
+  }
+
+  /// Publish a job for workers 1..nt-1 and wake any parked ones.
+  void publish(bool team, int nt) {
+    remaining.store(nt - 1, std::memory_order_relaxed);
+    ++seq;
+    const std::uint64_t word = (seq & kSeqMask) |
+                               (static_cast<std::uint64_t>(nt) << kNtShift) |
+                               (team ? kTeamBit : 0);
+    job_word.store(word, std::memory_order_release);
+    // seq_cst pairing with the parked increment: a worker either sees
+    // the new job word before parking, or its increment is visible here
+    // and it gets the notify.
+    if (parked.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(park_mu);
+      park_cv.notify_all();
+    }
+  }
+
+  void join() {
+    spin_then_yield([&] {
+      return remaining.load(std::memory_order_acquire) == 0;
+    });
   }
 };
 
 ThreadPool::ThreadPool() : impl_(new Impl) {}
 
 ThreadPool::~ThreadPool() {
+  impl_->shutdown.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->shutdown = true;
+    std::lock_guard<std::mutex> lock(impl_->park_mu);
+    impl_->park_cv.notify_all();
   }
-  impl_->work_cv.notify_all();
   for (std::thread& t : impl_->workers) t.join();
   delete impl_;
 }
@@ -131,24 +245,34 @@ void ThreadPool::parallel_for(index_t n,
   }
 
   std::lock_guard<std::mutex> dispatch(impl_->dispatch_mu);
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->ensure_workers(nt - 1);
-    impl_->body = body;
-    impl_->ctx = ctx;
-    impl_->n = n;
-    impl_->nthreads = nt;
-    impl_->remaining = nt - 1;
-    ++impl_->generation;
-  }
-  impl_->work_cv.notify_all();
+  impl_->ensure_workers(nt - 1);
+  impl_->for_body = body;
+  impl_->ctx = ctx;
+  impl_->n = n;
+  impl_->publish(/*team=*/false, nt);
   g_dispatches.fetch_add(1, std::memory_order_relaxed);
 
   body(0, n / nt, ctx);  // chunk 0 on the caller
+  impl_->join();
+}
 
-  std::unique_lock<std::mutex> lock(impl_->mu);
-  impl_->done_cv.wait(lock, [&] { return impl_->remaining == 0; });
-  impl_->body = nullptr;
+void ThreadPool::run_team(int nt, void (*body)(int, int, void*), void* ctx) {
+  const int cap = active_threads();
+  if (nt > cap) nt = cap;
+  if (nt <= 1) {
+    body(0, 1, ctx);
+    return;
+  }
+
+  std::lock_guard<std::mutex> dispatch(impl_->dispatch_mu);
+  impl_->ensure_workers(nt - 1);
+  impl_->team_body = body;
+  impl_->ctx = ctx;
+  impl_->publish(/*team=*/true, nt);
+  g_dispatches.fetch_add(1, std::memory_order_relaxed);
+
+  body(0, nt, ctx);  // tid 0 on the caller
+  impl_->join();
 }
 
 std::uint64_t ThreadPool::dispatches() {
@@ -164,17 +288,16 @@ void ThreadPool::set_threads_for_testing(int n) {
 
 PackArena::~PackArena() {
   if (data_ != nullptr)
-    ::operator delete[](data_, std::align_val_t{64});
+    ::operator delete(data_, std::align_val_t{64});
 }
 
-double* PackArena::ensure(std::size_t n) {
-  if (n > capacity_) {
-    std::size_t cap = capacity_ > 0 ? capacity_ : 1024;
-    while (cap < n) cap *= 2;
+void* PackArena::ensure_bytes(std::size_t bytes) {
+  if (bytes > capacity_) {
+    std::size_t cap = capacity_ > 0 ? capacity_ : 8192;
+    while (cap < bytes) cap *= 2;
     if (data_ != nullptr)
-      ::operator delete[](data_, std::align_val_t{64});
-    data_ = static_cast<double*>(
-        ::operator new[](cap * sizeof(double), std::align_val_t{64}));
+      ::operator delete(data_, std::align_val_t{64});
+    data_ = ::operator new(cap, std::align_val_t{64});
     capacity_ = cap;
   }
   return data_;

@@ -1,12 +1,31 @@
 #pragma once
-// Persistent fork-join worker pool for the macro-kernel loops, plus the
+// Persistent worker pool for the macro-kernel loops, plus the
 // cache-aligned packing arenas that replace per-call panel allocation.
 //
 // The pool is lazily started on the first multi-threaded dispatch and
 // sized from CATRSM_KERNEL_THREADS (default: hardware_concurrency; 1
-// reproduces the single-threaded behavior exactly). parallel_for splits
-// an index range into contiguous chunks, runs chunk 0 on the caller and
-// the rest on parked workers, and joins before returning.
+// reproduces the single-threaded behavior exactly). Two dispatch shapes
+// exist:
+//
+//  - parallel_for: split an index range into contiguous chunks, run
+//    chunk 0 on the caller and the rest on workers, join. One fork-join
+//    per call.
+//  - run_team: run the SAME body on every participant as (tid, nt) —
+//    the body owns its partitioning and synchronizes internally with a
+//    TeamBarrier. This is what the GEMM driver uses: ONE fork-join per
+//    gemm call, with cheap spin barriers between the cooperative
+//    B-packing step and the macro-kernel sweep, instead of a fork-join
+//    per blocking-loop iteration (a condvar wake costs hundreds of
+//    microseconds on some kernels — measured 255 us here — which is why
+//    the PR 4 per-loop fork-join never scaled).
+//
+// Workers SPIN briefly (CATRSM_KERNEL_SPIN_US, default 120 us) waiting
+// for the next job before parking on a condvar, so back-to-back kernel
+// calls — a blocked TRSM issues one GEMM panel every few hundred
+// microseconds — never pay the wake latency. The master likewise
+// spin-waits for the join (it has its own chunk to run, so the wait is
+// short when the split is balanced) and degrades to yielding when
+// oversubscribed.
 //
 // Determinism contract: every index's work item is self-contained and
 // writes a disjoint output region, so results are BIT-IDENTICAL for any
@@ -14,17 +33,32 @@
 // never what the item computes.
 //
 // Composition with the simulator: when the caller is a simulated rank
-// (exec::in_sim_rank(), set by sim::RankScheduler), parallel_for always
-// runs inline — p ranks already occupy the cores, and fanning out per
+// (exec::in_sim_rank(), set by sim::RankScheduler), dispatches always
+// run inline — p ranks already occupy the cores, and fanning out per
 // rank would oversubscribe the machine. Only direct callers (Plan on
 // p = 1, tests, benches) use the workers.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 #include "la/matrix.hpp"
 
 namespace catrsm::la::kernel {
+
+/// Sense-reversing barrier for run_team bodies: all nt participants must
+/// call wait(nt) before any proceeds. Spins with a pause hint, degrading
+/// to yield when the wait runs long (oversubscribed pool). A barrier
+/// object is reusable across any number of wait rounds but must always
+/// be passed the same nt within one team job.
+class TeamBarrier {
+ public:
+  void wait(int nt);
+
+ private:
+  std::atomic<int> count_{0};
+  std::atomic<std::uint32_t> sense_{0};
+};
 
 class ThreadPool {
  public:
@@ -35,7 +69,7 @@ class ThreadPool {
   /// CATRSM_KERNEL_THREADS, else hardware_concurrency (>= 1).
   int size() const;
 
-  /// Fan-out a parallel_for issued from this thread would use right now:
+  /// Fan-out a dispatch issued from this thread would use right now:
   /// 1 inside a simulated rank or on a pool worker, else size().
   int active_threads() const;
 
@@ -48,13 +82,20 @@ class ThreadPool {
                                             void* ctx),
                     void* ctx);
 
+  /// Run body(tid, nt, ctx) on nt participants (tid 0 = the caller,
+  /// tids 1..nt-1 on workers) and join. nt is clamped to
+  /// active_threads(); with an effective team of 1 the body runs inline
+  /// as (0, 1). The body may synchronize internally via a TeamBarrier
+  /// shared through ctx.
+  void run_team(int nt, void (*body)(int tid, int nt, void* ctx), void* ctx);
+
   /// Number of multi-threaded fan-outs since process start. Test hook:
   /// a rank-context kernel call must leave this unchanged.
   static std::uint64_t dispatches();
 
   /// Test hook: force the pool size (0 restores the environment-derived
-  /// size). Takes effect on the next parallel_for; workers are spawned
-  /// on demand, so raising the count mid-process is safe.
+  /// size). Takes effect on the next dispatch; workers are spawned on
+  /// demand, so raising the count mid-process is safe.
   static void set_threads_for_testing(int n);
 
   ThreadPool(const ThreadPool&) = delete;
@@ -71,6 +112,8 @@ class ThreadPool {
 /// and is reused across calls (the packed-panel arena). One per thread
 /// per panel via pack_arena_a / pack_arena_b; simulated ranks are fibers
 /// that never yield inside a kernel call, so thread-locals are safe.
+/// Byte-addressed so the f64 and f32 drivers share the same storage
+/// (their calls never overlap in time on one thread).
 class PackArena {
  public:
   PackArena() = default;
@@ -78,13 +121,18 @@ class PackArena {
   PackArena(const PackArena&) = delete;
   PackArena& operator=(const PackArena&) = delete;
 
-  /// A buffer of at least n doubles, 64-byte aligned, contents
-  /// unspecified. Grows geometrically and never shrinks.
-  double* ensure(std::size_t n);
+  /// A buffer of at least `count` elements of T, 64-byte aligned,
+  /// contents unspecified. Grows geometrically and never shrinks.
+  template <class T>
+  T* ensure(std::size_t count) {
+    return static_cast<T*>(ensure_bytes(count * sizeof(T)));
+  }
 
  private:
-  double* data_ = nullptr;
-  std::size_t capacity_ = 0;
+  void* ensure_bytes(std::size_t bytes);
+
+  void* data_ = nullptr;
+  std::size_t capacity_ = 0;  // bytes
 };
 
 /// Thread-local arenas for the packed A and B panels.

@@ -20,6 +20,13 @@ void trsm_ll_block(const double* t, index_t ldt, double* b, index_t ldb,
 void trsm_lu_block(const double* t, index_t ldt, double* b, index_t ldb,
                    index_t nb, index_t k, bool unit);
 
+/// Single-precision twins of the two left-solve blocks, used by the f32
+/// half of the mixed-precision refinement path (la/mixed.hpp).
+void trsm_ll_block_f32(const float* t, index_t ldt, float* b, index_t ldb,
+                       index_t nb, index_t k, bool unit);
+void trsm_lu_block_f32(const float* t, index_t ldt, float* b, index_t ldb,
+                       index_t nb, index_t k, bool unit);
+
 /// Solve X T = B in place with T upper triangular. B: m x nb.
 void trsm_ru_block(const double* t, index_t ldt, double* b, index_t ldb,
                    index_t m, index_t nb, bool unit);

@@ -11,8 +11,8 @@ Matrix::Matrix(index_t rows, index_t cols)
   CATRSM_CHECK(rows >= 0 && cols >= 0, "matrix dims must be non-negative");
 }
 
-Matrix::Matrix(index_t rows, index_t cols, std::vector<double> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
+Matrix::Matrix(index_t rows, index_t cols, const std::vector<double>& data)
+    : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
   CATRSM_CHECK(rows >= 0 && cols >= 0, "matrix dims must be non-negative");
   CATRSM_CHECK(static_cast<index_t>(data_.size()) == rows * cols,
                "matrix data size does not match dims");

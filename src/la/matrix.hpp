@@ -7,6 +7,7 @@
 // the (i, j) accessor used outside of kernels — kernels index the raw span.
 
 #include <cstddef>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -15,6 +16,36 @@
 namespace catrsm::la {
 
 using index_t = long long;
+
+/// Minimal allocator giving matrix storage cache-line (64-byte) alignment.
+/// SIMD kernels get aligned loads for free, and the non-temporal store
+/// fast path — which hard-requires 64-byte-aligned rows — can engage on
+/// Matrix-backed outputs instead of only on incidental allocations.
+template <class T>
+struct CacheAlignedAlloc {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{64};
+
+  CacheAlignedAlloc() = default;
+  template <class U>
+  CacheAlignedAlloc(const CacheAlignedAlloc<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) { ::operator delete(p, kAlign); }
+
+  template <class U>
+  bool operator==(const CacheAlignedAlloc<U>&) const {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const CacheAlignedAlloc<U>&) const {
+    return false;
+  }
+};
+
+using aligned_vector = std::vector<double, CacheAlignedAlloc<double>>;
 
 class Matrix {
  public:
@@ -25,7 +56,9 @@ class Matrix {
   Matrix(index_t rows, index_t cols);
 
   /// rows x cols matrix from existing row-major data (size must match).
-  Matrix(index_t rows, index_t cols, std::vector<double> data);
+  /// Copies into the matrix's aligned storage — a std::vector's buffer
+  /// cannot be adopted at 64-byte alignment.
+  Matrix(index_t rows, index_t cols, const std::vector<double>& data);
 
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
@@ -71,7 +104,7 @@ class Matrix {
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<double> data_;
+  aligned_vector data_;
 };
 
 }  // namespace catrsm::la

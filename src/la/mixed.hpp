@@ -1,0 +1,54 @@
+#pragma once
+// Mixed-precision triangular solve: run the O(n^2 k) substitution sweep in
+// f32 (twice the SIMD lanes per FMA, half the memory traffic), then
+// recover f64 accuracy with iterative refinement — residual and
+// correction accumulation in f64, each correction solved in f32 again.
+// Classic Wilkinson iterative refinement specialized to a triangular
+// system: no factorization step, the triangle IS the factor, so the f32
+// "factor + solve" is just the blocked substitution and every refinement
+// pass costs one f64 TRMM (residual) plus one f32 TRSM (correction).
+//
+// Convergence contract: when cond(L) * eps_f32 < 1 the iteration
+// contracts and the final f64 backward error matches a pure-f64 solve to
+// within a small constant factor (the acceptance bar is 10x). For
+// triangles so ill-conditioned that f32 substitution breaks down
+// entirely, the iteration stops improving; trsm_refined detects the
+// stall, keeps the best iterate, and reports converged = false so
+// callers can fall back to the pure-f64 path.
+
+#include "la/matrix.hpp"
+#include "la/trsm.hpp"
+
+namespace catrsm::la {
+
+/// Blocked f32 left triangular solve on raw row-major storage, the exact
+/// single-precision twin of trsm_left: L is n x n with leading dim ldl
+/// (only the `uplo` triangle is read), B is n x k with leading dim ldb
+/// and is overwritten with the solution. Off-diagonal panels go through
+/// kernel::gemm_f32; diagonal blocks through the f32 substitution blocks.
+void trsm_left_f32(Uplo uplo, Diag diag, index_t n, index_t k, const float* l,
+                   index_t ldl, float* b, index_t ldb);
+
+/// What a refined solve did and how well it did it.
+struct RefineStats {
+  int iterations = 0;     // f32 correction solves AFTER the initial one
+  double residual = 0.0;  // final relative residual (trsm_residual measure)
+  bool converged = false;  // hit the f64-level residual target
+};
+
+/// Solve L * X = B in place (B := X) in mixed precision: initial f32
+/// solve, then up to max_iters refinement passes (f64 residual, f32
+/// correction). Stops at the f64-level residual target, or keeps the best
+/// iterate and reports converged = false when refinement stalls.
+RefineStats trsm_refined(Uplo uplo, Diag diag, const Matrix& l, Matrix& b,
+                         int max_iters = 8);
+
+/// Flops for one refined solve with i refinement iterations: the initial
+/// f32 solve + i * (f64 trmm residual + f32 correction solve), counted in
+/// multiply-adds like trsm_flops. The f32/f64 split is the caller's
+/// business; the simulator charges flops, not precision.
+constexpr double trsm_refined_flops(index_t n, index_t k, int iters) {
+  return trsm_flops(n, k) * (1.0 + 2.0 * iters);
+}
+
+}  // namespace catrsm::la

@@ -223,26 +223,30 @@ double frobenius_distance(const Matrix& a, const Matrix& b) {
 }
 
 TEST(KernelPool, GemmBitIdenticalAcrossPoolSizes) {
-  // The pool's static split only decides WHICH thread runs a strip, never
-  // what the strip computes, so any pool size must reproduce the single-
-  // threaded result exactly (Frobenius distance 0, not merely small).
-  for (const index_t n : {129, 257, 512}) {
+  // The team split only decides WHICH thread owns a band of C rows and
+  // which B strips it packs, never what any element computes, so any pool
+  // size must reproduce the single-threaded result exactly (Frobenius
+  // distance 0, not merely small). n = 1024 exercises multiple kc passes
+  // AND multiple mc blocks per thread band under the new partitioning.
+  for (const index_t n : {129, 257, 512, 1024}) {
     const Matrix a = make_dense(901 + n, n, n);
     const Matrix b = make_dense(902 + n, n, n);
-    Matrix c1(n, n), c4(n, n);
+    Matrix c1(n, n);
     {
       PoolThreads single(1);
       c1 = matmul(a, b);
     }
-    {
-      PoolThreads four(4);
+    for (const int threads : {2, 3, 4}) {
+      PoolThreads multi(threads);
       const auto before = kernel::ThreadPool::dispatches();
-      c4 = matmul(a, b);
+      const Matrix cn = matmul(a, b);
       EXPECT_GT(kernel::ThreadPool::dispatches(), before)
-          << "n=" << n << ": the multi-threaded run never fanned out";
+          << "n=" << n << " threads=" << threads
+          << ": the multi-threaded run never fanned out";
+      EXPECT_TRUE(c1.equals(cn)) << "n=" << n << " threads=" << threads;
+      EXPECT_EQ(frobenius_distance(c1, cn), 0.0)
+          << "n=" << n << " threads=" << threads;
     }
-    EXPECT_TRUE(c1.equals(c4)) << "n=" << n;
-    EXPECT_EQ(frobenius_distance(c1, c4), 0.0) << "n=" << n;
   }
 }
 
@@ -267,6 +271,114 @@ TEST(KernelPool, TrsmAndTriInvBitIdenticalAcrossPoolSizes) {
     EXPECT_TRUE(t1.equals(t4)) << "tri_inv n=" << n;
     EXPECT_EQ(frobenius_distance(t1, t4), 0.0) << "tri_inv n=" << n;
   }
+}
+
+// ---------------------------------------------------------------------------
+// f32 kernels
+
+Matrix naive_matmul_f32(const std::vector<float>& a, const std::vector<float>& b,
+                        index_t m, index_t n, index_t kk) {
+  // Reference computed in f32 throughout, so the comparison tolerance only
+  // has to absorb summation-order differences, not precision differences.
+  Matrix c(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (index_t l = 0; l < kk; ++l)
+        s += a[static_cast<std::size_t>(i * kk + l)] *
+             b[static_cast<std::size_t>(l * n + j)];
+      c(i, j) = static_cast<double>(s);
+    }
+  return c;
+}
+
+std::vector<index_t> edge_sizes_f32() {
+  const kernel::MicroKernelF32& uk = kernel::active_microkernel_f32();
+  std::set<index_t> s{1, 3, uk.mr - 1, uk.mr + 1, uk.nr - 1, uk.nr + 1,
+                      64, 129};
+  s.erase(0);
+  return {s.begin(), s.end()};
+}
+
+TEST(KernelF32, PackedGemmMatchesNaiveOnEdgeShapes) {
+  const kernel::MicroKernelF32& uk = kernel::active_microkernel_f32();
+  EXPECT_EQ(uk.backend, kernel::active_backend());
+  for (const index_t m : edge_sizes_f32()) {
+    for (const index_t n : edge_sizes_f32()) {
+      for (const index_t kk : {index_t{1}, index_t{33}, index_t{129}}) {
+        std::vector<float> a(static_cast<std::size_t>(m * kk));
+        std::vector<float> b(static_cast<std::size_t>(kk * n));
+        for (std::size_t i = 0; i < a.size(); ++i)
+          a[i] = std::sin(static_cast<float>(i) + static_cast<float>(m));
+        for (std::size_t i = 0; i < b.size(); ++i)
+          b[i] = std::cos(static_cast<float>(i) * 0.5f);
+        const Matrix ref = naive_matmul_f32(a, b, m, n, kk);
+        std::vector<float> c(static_cast<std::size_t>(m * n), 7.0f);
+        kernel::gemm_with_f32(uk, m, n, kk, 1.0f, a.data(), kk, b.data(), n,
+                              0.0f, c.data(), n);
+        const double scale = std::max(1.0, max_abs(ref));
+        double maxd = 0.0;
+        for (index_t i = 0; i < m; ++i)
+          for (index_t j = 0; j < n; ++j)
+            maxd = std::max(maxd,
+                            std::abs(static_cast<double>(
+                                         c[static_cast<std::size_t>(i * n + j)]) -
+                                     ref(i, j)));
+        EXPECT_LT(maxd / scale, 1e-4) << "m=" << m << " n=" << n
+                                      << " k=" << kk;
+      }
+    }
+  }
+}
+
+TEST(KernelF32, ScalarAndDispatchedBackendsAgree) {
+  const kernel::MicroKernelF32* scalar =
+      kernel::microkernel_f32_for(kernel::Backend::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  const kernel::MicroKernelF32& active = kernel::active_microkernel_f32();
+  const index_t n = 129;
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(static_cast<float>(i));
+    b[i] = std::cos(static_cast<float>(i) * 0.25f);
+  }
+  std::vector<float> cs(static_cast<std::size_t>(n * n));
+  std::vector<float> cd(static_cast<std::size_t>(n * n));
+  kernel::gemm_with_f32(*scalar, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                        0.0f, cs.data(), n);
+  kernel::gemm_with_f32(active, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                        0.0f, cd.data(), n);
+  double maxrel = 0.0;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const double den = std::max(1.0, std::abs(static_cast<double>(cs[i])));
+    maxrel = std::max(
+        maxrel, std::abs(static_cast<double>(cd[i]) -
+                         static_cast<double>(cs[i])) / den);
+  }
+  EXPECT_LT(maxrel, 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Non-temporal stores
+
+TEST(Kernel, NtStoresBitIdenticalToRegularStores) {
+  // The streaming path differs ONLY in the store instruction; forced on
+  // and forced off must produce the same bits for a beta == 0 single-
+  // K-pass product. Matrix storage is 64-byte aligned and n * 8 is a
+  // multiple of 64, so the alignment precondition holds and the forced-on
+  // run genuinely exercises run_nt on SIMD backends.
+  const index_t m = 512, n = 512, kk = 200;  // one K pass (kk <= KC)
+  const Matrix a = make_dense(921, m, kk);
+  const Matrix b = make_dense(922, kk, n);
+  Matrix c_nt(m, n), c_reg(m, n);
+  kernel::set_nt_for_testing(1);
+  kernel::gemm(m, n, kk, 1.0, a.ptr(), kk, b.ptr(), n, 0.0, c_nt.ptr(), n);
+  kernel::set_nt_for_testing(0);
+  kernel::gemm(m, n, kk, 1.0, a.ptr(), kk, b.ptr(), n, 0.0, c_reg.ptr(), n);
+  kernel::set_nt_for_testing(-1);
+  EXPECT_TRUE(c_nt.equals(c_reg));
+  EXPECT_EQ(frobenius_distance(c_nt, c_reg), 0.0);
 }
 
 TEST(Kernel, TriInvStillExactlyTriangular) {
