@@ -409,6 +409,25 @@ void run_oracle_cases(std::vector<Record>& records) {
     std::cout << records.back().name << ": " << records.back().wall_ms
               << " ms\n";
   }
+
+  // Same solve with the fault-injection layer compiled in but DISARMED:
+  // the injector's zero-cost contract (one null test per transport op,
+  // no stamps, no sweeps) means this record's modeled S/W/F and critical
+  // time must stay byte-identical to oracle/it_trsm_p16_nocheck in the
+  // committed JSON.
+  {
+    api::Context ctx(p);
+    api::TrsmSpec spec;
+    spec.force_algorithm = true;
+    spec.algorithm = model::Algorithm::kIterative;
+    auto plan = ctx.plan(api::trsm_op(n, k, spec));
+    const auto t0 = Clock::now();
+    const api::ExecResult r = plan->execute(l, b);
+    records.push_back({"oracle/injection_disarmed", p, n, k, ms_since(t0),
+                       1.0, r.algorithm_cost(), r.stats.critical_time});
+    std::cout << records.back().name << ": " << records.back().wall_ms
+              << " ms\n";
+  }
 }
 
 }  // namespace

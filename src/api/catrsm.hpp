@@ -55,6 +55,7 @@
 #include "la/trsm.hpp"
 #include "model/tuning.hpp"
 #include "sim/machine.hpp"
+#include "support/check.hpp"
 
 namespace catrsm::api {
 
@@ -128,6 +129,16 @@ OpDesc matmul2d_op(index_t n, index_t k);
 /// rank can materialize exactly the entries it owns.
 using Gen = std::function<double(index_t, index_t)>;
 
+/// A resident operand was touched by a faulted run (its per-rank blocks
+/// may be partially rewritten) and has not been repaired. Thrown by
+/// Context::download, Plan::execute_dist, and Program::run when handed a
+/// poisoned handle, and by Context::repair when the handle has no
+/// recorded source to re-upload from.
+class PoisonedOperandError : public Error {
+ public:
+  using Error::Error;
+};
+
 // ---------------------------------------------------------------------------
 // Resident distributed operands
 
@@ -182,6 +193,9 @@ class DistHandle {
   std::uint64_t id() const;
   /// Write stamp of the resident data (see sim::HandleStore::epoch).
   std::uint64_t epoch() const;
+  /// True while the resident blocks are marked untrustworthy after a
+  /// faulted run (see Context::repair).
+  bool poisoned() const;
 
  private:
   friend class Context;
@@ -363,8 +377,22 @@ class Context {
                     Layout layout);
 
   /// Assemble the global matrix from a handle's resident blocks.
-  /// Host-side; charges nothing.
+  /// Host-side; charges nothing. Fails fast with PoisonedOperandError on
+  /// a handle a faulted run left untrustworthy — repair it first.
   la::Matrix download(const DistHandle& h);
+
+  /// Re-upload a poisoned handle from its recorded source (the matrix
+  /// copy or generator it was uploaded from), clearing the poison flag
+  /// and stamping a fresh epoch. No-op on a healthy handle; throws
+  /// PoisonedOperandError if the handle is poisoned but has no source
+  /// (e.g. it was produced by a Program run, not uploaded).
+  void repair(const DistHandle& h);
+
+  /// When enabled, Plan::execute_dist and Program::run transparently
+  /// repair() poisoned INPUT handles (that have sources) instead of
+  /// throwing — the retry path after a detected fault.
+  void set_auto_repair(bool on) { auto_repair_ = on; }
+  bool auto_repair() const { return auto_repair_; }
 
   CacheStats cache_stats() const { return stats_; }
   void clear_cache();
@@ -376,6 +404,7 @@ class Context {
   std::unique_ptr<sim::Machine> owned_;
   sim::Machine* machine_;
   std::size_t capacity_;
+  bool auto_repair_ = false;
   CacheStats stats_;
   // LRU: most recently used at the front.
   std::list<std::pair<std::string, std::shared_ptr<Plan>>> lru_;

@@ -40,6 +40,11 @@ std::uint64_t DistHandle::epoch() const {
   return state_->epoch;
 }
 
+bool DistHandle::poisoned() const {
+  CATRSM_CHECK(state_ != nullptr, "DistHandle: empty handle");
+  return state_->machine->handle_store().poisoned(state_->id);
+}
+
 sim::Cost DistExecResult::algorithm_cost() const {
   return stats.phase_cost("algorithm");
 }
@@ -48,9 +53,28 @@ sim::Cost DistExecResult::redistribute_cost() const {
   return stats.phase_cost("redistribute");
 }
 
+namespace {
+
+/// Fill every participating rank's slot of entry `id` from `gen` under
+/// the host-realized distribution `d` (shared by upload and repair).
+void fill_slots(sim::HandleStore& store, std::uint64_t id, const Gen& gen,
+                const std::shared_ptr<const dist::Distribution>& d, int p) {
+  for (int w = 0; w < p; ++w) {
+    dist::DistMatrix dm(d, w);
+    if (!dm.participates()) continue;
+    dm.fill(gen);
+    store.local(id, w) = std::move(dm.local());
+  }
+}
+
+}  // namespace
+
 DistHandle Context::upload(const la::Matrix& m, Layout layout) {
-  return upload([&m](index_t i, index_t j) { return m(i, j); }, m.rows(),
-                m.cols(), layout);
+  // Copy the matrix into the recovery source: the handle's repair path
+  // may fire long after the caller's matrix is gone.
+  const auto keep = std::make_shared<la::Matrix>(m);
+  return upload([keep](index_t i, index_t j) { return (*keep)(i, j); },
+                m.rows(), m.cols(), layout);
 }
 
 DistHandle Context::upload(const Gen& gen, index_t rows, index_t cols,
@@ -59,20 +83,38 @@ DistHandle Context::upload(const Gen& gen, index_t rows, index_t cols,
   const auto d = detail::realize_host(layout, rows, cols, nprocs());
   sim::HandleStore& store = machine_->handle_store();
   const std::uint64_t id = store.create();
-  for (int w = 0; w < nprocs(); ++w) {
-    dist::DistMatrix dm(d, w);
-    if (!dm.participates()) continue;
-    dm.fill(gen);
-    store.local(id, w) = std::move(dm.local());
-  }
-  return DistHandle(std::make_shared<DistHandle::State>(
-      machine_, id, layout, rows, cols, store.epoch(id)));
+  fill_slots(store, id, gen, d, nprocs());
+  auto state = std::make_shared<DistHandle::State>(
+      machine_, id, layout, rows, cols, store.epoch(id));
+  state->source = gen;
+  return DistHandle(std::move(state));
+}
+
+void Context::repair(const DistHandle& h) {
+  CATRSM_CHECK(h.valid(), "repair: empty handle");
+  CATRSM_CHECK(h.state_->machine == machine_,
+               "repair: handle belongs to a different machine");
+  sim::HandleStore& store = machine_->handle_store();
+  if (!store.poisoned(h.id())) return;
+  if (!h.state_->source)
+    throw PoisonedOperandError(
+        "repair: handle has no recorded source to re-upload from (it was "
+        "produced by a run, not uploaded) — rebuild it instead");
+  const auto d =
+      detail::realize_host(h.layout(), h.rows(), h.cols(), nprocs());
+  fill_slots(store, h.id(), h.state_->source, d, nprocs());
+  store.unpoison(h.id());
+  h.state_->epoch = store.epoch(h.id());
 }
 
 la::Matrix Context::download(const DistHandle& h) {
   CATRSM_CHECK(h.valid(), "download: empty handle");
   CATRSM_CHECK(h.state_->machine == machine_,
                "download: handle belongs to a different machine");
+  if (machine_->handle_store().poisoned(h.id()))
+    throw PoisonedOperandError(
+        "download: operand was touched by a faulted run and may be "
+        "partially rewritten — Context::repair it (or re-upload) first");
   const auto d =
       detail::realize_host(h.layout(), h.rows(), h.cols(), nprocs());
   sim::HandleStore& store = machine_->handle_store();

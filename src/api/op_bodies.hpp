@@ -40,6 +40,10 @@ struct DistHandle::State {
   index_t rows = 0;
   index_t cols = 0;
   std::uint64_t epoch = 0;
+  /// Recovery source for Context::repair: the generator the handle was
+  /// uploaded from (matrix uploads store a lambda over a shared copy).
+  /// Empty for handles produced by a Program/execute_dist run.
+  Gen source;
 
   State(sim::Machine* m, std::uint64_t i, Layout lay, index_t r, index_t c,
         std::uint64_t e)

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "api/op_bodies.hpp"
+#include "sim/fault.hpp"
 #include "support/check.hpp"
 
 namespace catrsm::api {
@@ -131,7 +132,10 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
   sim::HandleStore& store = machine.handle_store();
   const int p = machine.nprocs();
 
-  // Bind input layouts for this run and validate the handles.
+  // Bind input layouts for this run and validate the handles. A poisoned
+  // input is repaired transparently when the Context allows it (the
+  // retry-after-fault path); otherwise it fails fast here, before any
+  // simulated work.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& node = nodes_[i];
     if (node.input_index < 0) continue;
@@ -141,6 +145,13 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
                  "program: input handle belongs to a different machine");
     CATRSM_CHECK(h.rows() == node.rows && h.cols() == node.cols,
                  "program: input handle shape mismatch");
+    if (store.poisoned(h.id())) {
+      if (!ctx_->auto_repair())
+        throw PoisonedOperandError(
+            "program: input operand was touched by a faulted run — "
+            "Context::repair it (or set_auto_repair(true)) before retrying");
+      ctx_->repair(h);
+    }
     node.layout = h.layout();
   }
 
@@ -251,6 +262,28 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
     stats = machine.run(rank_body);
   } catch (...) {
     for (const std::uint64_t id : out_ids) store.release(id);
+    // Graceful degradation: the unwound fibers restored every input slot,
+    // and for a CLEAN in-body failure (a CHECK like "not positive
+    // definite" fires before any in-place mutation of that operand) the
+    // restored blocks are the caller's original data — leave them usable.
+    // But when fault injection actually fired this run, the failure point
+    // is arbitrary: some ranks may have mutated their moved-out locals in
+    // place before the fault unwound them. Mark each distinct input
+    // untrustworthy; the caller repairs or re-uploads before the retry.
+    // Refresh cached epochs so handle observers see the invalidation
+    // immediately.
+    const sim::FaultInjector* inj = machine.fault_injector();
+    if (inj != nullptr && inj->injections() > 0) {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node& node = nodes_[i];
+        if (node.input_index < 0) continue;
+        const DistHandle& h =
+            inputs[static_cast<std::size_t>(node.input_index)];
+        if (!h.valid()) continue;
+        store.poison(h.id());
+        h.state_->epoch = store.epoch(h.id());
+      }
+    }
     throw;
   }
 

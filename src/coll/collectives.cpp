@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "coll/check_hook.hpp"
+#include "sim/fault.hpp"
 #include "support/check.hpp"
 
 namespace catrsm::coll {
@@ -22,6 +23,26 @@ std::vector<std::size_t> offsets_of(const Counts& counts) {
   for (std::size_t i = 0; i < counts.size(); ++i)
     off[i + 1] = off[i] + counts[i];
   return off;
+}
+
+/// Armed skew-fault hook (sim/fault.hpp), called after a primitive's local
+/// precondition checks and before its CheckScope so the collective matcher
+/// sees the perturbed metadata at entry. When the injector picks this
+/// (epoch, call) site and this rank as the victim, *root is rotated
+/// (scatter/gather) or `skewed` receives a copy of `counts` with one peer
+/// slot perturbed (allgather/reduce-scatter) and the hook returns true —
+/// the caller must then run the collective with the skewed values, exactly
+/// like an application passing mismatched metadata would. One null check
+/// when no plan is armed.
+bool skew_hook(const sim::Comm& comm, int* root, const Counts& counts,
+               Counts* skewed) {
+  if (!comm.is_member()) return false;
+  sim::Rank& r = comm.ctx();
+  sim::FaultInjector* fi = r.fault_injector();
+  if (fi == nullptr) return false;
+  *skewed = counts;
+  return fi->maybe_skew(comm.epoch(), r.id(), comm.rank(), comm.size(), root,
+                        skewed);
 }
 
 }  // namespace
@@ -50,13 +71,17 @@ Counts even_counts(std::size_t total, int parts) {
 // payload is sliced, not copied, and a window re-forwarded intact travels
 // as one wider slice of the same slab.
 
-Buffer allgather(const sim::Comm& comm, Buffer mine, const Counts& counts) {
+Buffer allgather(const sim::Comm& comm, Buffer mine, const Counts& counts_in) {
   const int g = comm.size();
-  CATRSM_CHECK(static_cast<int>(counts.size()) == g,
+  CATRSM_CHECK(static_cast<int>(counts_in.size()) == g,
                "allgather: counts size mismatch");
   const int r = comm.rank();
-  CATRSM_CHECK(mine.size() == counts[static_cast<std::size_t>(r)],
+  CATRSM_CHECK(mine.size() == counts_in[static_cast<std::size_t>(r)],
                "allgather: contribution size mismatch");
+  int no_root = -1;
+  Counts skewed;
+  const Counts& counts =
+      skew_hook(comm, &no_root, counts_in, &skewed) ? skewed : counts_in;
   CheckScope check(comm, CollOp::kAllgather, -1, &counts, mine.size());
   const int tag = coll_tag(CollOp::kAllgather, comm);
 
@@ -163,13 +188,17 @@ Buffer halving_core(const sim::Comm& comm, Buffer work,
 }  // namespace
 
 Buffer reduce_scatter(const sim::Comm& comm, Buffer full,
-                      const Counts& counts) {
+                      const Counts& counts_in) {
   const int g = comm.size();
-  CATRSM_CHECK(static_cast<int>(counts.size()) == g,
+  CATRSM_CHECK(static_cast<int>(counts_in.size()) == g,
                "reduce_scatter: counts size mismatch");
-  CATRSM_CHECK(full.size() == sum_counts(counts),
+  CATRSM_CHECK(full.size() == sum_counts(counts_in),
                "reduce_scatter: input must cover every segment");
   const int r = comm.rank();
+  int no_root = -1;
+  Counts skewed;
+  const Counts& counts =
+      skew_hook(comm, &no_root, counts_in, &skewed) ? skewed : counts_in;
   CheckScope check(comm, CollOp::kReduceScatter, -1, &counts, full.size());
   if (g == 1) return full;
   const int tag = coll_tag(CollOp::kReduceScatter, comm);
@@ -282,6 +311,8 @@ Buffer scatter(const sim::Comm& comm, int root, Buffer all,
                "scatter: counts size mismatch");
   CATRSM_CHECK(root >= 0 && root < g, "scatter: bad root");
   const int r = comm.rank();
+  Counts skew_unused;
+  skew_hook(comm, &root, counts, &skew_unused);  // may rotate this rank's root
   CheckScope check(comm, CollOp::kScatter, root, &counts, all.size());
   const int rel = ((r - root) % g + g) % g;
   const int tag = coll_tag(CollOp::kScatter, comm);
@@ -333,6 +364,8 @@ Buffer gather(const sim::Comm& comm, int root, Buffer mine,
                "gather: counts size mismatch");
   CATRSM_CHECK(root >= 0 && root < g, "gather: bad root");
   const int r = comm.rank();
+  Counts skew_unused;
+  skew_hook(comm, &root, counts, &skew_unused);  // may rotate this rank's root
   CheckScope check(comm, CollOp::kGather, root, &counts, mine.size());
   const int rel = ((r - root) % g + g) % g;
   const int tag = coll_tag(CollOp::kGather, comm);

@@ -1,18 +1,17 @@
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <optional>
+#include <string>
 
 #include "la/kernel/ukr.hpp"
+#include "support/env.hpp"
 
 namespace catrsm::la::kernel {
 
 namespace {
 
-std::optional<Backend> parse_backend(const char* s) {
-  if (std::strcmp(s, "scalar") == 0) return Backend::kScalar;
-  if (std::strcmp(s, "avx2") == 0) return Backend::kAvx2;
-  if (std::strcmp(s, "avx512") == 0) return Backend::kAvx512;
+std::optional<Backend> parse_backend(const std::string& s) {
+  if (s == "scalar") return Backend::kScalar;
+  if (s == "avx2") return Backend::kAvx2;
+  if (s == "avx512") return Backend::kAvx512;
   return std::nullopt;
 }
 
@@ -31,18 +30,15 @@ Backend widest_supported() {
 /// usable for the other.
 Backend select() {
   Backend chosen = widest_supported();
-  if (const char* env = std::getenv("CATRSM_KERNEL")) {
-    const std::optional<Backend> want = parse_backend(env);
+  const std::string req = env::string_or("CATRSM_KERNEL", "");
+  if (!req.empty()) {
+    const std::optional<Backend> want = parse_backend(req);
     if (!want.has_value()) {
-      std::fprintf(stderr,
-                   "catrsm: CATRSM_KERNEL=%s not recognized "
-                   "(scalar|avx2|avx512); using %s\n",
-                   env, microkernel_for(chosen)->name);
+      env::warn_invalid("CATRSM_KERNEL", "not recognized (scalar|avx2|avx512)",
+                        microkernel_for(chosen)->name);
     } else if (!usable(*want)) {
-      std::fprintf(stderr,
-                   "catrsm: CATRSM_KERNEL=%s not supported on this "
-                   "CPU/build; using %s\n",
-                   env, microkernel_for(chosen)->name);
+      env::warn_invalid("CATRSM_KERNEL", "not supported on this CPU/build",
+                        microkernel_for(chosen)->name);
     } else {
       chosen = *want;
     }

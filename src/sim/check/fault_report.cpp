@@ -1,0 +1,59 @@
+#include "sim/check/fault_report.hpp"
+
+#include <sstream>
+
+#include "sim/check/coll_matcher.hpp"
+#include "sim/check/deadlock.hpp"
+#include "sim/check/trace.hpp"
+#include "sim/machine.hpp"
+
+namespace catrsm::sim::check {
+
+namespace {
+
+const char* classify(const std::exception& e) {
+  if (dynamic_cast<const DeadlockError*>(&e)) return "deadlock-wfg";
+  if (dynamic_cast<const CollMismatchError*>(&e)) return "collective-matcher";
+  if (dynamic_cast<const TransportChecksumError*>(&e))
+    return "payload-checksum";
+  if (dynamic_cast<const TransportSequenceError*>(&e)) return "sequence-check";
+  if (dynamic_cast<const TransportResidueError*>(&e)) return "residual-sweep";
+  if (dynamic_cast<const RankKilledError*>(&e)) return "rank-abort";
+  if (dynamic_cast<const ReplayMismatchError*>(&e)) return "trace-replay";
+  // Any other library Error is a tripped CATRSM_CHECK/ASSERT — an
+  // invariant caught the damage before a dedicated detector could. Still
+  // a detection (the run faulted loudly), just a generic one.
+  if (dynamic_cast<const Error*>(&e)) return "invariant-check";
+  return "";
+}
+
+}  // namespace
+
+std::string FaultReport::to_string() const {
+  std::ostringstream os;
+  os << "fault report: injected " << fault_class_name(injected) << " (seed "
+     << seed << ", " << injections << " site(s) fired)";
+  if (detected()) {
+    os << ", detected by " << detector;
+  } else {
+    os << ", NOT DETECTED";
+  }
+  for (const std::string& line : injection_log) os << "\n  injected: " << line;
+  if (!diagnostics.empty()) os << "\n" << diagnostics;
+  return os.str();
+}
+
+FaultReport report_fault(const Machine& m, const std::exception& e) {
+  FaultReport report;
+  if (const FaultInjector* fi = m.fault_injector()) {
+    report.injected = fi->plan().cls;
+    report.seed = fi->plan().seed;
+    report.injections = fi->injections();
+    report.injection_log = fi->injection_log();
+  }
+  report.detector = classify(e);
+  report.diagnostics = e.what();
+  return report;
+}
+
+}  // namespace catrsm::sim::check

@@ -1,0 +1,93 @@
+#pragma once
+// Structured fault reporting for the detector-coverage matrix (sim/check).
+//
+// The fault-injection layer (sim/fault.hpp) seeds transport-level bugs;
+// this module names what caught them. Each detecting subsystem throws a
+// typed error, and report_fault() folds the thrown exception together
+// with the armed plan's injection record into one FaultReport: which
+// fault was injected (class, seed, fire count, per-site log lines) and
+// which detector fired (a stable subsystem name plus the detector's own
+// per-rank diagnostics). Tests assert on the pairing; an empty detector
+// name means the fault escaped detection — exactly the outcome the
+// coverage matrix exists to rule out.
+//
+// The transport's own live verification lives here too (the errors, not
+// the mechanism): when a plan is armed, every delivery is stamped with a
+// pre-injection FNV-1a payload checksum and a per-(src, dst, tag)
+// sequence number, and every take verifies both. Checksum mismatch =
+// corruption; a sequence regression or repeat = reorder/duplicate; a gap
+// = a lost message with later traffic on the same edge. Disarmed runs
+// never compute either.
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "support/check.hpp"
+
+namespace catrsm::sim {
+class Machine;
+}
+
+namespace catrsm::sim::check {
+
+/// Live transport verification: received payload bytes differ from the
+/// sender-side pre-injection checksum (detects in-flight corruption).
+class TransportChecksumError : public Error {
+ public:
+  explicit TransportChecksumError(const std::string& what) : Error(what) {}
+};
+
+/// Live transport verification: per-(src, dst, tag) sequence numbers
+/// arrived out of order, repeated (duplicate), or with a gap (drop with
+/// later traffic on the same edge).
+class TransportSequenceError : public Error {
+ public:
+  explicit TransportSequenceError(const std::string& what) : Error(what) {}
+};
+
+/// End-of-run mailbox sweep (armed runs only): messages were still queued
+/// or held back after every rank finished — an injected duplicate or
+/// delayed delivery that no receive ever consumed.
+class TransportResidueError : public Error {
+ public:
+  explicit TransportResidueError(const std::string& what) : Error(what) {}
+};
+
+/// The kill-rank fault itself: thrown at the victim's death site; peers
+/// unwind through the machine's abort propagation and Machine::run
+/// rethrows this as the run's primary error.
+class RankKilledError : public Error {
+ public:
+  explicit RankKilledError(const std::string& what) : Error(what) {}
+};
+
+/// What was injected and what caught it — the row of the coverage matrix
+/// a faulted run landed in.
+struct FaultReport {
+  FaultClass injected = FaultClass::kDrop;
+  std::uint64_t seed = 0;
+  int injections = 0;                      // fault sites actually fired
+  std::vector<std::string> injection_log;  // one line per fired site
+  /// Stable name of the detecting subsystem: "deadlock-wfg",
+  /// "collective-matcher", "payload-checksum", "sequence-check",
+  /// "residual-sweep", "rank-abort", "trace-replay", or
+  /// "invariant-check" (a CATRSM_CHECK/ASSERT tripped first). Empty when
+  /// the exception came from outside the library's detectors.
+  std::string detector;
+  /// The detector's own message — per-rank wait dumps, both sides of a
+  /// collective mismatch, the diverging replay event, etc.
+  std::string diagnostics;
+
+  bool detected() const { return !detector.empty(); }
+  std::string to_string() const;
+};
+
+/// Classify the error a faulted run threw. `m` supplies the armed plan
+/// and its injection record (the report is zeroed when no plan is
+/// armed); `e` is the exception Machine::run (or replay) surfaced.
+FaultReport report_fault(const Machine& m, const std::exception& e);
+
+}  // namespace catrsm::sim::check

@@ -23,6 +23,7 @@ TraceRecorder::TraceRecorder(int p, bool capture_payloads)
     : p_(p), capture_payloads_(capture_payloads) {}
 
 void TraceRecorder::begin_run(const MachineParams& params) {
+  complete_ = false;
   trace_ = Trace{};
   trace_.p = p_;
   trace_.payloads = capture_payloads_;
@@ -98,6 +99,7 @@ void TraceRecorder::finish_run(const std::vector<Cost>& final_cost,
   trace_.final_cost = final_cost;
   trace_.final_vtime = final_vtime;
   trace_.critical_time = critical_time;
+  complete_ = true;
 }
 
 Trace TraceRecorder::take() { return std::move(trace_); }
@@ -236,7 +238,7 @@ namespace {
   os << "trace replay diverged at rank " << rank << ", event " << index
      << ": " << what;
   if (!detail.empty()) os << " (" << detail << ")";
-  throw Error(os.str());
+  throw ReplayMismatchError(os.str());
 }
 
 [[noreturn]] void final_fault(int rank, const char* what,
@@ -244,7 +246,7 @@ namespace {
   std::ostringstream os;
   os << "trace replay diverged at rank " << rank << ": " << what << " ("
      << detail << ")";
-  throw Error(os.str());
+  throw ReplayMismatchError(os.str());
 }
 
 std::string two(const char* name, double got, double want) {

@@ -31,6 +31,13 @@
 
 namespace catrsm::sim::check {
 
+/// Thrown by replay() on any divergence from the recorded run — payload
+/// bytes, event shape, virtual clocks, or final S/W/F.
+class ReplayMismatchError : public Error {
+ public:
+  explicit ReplayMismatchError(const std::string& what) : Error(what) {}
+};
+
 enum class EventKind : std::uint8_t {
   kSend = 0,
   kRecv,
@@ -93,9 +100,16 @@ class TraceRecorder {
   /// run).
   Trace take();
 
+  /// True when the most recent run reached finish_run — i.e. the trace is
+  /// finalized and replayable. A faulted run leaves this false (its
+  /// events stop at the fault and final costs were never recorded), and
+  /// Machine::take_trace refuses to hand out such a torso.
+  bool run_complete() const { return complete_; }
+
  private:
   int p_;
   bool capture_payloads_;
+  bool complete_ = false;
   Trace trace_;
 };
 

@@ -49,4 +49,26 @@ std::uint64_t HandleStore::epoch(std::uint64_t id) const {
   return entry(id).epoch;
 }
 
+void HandleStore::poison(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  it->second->poisoned = true;
+  it->second->epoch = ++writes_;  // invalidate every content-keyed cache
+}
+
+bool HandleStore::poisoned(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  return it != entries_.end() && it->second->poisoned;
+}
+
+void HandleStore::unpoison(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  CATRSM_CHECK(it != entries_.end(), "HandleStore: unknown handle id");
+  it->second->poisoned = false;
+  it->second->epoch = ++writes_;  // fresh stamp for the repaired contents
+}
+
 }  // namespace catrsm::sim

@@ -58,10 +58,21 @@ class HandleStore {
   /// instead of hashing operand bytes).
   std::uint64_t epoch(std::uint64_t id) const;
 
+  /// Mark an entry's contents untrustworthy — a faulted run may have left
+  /// its slots partially rewritten. Bumps the epoch so every content-keyed
+  /// cache (diag-inverse reuse) invalidates, and makes api-level reads
+  /// fail fast until unpoison(). No-op for unknown ids.
+  void poison(std::uint64_t id);
+  bool poisoned(std::uint64_t id) const;
+  /// Clear the poison flag after the owner rewrote every slot, stamping a
+  /// fresh epoch for the new contents.
+  void unpoison(std::uint64_t id);
+
  private:
   struct Entry {
     std::vector<la::Matrix> locals;
     std::uint64_t epoch = 0;
+    bool poisoned = false;
   };
 
   Entry& entry(std::uint64_t id) const;

@@ -4,9 +4,13 @@
 #include <exception>
 #include <utility>
 
+#include <sstream>
+
 #include "sim/check/coll_matcher.hpp"
 #include "sim/check/deadlock.hpp"
+#include "sim/check/fault_report.hpp"
 #include "sim/check/trace.hpp"
+#include "sim/fault.hpp"
 #include "support/env.hpp"
 
 namespace catrsm::sim {
@@ -39,6 +43,7 @@ const std::string& Rank::phase() const {
 void Rank::send(int dst, Buffer data, int tag) {
   CATRSM_CHECK(dst >= 0 && dst < nprocs_, "send: bad destination rank");
   CATRSM_CHECK(dst != id_, "send: self-sends are a bug in SPMD code");
+  if (FaultInjector* fi = machine_->injector_.get()) fi->maybe_kill(id_);
   const double w = static_cast<double>(data.size());
   const double sent_at = vtime_;
   account(1.0, w, 0.0);
@@ -51,7 +56,10 @@ void Rank::send(int dst, Buffer data, int tag) {
 Buffer Rank::recv(int src, int tag) {
   CATRSM_CHECK(src >= 0 && src < nprocs_, "recv: bad source rank");
   CATRSM_CHECK(src != id_, "recv: self-receives are a bug in SPMD code");
+  if (FaultInjector* fi = machine_->injector_.get()) fi->maybe_kill(id_);
   Machine::Message msg = machine_->take(id_, src, tag);
+  if (FaultInjector* fi = machine_->injector_.get())
+    fi->verify_receive(id_, src, tag, msg.data, msg.checksum, msg.seq);
   const double w = static_cast<double>(msg.data.size());
   account(1.0, w, 0.0);
   // The data exists at the receiver no earlier than alpha + beta*w after
@@ -72,12 +80,15 @@ Buffer Rank::shift(int dst, int src, Buffer data, int tag) {
   CATRSM_CHECK(dst >= 0 && dst < nprocs_, "shift: bad destination rank");
   CATRSM_CHECK(src >= 0 && src < nprocs_, "shift: bad source rank");
   CATRSM_CHECK(dst != id_ && src != id_, "shift: peers must differ from self");
+  if (FaultInjector* fi = machine_->injector_.get()) fi->maybe_kill(id_);
   const double sent = static_cast<double>(data.size());
   check::TraceRecorder* const tracer = machine_->tracer_.get();
   Buffer sent_view;
   if (tracer != nullptr) sent_view = data;  // slab share, no copy
   machine_->deliver(id_, dst, tag, Machine::Message{std::move(data), vtime_});
   Machine::Message in = machine_->take(id_, src, tag);
+  if (FaultInjector* fi = machine_->injector_.get())
+    fi->verify_receive(id_, src, tag, in.data, in.checksum, in.seq);
   // One simultaneous exchange round: a single latency unit, and the wire
   // carries both directions concurrently, so the clock advances by the
   // larger payload only (paper Section II-A: "every processor can send and
@@ -106,6 +117,10 @@ check::CollectiveMatcher* Rank::matcher() const {
 }
 
 check::TraceRecorder* Rank::tracer() const { return machine_->tracer_.get(); }
+
+FaultInjector* Rank::fault_injector() const {
+  return machine_->injector_.get();
+}
 
 std::uint64_t Rank::comm_epoch(const std::vector<int>& members) {
   std::lock_guard<std::mutex> lock(machine_->epoch_mu_);
@@ -148,6 +163,8 @@ Machine::Machine(int p, MachineParams params) : p_(p), params_(params) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   waits_.resize(static_cast<std::size_t>(p));
   if (env::flag_or("CATRSM_SIM_CHECK", false)) set_collective_checking(true);
+  if (const std::optional<FaultPlan> plan = FaultPlan::from_env())
+    arm_fault(*plan);
 }
 
 Machine::~Machine() = default;
@@ -168,8 +185,17 @@ void Machine::set_tracing(bool on, bool capture_payloads) {
 
 check::Trace Machine::take_trace() {
   CATRSM_CHECK(tracer_ != nullptr, "take_trace: tracing is not enabled");
+  CATRSM_CHECK(tracer_->run_complete(),
+               "take_trace: the last traced run faulted before completing "
+               "(a torso trace is not replayable); run again first");
   return tracer_->take();
 }
+
+void Machine::arm_fault(const FaultPlan& plan) {
+  injector_ = std::make_unique<FaultInjector>(plan, p_);
+}
+
+void Machine::disarm_fault() { injector_.reset(); }
 
 RankScheduler& Machine::scheduler() {
   if (!scheduler_) scheduler_ = std::make_unique<RankScheduler>(p_);
@@ -182,12 +208,41 @@ HandleStore& Machine::handle_store() {
 }
 
 void Machine::deliver(int src, int dst, int tag, Message msg) {
+  // Armed fault injection intercepts here — the single choke point both
+  // send and shift deliver through. on_deliver stamps the verification
+  // checksum/sequence (and applies payload corruption) before the message
+  // enters the mailbox; only rank `src` delivers into box(dst, src), so
+  // the injector's per-edge counters have a single writer.
+  auto act = FaultInjector::Action::kPass;
+  if (FaultInjector* fi = injector_.get()) {
+    act = fi->on_deliver(src, dst, tag, &msg.data, &msg.checksum, &msg.seq);
+    if (act == FaultInjector::Action::kDrop) return;  // vanished in flight
+  }
   Mailbox& box = box_of(dst, src);
   void* waiter = nullptr;
   {
     std::lock_guard<std::mutex> lock(box.mu);
+    if (act == FaultInjector::Action::kDelay) {
+      // Held back: flushed behind the next delivery into this box. If no
+      // later delivery ever flushes it, the receiver blocks and the
+      // deadlock detector declares the starvation (the pending scan does
+      // not see held messages, by design).
+      box.delayed.emplace_back(tag, std::move(msg));
+      return;
+    }
     box.queue_for(tag).push_back(std::move(msg));
-    if (box.waiter != nullptr && box.waiter_tag == tag) {
+    if (act == FaultInjector::Action::kDuplicate) {
+      Message dup = box.queue_for(tag).back();  // slab share, no copy
+      box.queue_for(tag).push_back(std::move(dup));
+    }
+    bool wake = box.waiter != nullptr && box.waiter_tag == tag;
+    while (!box.delayed.empty()) {
+      auto& [held_tag, held] = box.delayed.front();
+      box.queue_for(held_tag).push_back(std::move(held));
+      if (box.waiter != nullptr && box.waiter_tag == held_tag) wake = true;
+      box.delayed.pop_front();
+    }
+    if (wake) {
       waiter = box.waiter;
       box.waiter = nullptr;
     }
@@ -398,6 +453,7 @@ RunStats Machine::run(const std::function<void(Rank&)>& fn) {
     } else {
       for (auto& [tag, queue] : box->queues) queue.clear();
     }
+    box->delayed.clear();
     box->waiter = nullptr;
   }
   {
@@ -411,6 +467,7 @@ RunStats Machine::run(const std::function<void(Rank&)>& fn) {
   }
   if (matcher_ != nullptr) matcher_->reset();
   if (tracer_ != nullptr) tracer_->begin_run(params_);
+  if (injector_ != nullptr) injector_->begin_run();
 
   std::vector<std::unique_ptr<Rank>> ranks;
   ranks.reserve(static_cast<std::size_t>(p_));
@@ -444,6 +501,41 @@ RunStats Machine::run(const std::function<void(Rank&)>& fn) {
     // with it: every rank should surface the same diagnostic dump.
     if (!deadlock_dump_.empty()) throw check::DeadlockError(deadlock_dump_);
     if (first_error) std::rethrow_exception(first_error);
+  }
+
+  if (injector_ != nullptr) {
+    // Residual sweep (armed runs only): every rank returned cleanly, so
+    // the mailboxes are quiescent — anything still queued or held back is
+    // an injected delivery no receive ever consumed (an unconsumed
+    // duplicate, a never-flushed delay) that would otherwise vanish
+    // silently into the next run's mailbox reset.
+    std::ostringstream residue;
+    std::size_t leftovers = 0;
+    for (int dst = 0; dst < p_; ++dst) {
+      for (int src = 0; src < p_; ++src) {
+        if (dst == src) continue;
+        Mailbox& box = box_of(dst, src);
+        std::lock_guard<std::mutex> lock(box.mu);
+        for (const auto& [qtag, q] : box.queues) {
+          if (q.empty()) continue;
+          leftovers += q.size();
+          residue << "\n  " << q.size() << " queued message(s) " << src
+                  << "->" << dst << " tag " << qtag;
+        }
+        if (!box.delayed.empty()) {
+          leftovers += box.delayed.size();
+          residue << "\n  " << box.delayed.size()
+                  << " held-back delivery(ies) " << src << "->" << dst;
+        }
+      }
+    }
+    if (leftovers > 0) {
+      throw check::TransportResidueError(
+          "transport residue after a completed run (" +
+          std::to_string(leftovers) +
+          " unconsumed delivery(ies); fault plan " +
+          injector_->plan().describe() + "):" + residue.str());
+    }
   }
 
   RunStats stats;

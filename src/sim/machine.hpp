@@ -47,6 +47,9 @@ class TraceRecorder;      // sim/check/trace.hpp
 struct Trace;
 }  // namespace check
 
+class FaultInjector;  // sim/fault.hpp
+struct FaultPlan;
+
 class Machine;
 
 /// The execution context handed to each simulated rank. Not copyable; lives
@@ -113,6 +116,9 @@ class Rank {
   check::CollectiveMatcher* matcher() const;
   /// The machine's trace recorder, null when tracing is off.
   check::TraceRecorder* tracer() const;
+  /// The machine's armed fault injector, null when no plan is armed (see
+  /// Machine::arm_fault). Collective entry points call its skew hook.
+  FaultInjector* fault_injector() const;
 
  private:
   friend class Machine;
@@ -223,8 +229,23 @@ class Machine {
   void set_tracing(bool on, bool capture_payloads = true);
   bool tracing() const { return tracer_ != nullptr; }
   /// Move out the most recent traced run's event log (throws when
-  /// tracing is off; include sim/check/trace.hpp for the Trace type).
+  /// tracing is off or the last run faulted before completing — a torso
+  /// trace is not replayable; include sim/check/trace.hpp for Trace).
   check::Trace take_trace();
+
+  /// Arm (or re-arm) a fault-injection plan: subsequent runs perturb the
+  /// transport at the plan's deterministically seeded sites and verify
+  /// payload checksums + per-edge sequence numbers on every receive. Also
+  /// armed by CATRSM_SIM_FAULT=<class>:<seed>[:<rate>] at machine
+  /// construction. Zero cost when never armed (one null test per
+  /// transport op). Must not be toggled during a run.
+  void arm_fault(const FaultPlan& plan);
+  /// Disarm fault injection; the next run is byte-identical to one on a
+  /// machine that never armed a plan.
+  void disarm_fault();
+  /// The armed injector (null when disarmed); check::report_fault reads
+  /// its plan and injection record when classifying a faulted run.
+  FaultInjector* fault_injector() const { return injector_.get(); }
 
  private:
   friend class Rank;
@@ -232,6 +253,11 @@ class Machine {
   struct Message {
     Buffer data;
     double sender_vtime = 0.0;  // sender clock at the instant of send
+    // Transport-verification stamps, written only while a fault plan is
+    // armed (zero otherwise): FNV-1a hash of the payload before any
+    // injected corruption, and the per-(src, dst, tag) delivery ordinal.
+    std::uint64_t checksum = 0;
+    std::uint32_t seq = 0;
   };
 
   /// One mailbox per ordered (dst, src) pair: senders to the same receiver
@@ -257,6 +283,14 @@ class Machine {
     // slot suffices). Guarded by mu.
     void* waiter = nullptr;
     int waiter_tag = 0;
+    // Deliveries held back by an armed delay fault (guarded by mu): each
+    // is appended to its tag queue *behind* the next message delivered
+    // into this box, reordering the FIFO deterministically. Invisible to
+    // the deadlock detector's pending scan on purpose — a held message
+    // cannot wake its receiver, so a run starved by one is a genuine
+    // (and correctly declared) deadlock. Always empty when no plan is
+    // armed.
+    std::deque<std::pair<int, Message>> delayed;
   };
 
   /// Sequential communicator-epoch registry (see Rank::comm_epoch).
@@ -313,6 +347,7 @@ class Machine {
 
   std::unique_ptr<check::CollectiveMatcher> matcher_;
   std::unique_ptr<check::TraceRecorder> tracer_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace catrsm::sim

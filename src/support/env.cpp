@@ -61,4 +61,17 @@ bool flag_or(const char* name, bool fallback) {
   return fallback;
 }
 
+std::string string_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+void warn_invalid(const char* name, const std::string& why,
+                  const std::string& fallback_desc) {
+  const char* v = std::getenv(name);
+  std::fprintf(stderr, "catrsm: ignoring %s=\"%s\" (%s); using %s\n", name,
+               v == nullptr ? "" : v, why.c_str(), fallback_desc.c_str());
+}
+
 }  // namespace catrsm::env

@@ -22,4 +22,15 @@ int int_or(const char* name, int fallback, long lo, long hi);
 /// empty returns `fallback`; malformed values warn and return `fallback`.
 bool flag_or(const char* name, bool fallback);
 
+/// Read `name` as a string. Unset or empty returns `fallback` silently.
+/// Validation is the caller's job (the accepted vocabulary is knob-
+/// specific); reject a value by calling `warn_invalid` so every knob warns
+/// with the same one-line stderr discipline.
+std::string string_or(const char* name, const std::string& fallback);
+
+/// Print the shared warn-and-fallback line for a rejected value of `name`:
+///   catrsm: ignoring NAME="value" (why); using fallback
+void warn_invalid(const char* name, const std::string& why,
+                  const std::string& fallback_desc);
+
 }  // namespace catrsm::env

@@ -1,0 +1,330 @@
+// Collective-layer fuzzer with optional fault injection (sim/fault
+// subsystem driver).
+//
+// Generates random scripts of collectives — allgather / reduce-scatter /
+// scatter / gather / bcast / reduce / allreduce / barrier over random
+// subgroup topologies (the world, rank-prefix ranges, concurrent strided
+// fibers) — and runs each on a random machine size with the full oracle
+// armed (collective matching, tracing, always-on deadlock detection).
+// Payloads are small integers, so every result is verified EXACTLY
+// in-body; a wrong element throws a plain std::runtime_error, which no
+// detector claims — i.e. a silent-wrong-answer escape fails the run.
+//
+// Half the scripts additionally arm a random fault plan (random class,
+// seed, rate). The contract fuzzed here is the coverage matrix's global
+// guarantee: a faulted run either completes with every exact check
+// passing and a trace that replays bit-identically, or surfaces an error
+// that check::report_fault attributes to a named detector. Either way
+// the machine must come back: the same script reruns cleanly afterwards.
+//
+//   fuzz_coll [--runs N] [--seed S] [--verbose]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "sim/check/fault_report.hpp"
+#include "sim/check/trace.hpp"
+#include "sim/comm.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using catrsm::coll::Counts;
+using catrsm::sim::Buffer;
+using catrsm::sim::Comm;
+using catrsm::sim::FaultClass;
+using catrsm::sim::FaultPlan;
+using catrsm::sim::Machine;
+using catrsm::sim::Rank;
+namespace check = catrsm::sim::check;
+namespace coll = catrsm::coll;
+
+struct Options {
+  int runs = 20;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+int pick(std::mt19937_64& rng, const std::vector<int>& from) {
+  return from[std::uniform_int_distribution<std::size_t>(
+      0, from.size() - 1)(rng)];
+}
+
+/// One scripted collective round; the whole script is generated on the
+/// host from the seed, so every rank runs the identical SPMD program.
+struct Round {
+  int kind = 0;  // 0..6, see run_round
+  int a = 0;     // width / stride / subgroup size, per kind
+  int b = 0;     // salt / root selector, per kind
+};
+
+/// Exact in-body verification. Deliberately NOT a catrsm::Error: if a
+/// fault slips a wrong value past every detector, report_fault must
+/// classify this as undetected — the escape the fuzzer exists to catch.
+void expect_eq(double got, double want, const char* what) {
+  if (got != want)
+    throw std::runtime_error(std::string("fuzz_coll: wrong result in ") +
+                             what + ": got " + std::to_string(got) +
+                             ", want " + std::to_string(want));
+}
+
+/// Sum of (id + 1) over the world ranks of `comm`'s members.
+double member_weight(const Comm& comm) {
+  double sum = 0.0;
+  for (const int w : comm.members()) sum += w + 1.0;
+  return sum;
+}
+
+void run_round(Rank& r, const Round& rd) {
+  Comm world = Comm::world(r);
+  const int p = world.size();
+  const int me = r.id();
+  switch (rd.kind) {
+    case 0: {  // world allreduce of width a
+      const auto w = static_cast<std::size_t>(rd.a);
+      const Buffer out =
+          coll::allreduce(world, Buffer(std::vector<double>(w, me + 1.0)));
+      expect_eq(static_cast<double>(out.size()), static_cast<double>(w),
+                "allreduce size");
+      for (std::size_t i = 0; i < out.size(); ++i)
+        expect_eq(out[i], member_weight(world), "allreduce");
+      break;
+    }
+    case 1: {  // allgather on the rank prefix [0, a) with uneven counts
+      Comm g = world.range(0, rd.a);
+      if (!g.is_member()) break;
+      Counts counts(static_cast<std::size_t>(rd.a));
+      for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] = 1 + (i + static_cast<std::size_t>(rd.b)) % 3;
+      const Buffer out = coll::allgather(
+          g,
+          Buffer(std::vector<double>(
+              counts[static_cast<std::size_t>(g.rank())],
+              static_cast<double>(me))),
+          counts);
+      std::size_t pos = 0;
+      for (std::size_t i = 0; i < counts.size(); ++i)
+        for (std::size_t j = 0; j < counts[i]; ++j)
+          expect_eq(out[pos++], static_cast<double>(i), "allgather");
+      break;
+    }
+    case 2: {  // concurrent allreduce on stride-a fibers
+      Comm fiber = world.strided_fiber(rd.a);
+      const Buffer out = coll::allreduce(
+          fiber, Buffer(std::vector<double>(2, me + 1.0)));
+      for (std::size_t i = 0; i < out.size(); ++i)
+        expect_eq(out[i], member_weight(fiber), "fiber allreduce");
+      break;
+    }
+    case 3: {  // concurrent reduce_scatter on stride-a fibers
+      Comm fiber = world.strided_fiber(rd.a);
+      const auto g = static_cast<std::size_t>(fiber.size());
+      const auto c = static_cast<std::size_t>(1 + rd.b % 2);
+      const Counts counts(g, c);
+      const Buffer out = coll::reduce_scatter(
+          fiber, Buffer(std::vector<double>(g * c, me + 1.0)), counts);
+      expect_eq(static_cast<double>(out.size()), static_cast<double>(c),
+                "reduce_scatter size");
+      for (std::size_t i = 0; i < out.size(); ++i)
+        expect_eq(out[i], member_weight(fiber), "reduce_scatter");
+      break;
+    }
+    case 4: {  // scatter on the rank prefix [0, a), root = prefix rank 0
+      Comm g = world.range(0, rd.a);
+      if (!g.is_member()) break;
+      const Counts counts(static_cast<std::size_t>(rd.a), 2);
+      Buffer all;
+      if (g.rank() == 0) {
+        std::vector<double> v;
+        for (int i = 0; i < rd.a; ++i) {
+          v.push_back(static_cast<double>(i));
+          v.push_back(static_cast<double>(i));
+        }
+        all = Buffer(std::move(v));
+      }
+      const Buffer out = coll::scatter(g, 0, std::move(all), counts);
+      for (std::size_t i = 0; i < out.size(); ++i)
+        expect_eq(out[i], static_cast<double>(me), "scatter");
+      break;
+    }
+    case 5: {  // world gather at a rotating root
+      const int root = rd.b % p;
+      const Counts counts(static_cast<std::size_t>(p), 1);
+      const Buffer out = coll::gather(
+          world, root,
+          Buffer(std::vector<double>{static_cast<double>(me)}), counts);
+      if (me == root) {
+        expect_eq(static_cast<double>(out.size()), static_cast<double>(p),
+                  "gather size");
+        for (std::size_t i = 0; i < out.size(); ++i)
+          expect_eq(out[i], static_cast<double>(i), "gather");
+      }
+      break;
+    }
+    default: {  // bcast on stride-a fibers, then a world barrier
+      Comm fiber = world.strided_fiber(rd.a);
+      const double root_id = me % rd.a;  // fiber member 0's world rank
+      const Buffer out = coll::bcast(
+          fiber, 0,
+          fiber.rank() == 0 ? Buffer(std::vector<double>(3, root_id))
+                            : Buffer(),
+          3);
+      for (std::size_t i = 0; i < out.size(); ++i)
+        expect_eq(out[i], root_id, "bcast");
+      coll::barrier(world);
+      break;
+    }
+  }
+}
+
+std::vector<Round> gen_script(std::mt19937_64& rng, int p) {
+  const int rounds = std::uniform_int_distribution<int>(2, 5)(rng);
+  std::vector<Round> script(static_cast<std::size_t>(rounds));
+  for (Round& rd : script) {
+    rd.kind = std::uniform_int_distribution<int>(0, 6)(rng);
+    rd.b = std::uniform_int_distribution<int>(0, 1 << 20)(rng);
+    switch (rd.kind) {
+      case 0: rd.a = pick(rng, {1, 4, 9}); break;
+      case 1:
+      case 4: rd.a = std::uniform_int_distribution<int>(2, p)(rng); break;
+      case 2:
+      case 3:
+      default: rd.a = pick(rng, {2, 3}); break;
+    }
+  }
+  return script;
+}
+
+std::string describe_script(const std::vector<Round>& script) {
+  static const char* kNames[] = {"allreduce", "allgather", "fiber-allreduce",
+                                 "fiber-reduce-scatter", "scatter", "gather",
+                                 "fiber-bcast+barrier"};
+  std::string s;
+  for (const Round& rd : script) {
+    if (!s.empty()) s += " ";
+    s += kNames[rd.kind];
+  }
+  return s;
+}
+
+bool run_one(std::uint64_t seed, const Options& opt) {
+  std::mt19937_64 rng(seed);
+  const int p = pick(rng, {4, 6, 8, 9, 12});
+  const std::vector<Round> script = gen_script(rng, p);
+  const auto body = [&script](Rank& r) {
+    for (const Round& rd : script) run_round(r, rd);
+  };
+
+  Machine m(p);
+  m.set_collective_checking(true);
+  m.set_tracing(true, /*capture_payloads=*/true);
+
+  const bool faulted = std::uniform_int_distribution<int>(0, 1)(rng) == 1;
+  FaultPlan plan;
+  if (faulted) {
+    plan.cls = static_cast<FaultClass>(
+        std::uniform_int_distribution<int>(0, 5)(rng));
+    plan.seed = rng();
+    plan.rate = static_cast<std::uint32_t>(pick(rng, {1, 2, 4, 8}));
+    m.arm_fault(plan);
+  }
+
+  std::string outcome;
+  bool completed = false;
+  try {
+    m.run(body);
+    completed = true;
+  } catch (const std::exception& e) {
+    if (!faulted) {
+      std::fprintf(stderr, "fuzz_coll: seed %llu (p=%d, %s): CLEAN run "
+                   "failed:\n%s\n",
+                   static_cast<unsigned long long>(seed), p,
+                   describe_script(script).c_str(), e.what());
+      return false;
+    }
+    const check::FaultReport report = check::report_fault(m, e);
+    if (!report.detected()) {
+      std::fprintf(stderr, "fuzz_coll: seed %llu (p=%d, %s): fault %s "
+                   "ESCAPED as an unclassified error:\n%s\n",
+                   static_cast<unsigned long long>(seed), p,
+                   describe_script(script).c_str(), plan.describe().c_str(),
+                   report.to_string().c_str());
+      return false;
+    }
+    outcome = "detected by " + report.detector + " (" +
+              std::to_string(report.injections) + " injections)";
+  }
+
+  if (faulted) m.disarm_fault();
+
+  if (completed) {
+    // A run that completed passed every exact in-body check (harmless or
+    // unfired injections); its trace must replay bit-identically.
+    check::Trace trace = m.take_trace();
+    (void)check::replay(m, trace);
+    outcome = faulted ? "completed correctly (fault landed harmlessly)"
+                      : "completed + replayed";
+  } else {
+    // Graceful degradation: the same machine reruns the same script
+    // cleanly, traces it completely, and the trace replays.
+    m.run(body);
+    check::Trace trace = m.take_trace();
+    (void)check::replay(m, trace);
+    outcome += "; clean rerun + replay ok";
+  }
+
+  if (opt.verbose)
+    std::fprintf(stderr, "fuzz_coll: seed %llu ok (p=%d, %s%s): %s\n",
+                 static_cast<unsigned long long>(seed), p,
+                 describe_script(script).c_str(),
+                 faulted ? (", fault " + plan.describe()).c_str() : "",
+                 outcome.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      opt.runs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--runs N] [--seed S] [--verbose]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  for (int i = 0; i < opt.runs; ++i) {
+    const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
+    try {
+      if (!run_one(seed, opt)) ++failures;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fuzz_coll: seed %llu faulted outside the run:\n%s\n",
+                   static_cast<unsigned long long>(seed), e.what());
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "fuzz_coll: %d of %d runs FAILED\n", failures,
+                 opt.runs);
+    return 1;
+  }
+  std::printf("fuzz_coll: %d runs passed (seed %llu)\n", opt.runs,
+              static_cast<unsigned long long>(opt.seed));
+  return 0;
+}

@@ -13,8 +13,10 @@
 #include "coll/collectives.hpp"
 #include "sim/check/coll_matcher.hpp"
 #include "sim/check/deadlock.hpp"
+#include "sim/check/fault_report.hpp"
 #include "sim/check/trace.hpp"
 #include "sim/comm.hpp"
+#include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "support/env.hpp"
 
@@ -425,6 +427,52 @@ TEST(Trace, TracingAddsNoModeledCost) {
     EXPECT_EQ(off.per_rank[i].msgs, on.per_rank[i].msgs);
     EXPECT_EQ(off.per_rank[i].words, on.per_rank[i].words);
     EXPECT_EQ(off.per_rank[i].flops, on.per_rank[i].flops);
+  }
+}
+
+TEST(Trace, MachineReusableAfterFaultWithMatcherAndTracingOn) {
+  // The hardest reuse case: a run faults with BOTH oracles armed. The
+  // torso trace must be refused (not silently replayed), and the next
+  // run on the same machine must trace, match, and replay cleanly.
+  using catrsm::sim::FaultClass;
+  using catrsm::sim::FaultPlan;
+  Machine m(4);
+  m.set_collective_checking(true);
+  m.set_tracing(true, /*capture_payloads=*/true);
+
+  m.arm_fault(FaultPlan{FaultClass::kCorrupt, 13, /*rate=*/1});
+  try {
+    m.run(traced_body);
+    FAIL() << "run completed under a rate-1 corruption fault";
+  } catch (const std::exception& e) {
+    const auto report = check::report_fault(m, e);
+    EXPECT_EQ(report.detector, "payload-checksum") << report.to_string();
+  }
+  // The faulted run never finished: its trace is a torso, and handing it
+  // out for replay would "validate" a run that did not happen.
+  EXPECT_THROW((void)m.take_trace(), Error);
+  m.disarm_fault();
+
+  // Same machine, same oracles: a clean run records a complete,
+  // replayable trace...
+  const RunStats live = m.run(traced_body);
+  check::Trace trace = m.take_trace();
+  const RunStats replayed = check::replay(m, trace);
+  EXPECT_EQ(replayed.critical_time, live.critical_time);
+
+  // ...and the collective matcher still catches a real mismatch.
+  m.set_tracing(false);
+  try {
+    m.run([](Rank& r) {
+      Comm world = Comm::world(r);
+      if (r.id() == 0) {
+        (void)coll::allreduce(world, Buffer(std::vector<double>(4, 1.0)));
+      } else {
+        coll::barrier(world);
+      }
+    });
+    FAIL() << "matcher missed an operation mismatch after fault recovery";
+  } catch (const CollMismatchError&) {
   }
 }
 
