@@ -7,6 +7,7 @@
 // simulation itself did not change.
 //
 //   ./bench_runner [output.json] [--threads N] [--assert-scaling]
+//                  [--assert-fusion]
 //
 // --threads N overrides the kernel pool size for the multi-threaded
 // cases (default: CATRSM_KERNEL_THREADS / hardware_concurrency). The
@@ -22,6 +23,13 @@
 // slower than 1.05x the single-threaded wall at the configured pool
 // size — the CI tripwire that keeps the pool from silently regressing
 // to a slowdown again.
+//
+// --assert-fusion exits non-zero when the fused batch
+// (batch/it_trsm_32x_p64_fused, the whole panel stream as ONE simulated
+// run) is slower than 1.05x the unfused pooled batch — the same kind of
+// tripwire for the Program-fusion win. Independently of the flag, the
+// fused batch's solutions are always compared bit for bit against the
+// unfused ones and any mismatch fails the run.
 
 #include <algorithm>
 #include <chrono>
@@ -288,7 +296,8 @@ void run_crossover_cases(std::vector<Record>& records) {
 /// of a ~1.4 s batch once committed an inversion of the pooled/nopool
 /// ordering (1412 vs 1337 ms) that a rerun inverted right back —
 /// scheduler noise, not a slab regression (see ROADMAP).
-void run_batch_case(std::vector<Record>& records, bool pooled) {
+double run_batch_case(std::vector<Record>& records, bool pooled,
+                      std::vector<api::ExecResult>* out_results = nullptr) {
   const int p = 64;
   const index_t n = 96, k = 48;
   const int items = 32;
@@ -304,6 +313,7 @@ void run_batch_case(std::vector<Record>& records, bool pooled) {
   // shrink the wall and report the cheap re-solve stats instead of the
   // committed cold-batch cost model.
   std::vector<api::ExecResult> results;
+  api::CacheStats cs;
   const double wall = bench::median_wall_ms(1, 3, [&] {
     api::Context ctx(p);
     api::TrsmSpec spec;
@@ -311,6 +321,7 @@ void run_batch_case(std::vector<Record>& records, bool pooled) {
     spec.algorithm = model::Algorithm::kIterative;
     auto plan = ctx.plan(api::trsm_op(n, k, spec));
     results = plan->execute_batch(l, bs);
+    cs = ctx.cache_stats();
   });
   const std::string name = pooled ? "batch/it_trsm_32x_p64"
                                   : "batch/it_trsm_32x_p64_nopool";
@@ -318,8 +329,63 @@ void run_batch_case(std::vector<Record>& records, bool pooled) {
                      results.front().algorithm_cost(),
                      results.front().stats.critical_time});
   std::cout << name << ": " << wall << " ms for " << items << " solves ("
-            << wall / items << " ms/solve)\n";
+            << wall / items << " ms/solve); plan-cache hits=" << cs.hits
+            << " misses=" << cs.misses << " entries=" << cs.entries << "\n";
   sim::set_slab_pool_enabled(true);
+  if (out_results != nullptr) *out_results = std::move(results);
+  return wall;
+}
+
+/// The fused form of the same scenario: the whole 32-panel stream as ONE
+/// api::Program in ONE Machine::run — L uploaded once, intermediates
+/// resident in the HandleStore, the diagonal inversion shared across
+/// panels inside the run, one describe-only communicator realization per
+/// layout. Modeled cost is the whole run's algorithm phase (iterations
+/// says it covers all 32 solves). Solutions must match the unfused batch
+/// bit for bit — checked here on every bench run, not just under the
+/// tripwire flag.
+double run_fused_batch_case(std::vector<Record>& records,
+                            const std::vector<api::ExecResult>& unfused) {
+  const int p = 64;
+  const index_t n = 96, k = 48;
+  const int items = 32;
+  const la::Matrix l = la::make_lower_triangular(11, n);
+  std::vector<la::Matrix> bs;
+  bs.reserve(items);
+  for (int i = 0; i < items; ++i)
+    bs.push_back(la::make_rhs(100 + static_cast<std::uint64_t>(i), n, k));
+
+  api::BatchResult result;
+  api::CacheStats cs;
+  const double wall = bench::median_wall_ms(1, 3, [&] {
+    api::Context ctx(p);
+    api::TrsmSpec spec;
+    spec.force_algorithm = true;
+    spec.algorithm = model::Algorithm::kIterative;
+    auto plan = ctx.plan(api::trsm_op(n, k, spec));
+    result = plan->execute_batch_fused(l, bs);
+    cs = ctx.cache_stats();
+  });
+  records.push_back({"batch/it_trsm_32x_p64_fused", p, n, k, wall,
+                     double(items), result.algorithm_cost(),
+                     result.stats.critical_time});
+  const api::ProgramStats& ps = result.program_stats;
+  std::cout << "batch/it_trsm_32x_p64_fused: " << wall << " ms for " << items
+            << " solves (" << wall / items << " ms/solve); program steps="
+            << ps.steps_executed << " merged=" << ps.nodes_merged
+            << " elided=" << ps.nodes_elided << " redist="
+            << ps.redistributes_inserted << "; plan-cache hits=" << cs.hits
+            << " misses=" << cs.misses << " entries=" << cs.entries << "\n";
+
+  for (int i = 0; i < items; ++i) {
+    if (!result.xs[static_cast<std::size_t>(i)].equals(
+            unfused[static_cast<std::size_t>(i)].x)) {
+      std::cerr << "FUSED MISMATCH: panel " << i
+                << " differs bitwise from the unfused batch\n";
+      std::exit(1);
+    }
+  }
+  return wall;
 }
 
 /// The resident-operand A/B of the same scenario: upload L ONCE, then 32
@@ -378,8 +444,71 @@ void run_program_case(std::vector<Record>& records) {
   const api::ExecResult r = plan->execute(a, b);
   records.push_back({"program/spd_pipeline", p, n, k, ms_since(t0), 1.0,
                      r.algorithm_cost(), r.stats.critical_time});
+  const api::CacheStats cs = ctx.cache_stats();
   std::cout << "program/spd_pipeline: " << records.back().wall_ms
-            << " ms (residual " << r.residual << ")\n";
+            << " ms (residual " << r.residual << "); plan-cache hits="
+            << cs.hits << " misses=" << cs.misses << " entries="
+            << cs.entries << "\n";
+}
+
+/// The optimizer A/B on a redundantly-written SPD pipeline: three
+/// right-hand sides, each wiring its OWN factor step against the same
+/// operand — the shape a naive program author produces. With the
+/// optimizer on, the duplicate factors merge and kCholesky runs once;
+/// off, the DAG runs as written. Both records carry the whole run's
+/// modeled algorithm cost, so the committed pair shows the merge win in
+/// S/W/F, not just wall clock.
+void run_program_opt_cases(std::vector<Record>& records) {
+  const int p = 16;
+  const index_t n = 128, k = 32;
+  const int panels = 3;
+  const int q = 4;  // square factor subgrid of p = 16
+  api::Context ctx(p);
+  const la::Matrix a = la::make_spd(41, n);
+
+  auto solve_plan = ctx.plan(api::cholesky_solve_op(n, k));
+  auto factor_plan = ctx.plan(api::cholesky_op(n, q));
+  api::TrsmSpec fwd;
+  fwd.force_algorithm = true;
+  fwd.algorithm = model::Algorithm::kIterative;
+  fwd.nblocks = solve_plan->config().nblocks;
+  fwd.grid_p1 = q;
+  fwd.grid_p2 = 1;
+  auto fwd_plan = ctx.plan(api::trsm_op(n, k, fwd));
+  api::TrsmSpec bwd = fwd;
+  bwd.transpose = true;
+  auto bwd_plan = ctx.plan(api::trsm_op(n, k, bwd));
+
+  api::Program prog(ctx);
+  std::vector<api::DistHandle> inputs{
+      ctx.upload(a, factor_plan->input_layout(0))};
+  const auto na = prog.input(n, n);
+  for (int j = 0; j < panels; ++j) {
+    const la::Matrix b =
+        la::make_rhs(42 + static_cast<std::uint64_t>(j), n, k);
+    inputs.push_back(ctx.upload(b, fwd_plan->input_layout(1)));
+    const auto nb = prog.input(n, k);
+    const auto nl = prog.add(factor_plan, {na});
+    const auto ny = prog.add(fwd_plan, {nl, nb});
+    prog.mark_output(prog.add(bwd_plan, {nl, ny}));
+  }
+
+  for (const bool optimized : {true, false}) {
+    prog.set_optimize(optimized);
+    const auto t0 = Clock::now();
+    const api::Program::Result r = prog.run(inputs);
+    const api::ProgramStats& ps = prog.stats();
+    records.push_back({optimized ? "program/spd_pipeline_opt"
+                                 : "program/spd_pipeline_noopt",
+                       p, n, k, ms_since(t0), double(panels),
+                       r.algorithm_cost(), r.stats.critical_time});
+    std::cout << records.back().name << ": " << records.back().wall_ms
+              << " ms for " << panels << " rhs panels; program steps="
+              << ps.steps_executed << " merged=" << ps.nodes_merged
+              << " elided=" << ps.nodes_elided << " redist="
+              << ps.redistributes_inserted << " avoided="
+              << ps.redistributes_avoided << "\n";
+  }
 }
 
 /// Oracle-overhead A/B: the same solve with the correctness oracle
@@ -436,17 +565,20 @@ int main(int argc, char** argv) {
   std::string path = "BENCH_sim.json";
   int threads_override = 0;
   bool assert_scaling = false;
+  bool assert_fusion = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads") {
       threads_override = i + 1 < argc ? std::atoi(argv[++i]) : 0;
       if (threads_override < 1) {
         std::cerr << "usage: bench_runner [output.json] [--threads N] "
-                     "[--assert-scaling] (N >= 1)\n";
+                     "[--assert-scaling] [--assert-fusion] (N >= 1)\n";
         return 2;
       }
     } else if (arg == "--assert-scaling") {
       assert_scaling = true;
+    } else if (arg == "--assert-fusion") {
+      assert_fusion = true;
     } else {
       path = arg;
     }
@@ -462,10 +594,14 @@ int main(int argc, char** argv) {
   const auto [st_1024, mt_1024] = run_kernel_mt_cases(records, pool_threads);
   run_mixed_cases(records);
   run_crossover_cases(records);
-  run_batch_case(records, /*pooled=*/true);
+  std::vector<api::ExecResult> unfused;
+  const double batch_wall = run_batch_case(records, /*pooled=*/true,
+                                           &unfused);
   run_batch_case(records, /*pooled=*/false);
+  const double fused_wall = run_fused_batch_case(records, unfused);
   run_resident_batch_case(records);
   run_program_case(records);
+  run_program_opt_cases(records);
   run_oracle_cases(records);
 
   std::string out = "[\n";
@@ -481,6 +617,12 @@ int main(int argc, char** argv) {
               << mt_1024 << " ms with " << pool_threads
               << " threads vs " << st_1024
               << " ms single-threaded (limit: 1.05x)\n";
+    return 1;
+  }
+  if (assert_fusion && fused_wall > batch_wall * 1.05) {
+    std::cerr << "FUSION REGRESSION: batch/it_trsm_32x_p64_fused took "
+              << fused_wall << " ms vs " << batch_wall
+              << " ms unfused (limit: 1.05x)\n";
     return 1;
   }
   return 0;

@@ -57,6 +57,10 @@
 #include "sim/machine.hpp"
 #include "support/check.hpp"
 
+namespace catrsm::dist {
+class Distribution;
+}  // namespace catrsm::dist
+
 namespace catrsm::api {
 
 using la::index_t;
@@ -247,6 +251,37 @@ struct CacheStats {
   std::size_t entries = 0;
 };
 
+/// What the Program optimizer did on the last run (Program::stats()).
+/// `redistributes_inserted` counts the layout transitions the executed
+/// schedule actually performs (per distinct (node, layout) — conversions
+/// are computed once and reused); `redistributes_avoided` is how many the
+/// as-written DAG would have paid beyond that. With the optimizer off,
+/// inserted equals the as-written mismatch count and everything else is 0.
+struct ProgramStats {
+  std::uint64_t nodes_elided = 0;    // steps unreachable from any output
+  std::uint64_t nodes_merged = 0;    // duplicate (plan, args) steps reused
+  std::uint64_t redistributes_inserted = 0;
+  std::uint64_t redistributes_avoided = 0;
+  std::uint64_t steps_executed = 0;
+  bool optimized = false;
+};
+
+/// Result of a fused batch (Plan::execute_batch_fused): the entire panel
+/// stream ran as ONE Machine::run, so there is a single RunStats for the
+/// whole batch. Residuals are computed host-side per panel, exactly like
+/// the unfused path.
+struct BatchResult {
+  std::vector<la::Matrix> xs;
+  std::vector<double> residuals;
+  sim::RunStats stats;
+  model::Config config;
+  ProgramStats program_stats;
+
+  /// Max-over-ranks cost of the distributed computation across the WHOLE
+  /// batch (one run — compare against items x the per-solve cost).
+  sim::Cost algorithm_cost() const;
+};
+
 class Context;
 
 class Plan : public std::enable_shared_from_this<Plan> {
@@ -286,6 +321,18 @@ class Plan : public std::enable_shared_from_this<Plan> {
   /// exactly once per distinct operand matrix.
   std::vector<ExecResult> execute_batch(const la::Matrix& a,
                                         const std::vector<la::Matrix>& bs);
+
+  /// The same panel stream as ONE simulated run: every panel is uploaded
+  /// once (one describe-only realization per operand layout, shared across
+  /// the batch), all solves execute as a single Program inside a single
+  /// Machine::run with intermediates resident in the HandleStore, and —
+  /// for the iterative TRSM — the diagonal-block inversion runs once and
+  /// is reused by every panel IN that run (and across calls against the
+  /// same operand bytes, like execute_batch). Supports kTrsm in the
+  /// normalized lower-left variants (transpose requires the iterative
+  /// algorithm) and the matmul ops; other ops: use execute_batch.
+  BatchResult execute_batch_fused(const la::Matrix& a,
+                                  const std::vector<la::Matrix>& bs);
 
   /// Element generator over GLOBAL indices (namespace-level api::Gen).
   using Gen = api::Gen;
@@ -334,6 +381,18 @@ class Plan : public std::enable_shared_from_this<Plan> {
   std::uint64_t diag_fp_ = 0;
   bool diag_valid_ = false;
   std::uint64_t diag_inversions_ = 0;
+
+  // Describe-only input distributions for the iterative-TRSM matrix
+  // path, built once on the host and shared read-only by every rank of
+  // every run: execute_batch reuses one communicator set across panels
+  // instead of each rank rebuilding it per panel. Keyed by the
+  // normalized kernel shape (right-side / transposed variants swap it
+  // relative to the plan's (n, k)). The maps are pure arithmetic, so
+  // sharing them cannot perturb modeled costs.
+  std::shared_ptr<const dist::Distribution> host_a_dist_;
+  std::shared_ptr<const dist::Distribution> host_b_dist_;
+  index_t host_dist_rows_ = -1;
+  index_t host_dist_cols_ = -1;
 };
 
 class Context {
@@ -401,6 +460,19 @@ class Context {
   friend class Plan;
   friend class Program;
 
+  /// Upload/download against a caller-realized distribution, so a batch
+  /// realizes each layout's describe-only communicator set ONCE instead of
+  /// once per panel (Plan::execute_batch_fused). `d` must be
+  /// detail::realize_host(layout, rows, cols, nprocs()) for the same
+  /// shape/layout the call passes.
+  DistHandle upload_on(const la::Matrix& m, Layout layout,
+                       const std::shared_ptr<const dist::Distribution>& d);
+  DistHandle upload_on(const Gen& gen, index_t rows, index_t cols,
+                       Layout layout,
+                       const std::shared_ptr<const dist::Distribution>& d);
+  la::Matrix download_on(const DistHandle& h,
+                         const std::shared_ptr<const dist::Distribution>& d);
+
   std::unique_ptr<sim::Machine> owned_;
   sim::Machine* machine_;
   std::size_t capacity_;
@@ -410,6 +482,19 @@ class Context {
   std::list<std::pair<std::string, std::shared_ptr<Plan>>> lru_;
   std::unordered_map<std::string, decltype(lru_)::iterator> index_;
 };
+
+class Program;
+
+namespace opt {
+struct Schedule;
+
+/// Compile `prog` into an execution schedule for the input layouts bound
+/// by the current run. With `enabled` false the schedule reproduces the
+/// as-written DAG exactly (every step, one redistribute per mismatched
+/// use); with it true the three passes run: dead-node elision, common-
+/// sub-DAG merging, and layout-aware intermediate placement (see opt.hpp).
+Schedule compile(const Program& prog, bool enabled);
+}  // namespace opt
 
 /// A small op-DAG over resident operands: chain several plans through ONE
 /// Machine::run with no intermediate host collects — intermediates stay
@@ -430,6 +515,15 @@ class Context {
 /// A Program is a reusable recipe: run() may be called many times against
 /// different input handles. Not thread-safe; must not outlive its
 /// Context.
+///
+/// Before executing, the DAG is compiled by the optimizer (opt::compile,
+/// gated by CATRSM_PROGRAM_OPT, default on): steps unreachable from a
+/// marked output are elided, structurally identical (plan, args) steps
+/// are merged (one factor feeding many solves computes once), and
+/// intermediate layouts are placed to minimize inserted redistributes —
+/// ties broken by the modeled alpha-beta time of the implied transitions.
+/// Optimized and unoptimized runs produce bitwise-identical outputs;
+/// stats() reports what the last run's schedule did.
 class Program {
  public:
   using NodeId = int;
@@ -459,8 +553,18 @@ class Program {
   /// bound input handles.
   Result run(const std::vector<DistHandle>& inputs);
 
+  using Stats = ProgramStats;
+  /// What the optimizer did on the most recent run() (see ProgramStats).
+  const Stats& stats() const { return stats_; }
+
+  /// Override the CATRSM_PROGRAM_OPT default for this Program. Off, the
+  /// DAG executes exactly as written — the bitwise A/B reference.
+  void set_optimize(bool on) { optimize_ = on; }
+  bool optimize() const { return optimize_; }
+
  private:
   friend class Plan;  // execute_dist runs as a one-step program
+  friend opt::Schedule opt::compile(const Program&, bool);
 
   struct Node {
     index_t rows = 0;
@@ -484,6 +588,11 @@ class Program {
   std::vector<Step> steps_;
   std::vector<NodeId> outputs_;
   int n_inputs_ = 0;
+  bool optimize_ = true;  // seeded from CATRSM_PROGRAM_OPT in the ctor
+  // Compiled schedule, reused across run() calls while the DAG, the
+  // optimize flag, and the bound input layouts stay the same.
+  std::shared_ptr<const opt::Schedule> compiled_;
+  Stats stats_;
 };
 
 }  // namespace catrsm::api

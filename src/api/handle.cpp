@@ -70,17 +70,33 @@ void fill_slots(sim::HandleStore& store, std::uint64_t id, const Gen& gen,
 }  // namespace
 
 DistHandle Context::upload(const la::Matrix& m, Layout layout) {
-  // Copy the matrix into the recovery source: the handle's repair path
-  // may fire long after the caller's matrix is gone.
-  const auto keep = std::make_shared<la::Matrix>(m);
-  return upload([keep](index_t i, index_t j) { return (*keep)(i, j); },
-                m.rows(), m.cols(), layout);
+  return upload_on(m, layout,
+                   detail::realize_host(layout, m.rows(), m.cols(),
+                                        nprocs()));
 }
 
 DistHandle Context::upload(const Gen& gen, index_t rows, index_t cols,
                            Layout layout) {
+  return upload_on(gen, rows, cols, layout,
+                   detail::realize_host(layout, rows, cols, nprocs()));
+}
+
+DistHandle Context::upload_on(
+    const la::Matrix& m, Layout layout,
+    const std::shared_ptr<const dist::Distribution>& d) {
+  // Copy the matrix into the recovery source: the handle's repair path
+  // may fire long after the caller's matrix is gone.
+  const auto keep = std::make_shared<la::Matrix>(m);
+  return upload_on([keep](index_t i, index_t j) { return (*keep)(i, j); },
+                   m.rows(), m.cols(), layout, d);
+}
+
+DistHandle Context::upload_on(
+    const Gen& gen, index_t rows, index_t cols, Layout layout,
+    const std::shared_ptr<const dist::Distribution>& d) {
   CATRSM_CHECK(rows >= 1 && cols >= 1, "upload: empty operand");
-  const auto d = detail::realize_host(layout, rows, cols, nprocs());
+  CATRSM_CHECK(d != nullptr && d->rows() == rows && d->cols() == cols,
+               "upload: realization does not match the operand shape");
   sim::HandleStore& store = machine_->handle_store();
   const std::uint64_t id = store.create();
   fill_slots(store, id, gen, d, nprocs());
@@ -109,14 +125,23 @@ void Context::repair(const DistHandle& h) {
 
 la::Matrix Context::download(const DistHandle& h) {
   CATRSM_CHECK(h.valid(), "download: empty handle");
+  return download_on(
+      h, detail::realize_host(h.layout(), h.rows(), h.cols(), nprocs()));
+}
+
+la::Matrix Context::download_on(
+    const DistHandle& h,
+    const std::shared_ptr<const dist::Distribution>& d) {
+  CATRSM_CHECK(h.valid(), "download: empty handle");
   CATRSM_CHECK(h.state_->machine == machine_,
                "download: handle belongs to a different machine");
+  CATRSM_CHECK(d != nullptr && d->rows() == h.rows() &&
+                   d->cols() == h.cols(),
+               "download: realization does not match the handle shape");
   if (machine_->handle_store().poisoned(h.id()))
     throw PoisonedOperandError(
         "download: operand was touched by a faulted run and may be "
         "partially rewritten — Context::repair it (or re-upload) first");
-  const auto d =
-      detail::realize_host(h.layout(), h.rows(), h.cols(), nprocs());
   sim::HandleStore& store = machine_->handle_store();
   la::Matrix out(h.rows(), h.cols());
   for (int w = 0; w < nprocs(); ++w) {

@@ -119,6 +119,21 @@ TrsmDists trsm_dists(const sim::Comm& grid, const model::Config& cfg,
   throw Error("trsm_dists: unknown algorithm");
 }
 
+namespace {
+
+sim::Comm describe_world(int p) {
+  std::vector<int> all(static_cast<std::size_t>(p));
+  std::iota(all.begin(), all.end(), 0);
+  return sim::Comm::describe(std::move(all));
+}
+
+}  // namespace
+
+TrsmDists trsm_dists_host(const model::Config& cfg, index_t n, index_t k,
+                          int p) {
+  return trsm_dists(describe_world(p), cfg, n, k);
+}
+
 DistMatrix trsm_solve(const OpDesc& desc, const model::Config& cfg,
                       const sim::Comm& grid, const DistMatrix& dl,
                       const DistMatrix& db, const TrsmBodyOptions& opts) {

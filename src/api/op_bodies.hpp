@@ -91,6 +91,16 @@ struct TrsmDists {
 TrsmDists trsm_dists(const sim::Comm& grid, const model::Config& cfg,
                      index_t n, index_t k);
 
+/// The same TrsmDists built outside any run from a describe-only world
+/// communicator of p ranks: the element->rank maps depend only on
+/// (config, shapes), so one set serves every rank of every panel of a
+/// batch instead of being rebuilt per rank per execute. Only valid for
+/// algorithms that communicate exclusively through the comm argument
+/// (iterative); the recursive/2D/1D bodies pull live fibers out of the
+/// operand's face and need in-run trsm_dists.
+TrsmDists trsm_dists_host(const model::Config& cfg, index_t n, index_t k,
+                          int p);
+
 /// Solve L X = B with the planned algorithm (the normalized lower-left
 /// non-transposed kernel; dl/db must be in trsm_dists form).
 dist::DistMatrix trsm_solve(const OpDesc& desc, const model::Config& cfg,

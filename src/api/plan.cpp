@@ -314,6 +314,109 @@ std::vector<ExecResult> Plan::execute_batch(const Matrix& a,
   return out;
 }
 
+sim::Cost BatchResult::algorithm_cost() const {
+  return stats.phase_cost("algorithm");
+}
+
+BatchResult Plan::execute_batch_fused(const Matrix& a,
+                                      const std::vector<Matrix>& bs) {
+  CATRSM_CHECK(desc_.op == Op::kTrsm || desc_.op == Op::kMatmul3D ||
+                   desc_.op == Op::kMatmul2D,
+               "execute_batch_fused: fuses trsm and matmul panel streams — "
+               "other ops: use execute_batch");
+  if (desc_.op == Op::kTrsm) {
+    CATRSM_CHECK(desc_.trsm.side == Side::kLeft &&
+                     desc_.trsm.uplo == la::Uplo::kLower &&
+                     !desc_.trsm.mixed_precision,
+                 "execute_batch_fused: normalized lower-left distributed "
+                 "kernel only (no right/upper/mixed-precision variants)");
+  }
+  BatchResult result;
+  result.config = config_;
+  if (bs.empty()) return result;
+
+  const bool is_trsm = desc_.op == Op::kTrsm;
+  const index_t arows = desc_.n;
+  const index_t acols = is_trsm ? desc_.n : desc_.inner;
+  const index_t brows = is_trsm ? desc_.n : desc_.inner;
+  const index_t bcols = desc_.k;
+  CATRSM_CHECK(a.rows() == arows && a.cols() == acols,
+               "execute_batch_fused: operand must match the planned shape");
+  for (const Matrix& b : bs)
+    CATRSM_CHECK(b.rows() == brows && b.cols() == bcols,
+                 "execute_batch_fused: panel must match the planned shape");
+
+  // ONE describe-only realization per operand layout, shared by every
+  // upload and download in the batch — the host-side analogue of the
+  // plan's frozen grid (the unfused path rebuilt these per panel).
+  const int p = ctx_->nprocs();
+  const Layout lay_a = input_layout(0);
+  const Layout lay_b = input_layout(1);
+  const Layout lay_x = output_layout();
+  const auto da = detail::realize_host(lay_a, arows, acols, p);
+  const auto db = detail::realize_host(lay_b, brows, bcols, p);
+  const auto dx = detail::realize_host(lay_x, desc_.n, bcols, p);
+
+  // The whole panel stream as one Program: input L once, one step + one
+  // marked output per panel, executed in a single Machine::run with
+  // every intermediate resident in the HandleStore.
+  Program prog(*ctx_);
+  std::vector<DistHandle> handles;
+  handles.reserve(bs.size() + 1);
+  handles.push_back(ctx_->upload_on(a, lay_a, da));
+  const Program::NodeId na = prog.input(arows, acols);
+  for (const Matrix& b : bs) {
+    handles.push_back(ctx_->upload_on(b, lay_b, db));
+    const Program::NodeId nb = prog.input(brows, bcols);
+    prog.mark_output(prog.add(shared_from_this(), {na, nb}));
+  }
+
+  // Iterative-TRSM diagonal-inverse sharing: the first panel's step
+  // computes Ltilde into the plan's cache (unless a prior call against
+  // the same operand bytes already did), every later panel reuses it IN
+  // the same simulated run — the fused form of execute_batch's
+  // once-per-operand inversion.
+  bool diag_store = false;
+  bool reuse = false;
+  if (is_trsm && !desc_.trsm.transpose &&
+      config_.algorithm == model::Algorithm::kIterative) {
+    const std::uint64_t fp = fingerprint(a);
+    reuse = diag_valid_ && diag_fp_ == fp;
+    if (!reuse) {
+      diag_locals_.assign(static_cast<std::size_t>(p), Matrix{});
+      diag_fp_ = fp;
+      diag_valid_ = false;
+    }
+    diag_store = true;
+    for (std::size_t i = 0; i < prog.steps_.size(); ++i) {
+      prog.steps_[i].ltilde_store = &diag_locals_;
+      prog.steps_[i].reuse_ltilde = reuse || i > 0;
+    }
+  }
+
+  Program::Result r = prog.run(handles);
+  if (diag_store && !reuse) {
+    diag_valid_ = true;
+    ++diag_inversions_;
+  }
+
+  result.stats = std::move(r.stats);
+  result.program_stats = prog.stats();
+  result.xs.reserve(bs.size());
+  result.residuals.reserve(bs.size());
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    Matrix x = ctx_->download_on(r.outputs[i], dx);
+    double resid = 0.0;
+    if (is_trsm)
+      resid = desc_.trsm.transpose
+                  ? la::trsm_residual(a.transposed(), x, bs[i])
+                  : la::trsm_residual(a, x, bs[i]);
+    result.residuals.push_back(resid);
+    result.xs.push_back(std::move(x));
+  }
+  return result;
+}
+
 ExecResult Plan::execute_generated(const Gen& a_gen, const Gen& b_gen,
                                    bool verify) {
   CATRSM_CHECK(desc_.op == Op::kCholeskySolve,
@@ -482,6 +585,23 @@ ExecResult Plan::run_trsm_kernel(const Matrix& l, const Matrix& b) {
     store = &diag_locals_;
   }
 
+  // One describe-only communicator set per kernel shape: a batch of
+  // panels (execute_batch) reuses these maps across every panel and every
+  // rank instead of rebuilding them inside each run. Construction charges
+  // nothing, so the hoist leaves modeled costs untouched. Iterative only:
+  // it_inv_trsm communicates exclusively through the comm argument, while
+  // the recursive/2D/1D bodies pull live fibers out of the operand's face
+  // and must keep in-run distributions.
+  const bool share_dists = cfg.algorithm == model::Algorithm::kIterative;
+  if (share_dists && (host_a_dist_ == nullptr || host_dist_rows_ != n ||
+                      host_dist_cols_ != k)) {
+    detail::TrsmDists hd = detail::trsm_dists_host(cfg, n, k, p);
+    host_a_dist_ = std::move(hd.l);
+    host_b_dist_ = std::move(hd.b);
+    host_dist_rows_ = n;
+    host_dist_cols_ = k;
+  }
+
   auto [x_out, stats] = run_and_collect(machine, n, k, [&](sim::Rank& r)
       -> std::optional<std::pair<DistMatrix, sim::Comm>> {
     sim::Comm world = sim::Comm::world(r);
@@ -489,7 +609,9 @@ ExecResult Plan::run_trsm_kernel(const Matrix& l, const Matrix& b) {
     // algorithm_cost() excludes the driver's collect, as documented.
     DistMatrix x = [&]() -> DistMatrix {
       sim::PhaseScope algorithm_scope(r, "algorithm");
-      const detail::TrsmDists dists = detail::trsm_dists(world, cfg, n, k);
+      const detail::TrsmDists dists =
+          share_dists ? detail::TrsmDists{host_a_dist_, host_b_dist_}
+                      : detail::trsm_dists(world, cfg, n, k);
       DistMatrix dl(dists.l, r.id());
       dl.fill([&](index_t i, index_t j) { return l(i, j); });
       DistMatrix db(dists.b, r.id());
@@ -642,6 +764,9 @@ ExecResult Plan::run_matmul(const Matrix& a, const Matrix& x) {
   auto [c_out, stats] = run_and_collect(machine, m, k, [&](sim::Rank& r)
       -> std::optional<std::pair<DistMatrix, sim::Comm>> {
     sim::Comm world = sim::Comm::world(r);
+    // SUMMA pulls live row/column fibers out of these faces, so the
+    // distributions must stay per-rank and in-run (unlike the iterative
+    // TRSM kernel's hoisted describe-only set).
     Face2D face(world, config_.pr, config_.pc);
     auto ad = dist::cyclic_on(face, m, inner);
     auto xd = dist::cyclic_on(face, inner, k);

@@ -1,9 +1,15 @@
 // api::Program — deterministic op-DAG execution over resident operands:
 // every step's body runs inside ONE Machine::run, intermediates never
-// leave per-rank storage, and a consumer whose required layout differs
-// from its producer's gets exactly one dist::redistribute (charged to the
-// "redistribute" phase; everything else lands under "algorithm" plus the
+// leave per-rank storage, and layout transitions run under the
+// "redistribute" phase (everything else lands under "algorithm" plus the
 // step's own label).
+//
+// run() executes a compiled opt::Schedule rather than the raw DAG: with
+// the optimizer on (CATRSM_PROGRAM_OPT, default), dead steps are elided,
+// duplicate (plan, args) steps are merged, and each distinct
+// (node, layout) conversion runs once and is reused; with it off the
+// schedule replays the DAG exactly as written — same steps, same per-use
+// redistributes, bitwise-identical outputs either way.
 
 #include <optional>
 #include <numeric>
@@ -11,8 +17,10 @@
 #include <utility>
 
 #include "api/op_bodies.hpp"
+#include "api/opt.hpp"
 #include "sim/fault.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace catrsm::api {
 
@@ -31,7 +39,8 @@ sim::Cost Program::Result::algorithm_cost() const {
   return stats.phase_cost("algorithm");
 }
 
-Program::Program(Context& ctx) : ctx_(&ctx) {}
+Program::Program(Context& ctx)
+    : ctx_(&ctx), optimize_(env::flag_or("CATRSM_PROGRAM_OPT", true)) {}
 
 Program::NodeId Program::input(index_t rows, index_t cols) {
   CATRSM_CHECK(rows >= 1 && cols >= 1, "program: empty input shape");
@@ -40,6 +49,7 @@ Program::NodeId Program::input(index_t rows, index_t cols) {
   node.cols = cols;
   node.input_index = n_inputs_++;
   nodes_.push_back(node);
+  compiled_.reset();
   return static_cast<NodeId>(nodes_.size()) - 1;
 }
 
@@ -112,6 +122,7 @@ Program::NodeId Program::add(std::shared_ptr<Plan> plan,
   step.phase = std::move(phase);
   step.out = out_id;
   steps_.push_back(std::move(step));
+  compiled_.reset();
   return out_id;
 }
 
@@ -123,6 +134,7 @@ void Program::mark_output(NodeId node) {
   for (const NodeId existing : outputs_)
     CATRSM_CHECK(existing != node, "program: node is already an output");
   outputs_.push_back(node);
+  compiled_.reset();
 }
 
 Program::Result Program::run(const std::vector<DistHandle>& inputs) {
@@ -155,6 +167,21 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
     node.layout = h.layout();
   }
 
+  // Compile (or reuse) the execution schedule for this DAG + the bound
+  // input layouts + the optimize flag. stats_ reflects the schedule even
+  // if the run itself later faults.
+  {
+    std::vector<Layout> sig;
+    for (const Node& node : nodes_)
+      if (node.input_index >= 0) sig.push_back(node.layout);
+    if (compiled_ == nullptr || compiled_->optimized != optimize_ ||
+        compiled_->input_sig != sig)
+      compiled_ = std::make_shared<const opt::Schedule>(
+          opt::compile(*this, optimize_));
+  }
+  const opt::Schedule& sched = *compiled_;
+  stats_ = sched.stats;
+
   std::vector<std::uint64_t> out_ids;
   out_ids.reserve(outputs_.size());
   for (std::size_t i = 0; i < outputs_.size(); ++i)
@@ -164,12 +191,19 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
     const int me = r.id();
     sim::Comm world = sim::Comm::world(r);
     std::vector<DistMatrix> vals(nodes_.size());
+    // Cached conversions: one slot per distinct (node, layout) the
+    // schedule reuses, materialized at first use. All ranks follow the
+    // same static schedule, so the lazy fill is collective-safe.
+    std::vector<DistMatrix> conv_vals(
+        static_cast<std::size_t>(sched.n_cached));
+    std::vector<char> conv_done(static_cast<std::size_t>(sched.n_cached),
+                                0);
 
     // Input slots are moved OUT of the store for the duration of the run;
     // restore them even when a peer's failure unwinds this rank, so a
     // failed program never destroys the caller's resident operands. A
     // handle bound to several input nodes is moved out once and copied
-    // for the rest.
+    // for the rest. Inputs feeding only elided steps are never touched.
     std::unordered_map<std::uint64_t, std::size_t> first_node_of;
     const auto restore_inputs = [&] {
       for (const auto& [id, node] : first_node_of)
@@ -179,7 +213,7 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
     try {
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       const Node& node = nodes_[i];
-      if (node.input_index < 0) continue;
+      if (node.input_index < 0 || !sched.load_input[i]) continue;
       const DistHandle& h =
           inputs[static_cast<std::size_t>(node.input_index)];
       auto d = detail::realize(node.layout, node.rows, node.cols, world);
@@ -194,7 +228,8 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
       }
     }
 
-    for (const Step& step : steps_) {
+    for (const opt::StepExec& se : sched.steps) {
+      const Step& step = steps_[static_cast<std::size_t>(se.index)];
       const Plan& plan = *step.plan;
       const int gr = detail::grid_ranks(plan.desc(), plan.config(), p);
       sim::Comm grid = [&] {
@@ -204,22 +239,36 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
         return world.subset(idx);
       }();
 
-      // Layout transitions: only where the producer's layout differs from
-      // what this step's algorithm consumes.
+      // Layout transitions, as planned by the schedule: direct reference,
+      // a cached conversion (run once, reused), or — optimizer off — a
+      // per-use transient, exactly the as-written behavior.
       const int arity = op_arity(plan.desc().op);
       const DistMatrix* arg[2] = {nullptr, nullptr};
       DistMatrix moved[2];
       for (int slot = 0; slot < arity; ++slot) {
-        const NodeId nid = step.args[static_cast<std::size_t>(slot)];
-        const Node& node = nodes_[static_cast<std::size_t>(nid)];
-        const Layout need = plan.input_layout(slot);
-        if (node.layout == need) {
+        const NodeId nid = se.arg[slot];
+        if (se.conv[slot] < 0) {
           arg[slot] = &vals[static_cast<std::size_t>(nid)];
+          continue;
+        }
+        const opt::Conversion& cv =
+            sched.conversions[static_cast<std::size_t>(se.conv[slot])];
+        if (cv.cache >= 0 &&
+            conv_done[static_cast<std::size_t>(cv.cache)]) {
+          arg[slot] = &conv_vals[static_cast<std::size_t>(cv.cache)];
+          continue;
+        }
+        const Node& src = nodes_[static_cast<std::size_t>(cv.node)];
+        sim::PhaseScope scope(r, "redistribute");
+        DistMatrix out = dist::redistribute(
+            vals[static_cast<std::size_t>(cv.node)],
+            detail::realize(cv.to, src.rows, src.cols, world), world);
+        if (cv.cache >= 0) {
+          conv_vals[static_cast<std::size_t>(cv.cache)] = std::move(out);
+          conv_done[static_cast<std::size_t>(cv.cache)] = 1;
+          arg[slot] = &conv_vals[static_cast<std::size_t>(cv.cache)];
         } else {
-          sim::PhaseScope scope(r, "redistribute");
-          moved[slot] = dist::redistribute(
-              vals[static_cast<std::size_t>(nid)],
-              detail::realize(need, node.rows, node.cols, world), world);
+          moved[slot] = std::move(out);
           arg[slot] = &moved[slot];
         }
       }
@@ -244,12 +293,37 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
                                          out_node.cols, world),
                          me);
       }
+      if (sched.place[static_cast<std::size_t>(step.out)]) {
+        // Placement moved this intermediate off its natural layout: pay
+        // the transition once at the producer instead of per consumer.
+        sim::PhaseScope scope(r, "redistribute");
+        out = dist::redistribute(
+            out,
+            detail::realize(sched.resident[static_cast<std::size_t>(
+                                step.out)],
+                            out_node.rows, out_node.cols, world),
+            world);
+      }
       vals[static_cast<std::size_t>(step.out)] = std::move(out);
     }
 
-    for (std::size_t i = 0; i < outputs_.size(); ++i)
-      store.local(out_ids[i], me) = std::move(
-          vals[static_cast<std::size_t>(outputs_[i])].local());
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+      const std::size_t src = static_cast<std::size_t>(
+          sched.resolve[static_cast<std::size_t>(outputs_[i])]);
+      // Merged outputs can share one producer node: the last reference
+      // moves the local block, earlier ones copy it.
+      bool last = true;
+      for (std::size_t j = i + 1; j < outputs_.size(); ++j)
+        if (static_cast<std::size_t>(sched.resolve[static_cast<std::size_t>(
+                outputs_[j])]) == src) {
+          last = false;
+          break;
+        }
+      if (last)
+        store.local(out_ids[i], me) = std::move(vals[src].local());
+      else
+        store.local(out_ids[i], me) = vals[src].local();
+    }
 
     restore_inputs();
     } catch (...) {

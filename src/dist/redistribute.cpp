@@ -1,6 +1,7 @@
 #include "dist/redistribute.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <tuple>
 #include <utility>
 
@@ -133,6 +134,40 @@ const BlockCyclicDist& as_unit_cyclic(const Distribution& d,
 }
 
 }  // namespace
+
+double moved_words(const Distribution& src, const Distribution& dst) {
+  CATRSM_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
+               "moved_words: global shape mismatch");
+  const index_t rows = src.rows();
+  const index_t cols = src.cols();
+  const index_t rstep = std::max<index_t>(1, rows / 64);
+  const index_t cstep = std::max<index_t>(1, cols / 64);
+  std::uint64_t sampled = 0;
+  std::uint64_t moved = 0;
+  for (index_t i = 0; i < rows; i += rstep) {
+    const int from_r = src.part_of_row(i);
+    const int to_r = dst.part_of_row(i);
+    for (index_t j = 0; j < cols; j += cstep) {
+      ++sampled;
+      if (src.world_rank_of(from_r, src.part_of_col(j)) !=
+          dst.world_rank_of(to_r, dst.part_of_col(j)))
+        ++moved;
+    }
+  }
+  return static_cast<double>(rows) * static_cast<double>(cols) *
+         static_cast<double>(moved) / static_cast<double>(sampled);
+}
+
+sim::Cost redistribute_model_cost(const Distribution& src,
+                                  const Distribution& dst, int p) {
+  CATRSM_CHECK(p >= 1, "redistribute_model_cost: need p >= 1");
+  double rounds = 0.0;
+  for (int span = 1; span < p; span *= 2) rounds += 1.0;
+  sim::Cost c;
+  c.msgs = rounds;
+  c.words = moved_words(src, dst) / 2.0 * rounds;
+  return c;
+}
 
 DistMatrix redistribute(const DistMatrix& src,
                         std::shared_ptr<const Distribution> dst,

@@ -9,6 +9,11 @@
 // of programs is additionally traced and replayed; the replay verifies
 // bit-identical payloads and exactly equal modeled S/W/F costs.
 //
+// Every program also runs a second time with the Program optimizer
+// disabled: outputs must match the optimized run bit for bit, and the
+// optimizer's elided/merged counts must equal exactly what the grafted
+// dead/duplicate decoy steps imply.
+//
 // Standalone main (no GTest): exits nonzero on the first failing
 // program, printing the seed that reproduces it.
 //
@@ -75,12 +80,17 @@ Layout random_layout(std::mt19937_64& rng, int p) {
 }
 
 /// One generated program: the api::Program plus, per marked output, the
-/// dense reference it must (approximately) reproduce.
+/// dense reference it must (approximately) reproduce. The tail step
+/// (plan + args of the LAST node added, whose value is expected.back())
+/// is kept so the driver can graft exact-count optimizer decoys onto
+/// the DAG: an unmarked duplicate must be elided, a marked one merged.
 struct Generated {
   Program prog;
   std::vector<DistHandle> inputs;
   std::vector<Matrix> expected;  // one per marked output, mark order
   std::string shape;             // human summary for --verbose / failures
+  std::shared_ptr<catrsm::api::Plan> tail_plan;
+  std::vector<Program::NodeId> tail_args;
 
   explicit Generated(Context& ctx) : prog(ctx) {}
 };
@@ -117,6 +127,8 @@ void gen_panel_chain(Context& ctx, std::mt19937_64& rng, Generated& g) {
       case 0: {  // plain lower-left solve, planner-chosen algorithm
         auto plan = ctx.plan(catrsm::api::trsm_op(n, k));
         if (!first_trsm) first_trsm = plan;
+        g.tail_plan = plan;
+        g.tail_args = {nl, cur};
         cur = g.prog.add(plan, {nl, cur});
         ref = catrsm::la::solve_lower(l, ref);
         g.shape += " trsm";
@@ -129,6 +141,8 @@ void gen_panel_chain(Context& ctx, std::mt19937_64& rng, Generated& g) {
         spec.algorithm = catrsm::model::Algorithm::kIterative;
         auto plan = ctx.plan(catrsm::api::trsm_op(n, k, spec));
         if (!first_trsm) first_trsm = plan;
+        g.tail_plan = plan;
+        g.tail_args = {nl, cur};
         cur = g.prog.add(plan, {nl, cur});
         ref = solve_lower_t(l, ref);
         g.shape += " trsm^T";
@@ -138,6 +152,8 @@ void gen_panel_chain(Context& ctx, std::mt19937_64& rng, Generated& g) {
         const Matrix a = catrsm::la::make_dense(rng(), n, n);
         auto plan = ctx.plan(catrsm::api::matmul3d_op(n, n, k));
         const Program::NodeId na = g.prog.input(n, n);
+        g.tail_plan = plan;
+        g.tail_args = {na, cur};
         cur = g.prog.add(plan, {na, cur});
         g.inputs.push_back(upload(ctx, rng, a, plan->input_layout(0)));
         dense_inputs.push_back(a);
@@ -149,6 +165,8 @@ void gen_panel_chain(Context& ctx, std::mt19937_64& rng, Generated& g) {
         const Matrix a = catrsm::la::make_dense(rng(), n, n);
         auto plan = ctx.plan(catrsm::api::matmul2d_op(n, k));
         const Program::NodeId na = g.prog.input(n, n);
+        g.tail_plan = plan;
+        g.tail_args = {na, cur};
         cur = g.prog.add(plan, {na, cur});
         g.inputs.push_back(upload(ctx, rng, a, plan->input_layout(0)));
         dense_inputs.push_back(a);
@@ -203,6 +221,8 @@ void gen_cholesky_pipeline(Context& ctx, std::mt19937_64& rng, Generated& g) {
   const Program::NodeId nb = g.prog.input(n, k);
   const Program::NodeId nfac = g.prog.add(factor_plan, {na});
   const Program::NodeId ny = g.prog.add(fwd_plan, {nfac, nb});
+  g.tail_plan = bwd_plan;
+  g.tail_args = {nfac, ny};
   const Program::NodeId nx = g.prog.add(bwd_plan, {nfac, ny});
   const bool want_factor = chance(rng, 0.5);
   if (want_factor) g.prog.mark_output(nfac);
@@ -225,6 +245,8 @@ void gen_tri_inv(Context& ctx, std::mt19937_64& rng, Generated& g) {
   const Matrix l = catrsm::la::make_lower_triangular(rng(), n);
   auto inv_plan = ctx.plan(catrsm::api::tri_inv_op(n));
   const Program::NodeId nl = g.prog.input(n, n);
+  g.tail_plan = inv_plan;
+  g.tail_args = {nl};
   const Program::NodeId ninv = g.prog.add(inv_plan, {nl});
   g.prog.mark_output(ninv);
   const Matrix invref = catrsm::la::tri_inv(catrsm::la::Uplo::kLower, l);
@@ -236,6 +258,8 @@ void gen_tri_inv(Context& ctx, std::mt19937_64& rng, Generated& g) {
     const Matrix b = catrsm::la::make_rhs(rng(), n, k);
     auto mm_plan = ctx.plan(catrsm::api::matmul3d_op(n, n, k));
     const Program::NodeId nb = g.prog.input(n, k);
+    g.tail_plan = mm_plan;
+    g.tail_args = {ninv, nb};
     const Program::NodeId nx = g.prog.add(mm_plan, {ninv, nb});
     g.prog.mark_output(nx);
     g.expected.push_back(catrsm::la::matmul(invref, b));
@@ -258,9 +282,28 @@ bool run_one(std::uint64_t seed, const Options& opt) {
     default: gen_tri_inv(ctx, rng, g); break;
   }
 
+  // Graft optimizer decoys with known exact counts onto the DAG. The
+  // base generators never produce a dead or duplicate step (every node
+  // feeds a marked output, every (plan, args) pair is distinct), so the
+  // optimizer must report EXACTLY these counts.
+  std::uint64_t want_elided = 0;
+  std::uint64_t want_merged = 0;
+  if (chance(rng, 0.5)) {  // unmarked duplicate: unreachable, elided
+    (void)g.prog.add(g.tail_plan, g.tail_args);
+    ++want_elided;
+    g.shape += " +dead";
+  }
+  if (chance(rng, 0.5)) {  // marked duplicate: merged with the tail step
+    g.prog.mark_output(g.prog.add(g.tail_plan, g.tail_args));
+    g.expected.push_back(g.expected.back());
+    ++want_merged;
+    g.shape += " +dup";
+  }
+
   const bool traced = chance(rng, 0.25);
   if (traced) ctx.machine().set_tracing(true, /*capture_payloads=*/true);
 
+  g.prog.set_optimize(true);
   Program::Result result = g.prog.run(g.inputs);
   if (result.outputs.size() != g.expected.size()) {
     std::fprintf(stderr, "fuzz_dag: seed %llu (%s, p=%d): %zu outputs, "
@@ -269,10 +312,24 @@ bool run_one(std::uint64_t seed, const Options& opt) {
                  result.outputs.size(), g.expected.size());
     return false;
   }
+  if (g.prog.stats().nodes_elided != want_elided ||
+      g.prog.stats().nodes_merged != want_merged) {
+    std::fprintf(stderr, "fuzz_dag: seed %llu (%s, p=%d): optimizer "
+                 "reported elided=%llu merged=%llu, DAG shape implies "
+                 "elided=%llu merged=%llu\n",
+                 static_cast<unsigned long long>(seed), g.shape.c_str(), p,
+                 static_cast<unsigned long long>(g.prog.stats().nodes_elided),
+                 static_cast<unsigned long long>(g.prog.stats().nodes_merged),
+                 static_cast<unsigned long long>(want_elided),
+                 static_cast<unsigned long long>(want_merged));
+    return false;
+  }
+  std::vector<Matrix> got;
+  got.reserve(result.outputs.size());
   for (std::size_t i = 0; i < result.outputs.size(); ++i) {
-    const Matrix got = ctx.download(result.outputs[i]);
+    got.push_back(ctx.download(result.outputs[i]));
     const Matrix& want = g.expected[i];
-    const double err = catrsm::la::max_abs_diff(got, want);
+    const double err = catrsm::la::max_abs_diff(got.back(), want);
     const double tol = 1e-8 * (1.0 + catrsm::la::max_abs(want));
     if (err > tol) {
       std::fprintf(stderr, "fuzz_dag: seed %llu (%s, p=%d): output %zu "
@@ -289,6 +346,27 @@ bool run_one(std::uint64_t seed, const Options& opt) {
     ctx.machine().set_tracing(false);
     // Replay faults internally on any payload or modeled-cost divergence.
     (void)catrsm::sim::check::replay(ctx.machine(), trace);
+  }
+
+  // Metamorphic leg: the same program with the optimizer off must
+  // reproduce every output bit for bit (the passes only skip, share, or
+  // relocate work — they may never touch the arithmetic).
+  g.prog.set_optimize(false);
+  Program::Result raw = g.prog.run(g.inputs);
+  if (g.prog.stats().nodes_elided != 0 || g.prog.stats().nodes_merged != 0) {
+    std::fprintf(stderr, "fuzz_dag: seed %llu (%s, p=%d): disabled "
+                 "optimizer still reported elisions/merges\n",
+                 static_cast<unsigned long long>(seed), g.shape.c_str(), p);
+    return false;
+  }
+  for (std::size_t i = 0; i < raw.outputs.size(); ++i) {
+    if (!ctx.download(raw.outputs[i]).equals(got[i])) {
+      std::fprintf(stderr, "fuzz_dag: seed %llu (%s, p=%d): output %zu "
+                   "differs between optimizer on and off\n",
+                   static_cast<unsigned long long>(seed), g.shape.c_str(), p,
+                   i);
+      return false;
+    }
   }
 
   if (opt.verbose)

@@ -472,6 +472,67 @@ TEST(FaultApi, AutoRepairRetriesTransparently) {
   EXPECT_FALSE(hb.poisoned());
 }
 
+TEST(FaultApi, FaultedFusedBatchPoisonsWholeRunAndRepairRecovers) {
+  // A fused batch is ONE simulated run over many panels: a fault during
+  // any panel poisons EVERY operand the run touched (the caller cannot
+  // know how far the stream got), and repair + rerun recovers bitwise.
+  const index_t n = 32, k = 8;
+  const int items = 3;
+  const Matrix l = catrsm::la::make_lower_triangular(631, n);
+  std::vector<Matrix> bs;
+  for (int i = 0; i < items; ++i)
+    bs.push_back(catrsm::la::make_rhs(640 + static_cast<std::uint64_t>(i),
+                                      n, k));
+
+  api::Context ctx(4);
+  auto plan = ctx.plan(api::trsm_op(n, k));
+  const api::BatchResult ref = plan->execute_batch_fused(l, bs);
+
+  // The handle-level form of the same stream, so poisoning is observable.
+  api::Program prog(ctx);
+  std::vector<api::DistHandle> handles{
+      ctx.upload(l, plan->input_layout(0))};
+  const auto na = prog.input(n, n);
+  for (const Matrix& b : bs) {
+    handles.push_back(ctx.upload(b, plan->input_layout(1)));
+    const auto nb = prog.input(n, k);
+    prog.mark_output(prog.add(plan, {na, nb}));
+  }
+
+  ctx.machine().arm_fault(FaultPlan{FaultClass::kKillRank, 45});
+  try {
+    (void)prog.run(handles);
+    FAIL() << "fused batch completed under an armed kill fault";
+  } catch (const std::exception& e) {
+    const auto report = check::report_fault(ctx.machine(), e);
+    EXPECT_EQ(report.detector, "rank-abort") << report.to_string();
+  }
+  ctx.machine().disarm_fault();
+
+  // Whole-run poison semantics: the operand AND every panel of the batch.
+  for (const api::DistHandle& h : handles) EXPECT_TRUE(h.poisoned());
+  EXPECT_THROW((void)prog.run(handles), api::PoisonedOperandError);
+
+  for (const api::DistHandle& h : handles) ctx.repair(h);
+  for (const api::DistHandle& h : handles) EXPECT_FALSE(h.poisoned());
+  const api::Program::Result retry = prog.run(handles);
+  for (int i = 0; i < items; ++i) {
+    const std::size_t j = static_cast<std::size_t>(i);
+    EXPECT_TRUE(ctx.download(retry.outputs[j])
+                    .equals(ref.xs[j]));
+  }
+
+  // And the convenience wrapper recovers by itself: fresh uploads per
+  // call, so a faulted execute_batch_fused just needs a retry.
+  ctx.machine().arm_fault(FaultPlan{FaultClass::kKillRank, 45});
+  EXPECT_THROW((void)plan->execute_batch_fused(l, bs), std::exception);
+  ctx.machine().disarm_fault();
+  const api::BatchResult again = plan->execute_batch_fused(l, bs);
+  for (int i = 0; i < items; ++i)
+    EXPECT_TRUE(again.xs[static_cast<std::size_t>(i)]
+                    .equals(ref.xs[static_cast<std::size_t>(i)]));
+}
+
 TEST(FaultApi, RepairWithoutASourceThrowsTyped) {
   const index_t n = 32, k = 8;
   const Matrix l = catrsm::la::make_lower_triangular(621, n);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "api/catrsm.hpp"
@@ -352,6 +353,306 @@ TEST(Programs, BatchOfResidentSolvesAgainstOneUploadedFactor) {
     EXPECT_TRUE(ctx.download(plan->execute_dist(hl, hb).x).equals(ref.x));
   }
   EXPECT_EQ(plan->diag_inversions(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Program optimizer: elision, merging, conversion caching, the A/B gate
+
+TEST(Optimizer, FactorFeedingManySolvesComputesOnce) {
+  // The serving workload's shape, written redundantly: every solve wires
+  // its OWN factor step against the same operand. The optimizer must
+  // merge the duplicates (N - 1 merges) and execute kCholesky exactly
+  // once — proved through the "cholesky" phase charge, which is 1x the
+  // single-factor program's with the optimizer on and N x with it off.
+  const index_t n = 40, k = 8;
+  const int q = 3, p = 9;
+  const int solves = 3;
+  const Matrix a = la::make_spd(701, n);
+
+  Context ctx(p);
+  auto solve_plan = ctx.plan(cholesky_solve_op(n, k));
+  auto factor_plan = ctx.plan(cholesky_op(n, q));
+  TrsmSpec fwd;
+  fwd.force_algorithm = true;
+  fwd.algorithm = model::Algorithm::kIterative;
+  fwd.nblocks = solve_plan->config().nblocks;
+  fwd.grid_p1 = q;
+  fwd.grid_p2 = 1;
+  auto fwd_plan = ctx.plan(trsm_op(n, k, fwd));
+  TrsmSpec bwd = fwd;
+  bwd.transpose = true;
+  auto bwd_plan = ctx.plan(trsm_op(n, k, bwd));
+
+  Program prog(ctx);
+  const auto na = prog.input(n, n);
+  std::vector<DistHandle> inputs{ctx.upload(a, cyclic_layout(q, q))};
+  for (int j = 0; j < solves; ++j) {
+    const Matrix b = la::make_rhs(710 + static_cast<std::uint64_t>(j), n, k);
+    const auto nb = prog.input(n, k);
+    inputs.push_back(ctx.upload(b, row_blocked_layout(q, 1)));
+    const auto nl = prog.add(factor_plan, {na}, "cholesky");
+    const auto ny = prog.add(fwd_plan, {nl, nb}, "forward-trsm");
+    prog.mark_output(prog.add(bwd_plan, {nl, ny}, "backward-trsm"));
+  }
+
+  prog.set_optimize(true);
+  Program::Result opt = prog.run(inputs);
+  EXPECT_EQ(prog.stats().nodes_merged,
+            static_cast<std::uint64_t>(solves - 1));
+  EXPECT_EQ(prog.stats().nodes_elided, 0u);
+  EXPECT_EQ(prog.stats().steps_executed,
+            static_cast<std::uint64_t>(1 + 2 * solves));
+
+  // Reference: the same DAG written with ONE factor node.
+  Program ref_prog(ctx);
+  const auto rna = ref_prog.input(n, n);
+  const auto rnl = ref_prog.add(factor_plan, {rna}, "cholesky");
+  for (int j = 0; j < solves; ++j) {
+    const auto rnb = ref_prog.input(n, k);
+    const auto rny = ref_prog.add(fwd_plan, {rnl, rnb}, "forward-trsm");
+    ref_prog.mark_output(ref_prog.add(bwd_plan, {rnl, rny},
+                                      "backward-trsm"));
+  }
+  std::vector<DistHandle> ref_inputs{inputs[0]};
+  for (int j = 0; j < solves; ++j)
+    ref_inputs.push_back(inputs[static_cast<std::size_t>(j) + 1]);
+  Program::Result ref = ref_prog.run(ref_inputs);
+
+  const sim::Cost one_factor = ref.stats.phase_cost("cholesky");
+  const sim::Cost opt_factor = opt.stats.phase_cost("cholesky");
+  EXPECT_EQ(opt_factor.msgs, one_factor.msgs);
+  EXPECT_EQ(opt_factor.words, one_factor.words);
+  EXPECT_EQ(opt_factor.flops, one_factor.flops);
+  for (int j = 0; j < solves; ++j)
+    EXPECT_TRUE(ctx.download(opt.outputs[static_cast<std::size_t>(j)])
+                    .equals(ctx.download(
+                        ref.outputs[static_cast<std::size_t>(j)])));
+
+  // The hard A/B: optimizer off replays the redundant DAG as written —
+  // N x the factor charge, bitwise-identical outputs.
+  prog.set_optimize(false);
+  Program::Result raw = prog.run(inputs);
+  EXPECT_FALSE(prog.stats().optimized);
+  EXPECT_EQ(prog.stats().nodes_merged, 0u);
+  const sim::Cost raw_factor = raw.stats.phase_cost("cholesky");
+  EXPECT_EQ(raw_factor.msgs, solves * one_factor.msgs);
+  EXPECT_EQ(raw_factor.words, solves * one_factor.words);
+  for (int j = 0; j < solves; ++j)
+    EXPECT_TRUE(ctx.download(raw.outputs[static_cast<std::size_t>(j)])
+                    .equals(ctx.download(
+                        opt.outputs[static_cast<std::size_t>(j)])));
+}
+
+TEST(Optimizer, DeadStepsAreElided) {
+  const index_t n = 40, k = 8;
+  const int q = 3, p = 9;
+  const Matrix a = la::make_spd(721, n);
+  const Matrix b = la::make_rhs(722, n, k);
+
+  Context ctx(p);
+  auto solve_plan = ctx.plan(cholesky_solve_op(n, k));
+  auto factor_plan = ctx.plan(cholesky_op(n, q));
+  TrsmSpec fwd;
+  fwd.force_algorithm = true;
+  fwd.algorithm = model::Algorithm::kIterative;
+  fwd.nblocks = solve_plan->config().nblocks;
+  fwd.grid_p1 = q;
+  fwd.grid_p2 = 1;
+  auto fwd_plan = ctx.plan(trsm_op(n, k, fwd));
+  TrsmSpec bwd = fwd;
+  bwd.transpose = true;
+  auto bwd_plan = ctx.plan(trsm_op(n, k, bwd));
+
+  Program prog(ctx);
+  const auto na = prog.input(n, n);
+  const auto nb = prog.input(n, k);
+  const auto nl = prog.add(factor_plan, {na}, "cholesky");
+  const auto ny = prog.add(fwd_plan, {nl, nb}, "forward-trsm");
+  // A decoy computation nothing marked depends on.
+  (void)prog.add(ctx.plan(matmul2d_op(n, k)), {na, nb}, "decoy-mm");
+  prog.mark_output(prog.add(bwd_plan, {nl, ny}, "backward-trsm"));
+
+  const DistHandle ha = ctx.upload(a, cyclic_layout(q, q));
+  const DistHandle hb = ctx.upload(b, row_blocked_layout(q, 1));
+  prog.set_optimize(true);
+  Program::Result opt = prog.run({ha, hb});
+  EXPECT_EQ(prog.stats().nodes_elided, 1u);
+  EXPECT_EQ(prog.stats().steps_executed, 3u);
+  EXPECT_EQ(opt.stats.phase_max.count("decoy-mm"), 0u);
+
+  prog.set_optimize(false);
+  Program::Result raw = prog.run({ha, hb});
+  EXPECT_EQ(prog.stats().nodes_elided, 0u);
+  EXPECT_EQ(raw.stats.phase_max.count("decoy-mm"), 1u);
+  EXPECT_TRUE(ctx.download(raw.outputs[0]).equals(
+      ctx.download(opt.outputs[0])));
+
+  // And against the decoy-free program: same bits, same stats shape.
+  const ExecResult ref = solve_plan->execute(a, b);
+  EXPECT_TRUE(ctx.download(opt.outputs[0]).equals(ref.x));
+}
+
+TEST(Optimizer, SharedConversionRunsOnceAndIsChargedOnce) {
+  // One producer feeding two consumers that both need the SAME non-native
+  // layout: the optimizer inserts one cached redistribute where the
+  // as-written DAG pays two. Pure data movement — bits cannot change.
+  const index_t n = 48, k = 12;
+  const int p = 16;
+  const Matrix l = la::make_lower_triangular(731, n);
+  const Matrix b = la::make_rhs(732, n, k);
+
+  Context ctx(p);
+  TrsmSpec s1 = iterative_spec();
+  s1.nblocks = 2;
+  TrsmSpec s2 = iterative_spec();
+  s2.nblocks = 4;
+  auto plan1 = ctx.plan(trsm_op(n, k, s1));
+  auto plan2 = ctx.plan(trsm_op(n, k, s2));
+  ASSERT_TRUE(plan1->input_layout(1) == plan2->input_layout(1));
+
+  Program prog(ctx);
+  const auto nl = prog.input(n, n);
+  const auto nb = prog.input(n, k);
+  prog.mark_output(prog.add(plan1, {nl, nb}));
+  prog.mark_output(prog.add(plan2, {nl, nb}));
+
+  const DistHandle hl = ctx.upload(l, plan1->input_layout(0));
+  // Upload B in a valid but WRONG layout, so both steps need a transition.
+  const Layout wrong = plan1->input_layout(0);
+  ASSERT_FALSE(wrong == plan1->input_layout(1));
+  const DistHandle hb = ctx.upload(b, wrong);
+
+  prog.set_optimize(true);
+  Program::Result opt = prog.run({hl, hb});
+  EXPECT_EQ(prog.stats().redistributes_inserted, 1u);
+  EXPECT_EQ(prog.stats().redistributes_avoided, 1u);
+  EXPECT_EQ(prog.stats().nodes_merged, 0u);
+  const sim::Cost opt_redist = opt.stats.phase_cost("redistribute");
+
+  prog.set_optimize(false);
+  Program::Result raw = prog.run({hl, hb});
+  EXPECT_EQ(prog.stats().redistributes_inserted, 2u);
+  EXPECT_EQ(prog.stats().redistributes_avoided, 0u);
+  const sim::Cost raw_redist = raw.stats.phase_cost("redistribute");
+  EXPECT_EQ(raw_redist.msgs, 2 * opt_redist.msgs);
+  EXPECT_EQ(raw_redist.words, 2 * opt_redist.words);
+  EXPECT_TRUE(ctx.download(opt.outputs[0]).equals(
+      ctx.download(raw.outputs[0])));
+  EXPECT_TRUE(ctx.download(opt.outputs[1]).equals(
+      ctx.download(raw.outputs[1])));
+}
+
+TEST(Programs, OptimizerEnvKnobParsesStrictly) {
+  Context ctx(4);
+  ::setenv("CATRSM_PROGRAM_OPT", "0", 1);
+  EXPECT_FALSE(Program(ctx).optimize());
+  ::setenv("CATRSM_PROGRAM_OPT", "1", 1);
+  EXPECT_TRUE(Program(ctx).optimize());
+  // Malformed values warn and fall back to the default (on).
+  ::setenv("CATRSM_PROGRAM_OPT", "banana", 1);
+  EXPECT_TRUE(Program(ctx).optimize());
+  ::unsetenv("CATRSM_PROGRAM_OPT");
+  EXPECT_TRUE(Program(ctx).optimize());
+}
+
+// ---------------------------------------------------------------------------
+// Fused batches: the whole panel stream as one Machine::run
+
+TEST(Programs, FusedBatchMatchesUnfusedBitwiseInOneRun) {
+  const index_t n = 48, k = 12;
+  const int p = 16;
+  const int items = 4;
+  const Matrix l = la::make_lower_triangular(741, n);
+  std::vector<Matrix> bs;
+  for (int i = 0; i < items; ++i)
+    bs.push_back(la::make_rhs(750 + static_cast<std::uint64_t>(i), n, k));
+
+  Context ref_ctx(p);
+  auto ref_plan = ref_ctx.plan(trsm_op(n, k, iterative_spec()));
+  const std::vector<ExecResult> refs = ref_plan->execute_batch(l, bs);
+
+  Context ctx(p);
+  auto plan = ctx.plan(trsm_op(n, k, iterative_spec()));
+  const std::uint64_t runs_before = ctx.scheduler().runs();
+  const BatchResult br = plan->execute_batch_fused(l, bs);
+  // The whole batch — including the shared diagonal inversion — was ONE
+  // simulated run.
+  EXPECT_EQ(ctx.scheduler().runs(), runs_before + 1);
+  EXPECT_EQ(br.stats.phase_max.count("inversion"), 1u);
+  EXPECT_EQ(br.stats.phase_max.count("redistribute"), 0u);
+  EXPECT_EQ(br.program_stats.steps_executed,
+            static_cast<std::uint64_t>(items));
+  EXPECT_EQ(plan->diag_inversions(), 1u);
+
+  ASSERT_EQ(br.xs.size(), static_cast<std::size_t>(items));
+  for (int i = 0; i < items; ++i) {
+    const std::size_t j = static_cast<std::size_t>(i);
+    EXPECT_TRUE(br.xs[j].equals(refs[j].x));
+    EXPECT_EQ(br.residuals[j], refs[j].residual);
+  }
+
+  // A second fused batch against the same operand bytes reuses the
+  // inverted diagonals, like execute_batch does.
+  const BatchResult br2 = plan->execute_batch_fused(l, bs);
+  EXPECT_EQ(plan->diag_inversions(), 1u);
+  EXPECT_EQ(br2.stats.phase_max.count("inversion"), 0u);
+  for (int i = 0; i < items; ++i)
+    EXPECT_TRUE(br2.xs[static_cast<std::size_t>(i)]
+                    .equals(refs[static_cast<std::size_t>(i)].x));
+}
+
+TEST(Programs, FusedBatchSupportsTransposedAndMatmulStreams) {
+  // Reference is the per-panel handle path (execute_dist): the same
+  // distributed kernels the fused program runs, one run per panel.
+  const int p = 4;
+  {
+    const index_t n = 32, k = 8;
+    const Matrix l = la::make_lower_triangular(761, n);
+    std::vector<Matrix> bs{la::make_rhs(762, n, k),
+                           la::make_rhs(763, n, k)};
+    TrsmSpec spec = iterative_spec();
+    spec.transpose = true;
+    Context ref_ctx(p);
+    auto ref_plan = ref_ctx.plan(trsm_op(n, k, spec));
+    const DistHandle hl = ref_ctx.upload(l, ref_plan->input_layout(0));
+    Context ctx(p);
+    const BatchResult br =
+        ctx.plan(trsm_op(n, k, spec))->execute_batch_fused(l, bs);
+    for (std::size_t i = 0; i < bs.size(); ++i) {
+      const DistHandle hb =
+          ref_ctx.upload(bs[i], ref_plan->input_layout(1));
+      const Matrix x_ref =
+          ref_ctx.download(ref_plan->execute_dist(hl, hb).x);
+      EXPECT_TRUE(br.xs[i].equals(x_ref));
+      EXPECT_EQ(br.residuals[i],
+                la::trsm_residual(l.transposed(), x_ref, bs[i]));
+    }
+  }
+  {
+    const index_t n = 24, k = 12;
+    const Matrix a = la::make_dense(771, n, n);
+    std::vector<Matrix> xs{la::make_dense(772, n, k),
+                           la::make_dense(773, n, k)};
+    Context ref_ctx(p);
+    auto ref_plan = ref_ctx.plan(matmul2d_op(n, k));
+    const DistHandle ha = ref_ctx.upload(a, ref_plan->input_layout(0));
+    Context ctx(p);
+    const BatchResult br =
+        ctx.plan(matmul2d_op(n, k))->execute_batch_fused(a, xs);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const DistHandle hx =
+          ref_ctx.upload(xs[i], ref_plan->input_layout(1));
+      EXPECT_TRUE(br.xs[i].equals(
+          ref_ctx.download(ref_plan->execute_dist(ha, hx).x)));
+      EXPECT_EQ(br.residuals[i], 0.0);
+    }
+  }
+  // Unsupported streams are rejected up front, before any upload.
+  Context ctx(p);
+  EXPECT_THROW((void)ctx.plan(cholesky_solve_op(16, 4))
+                   ->execute_batch_fused(la::make_spd(781, 16),
+                                         {la::make_rhs(782, 16, 4)}),
+               Error);
 }
 
 }  // namespace
