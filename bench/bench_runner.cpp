@@ -7,7 +7,7 @@
 // simulation itself did not change.
 //
 //   ./bench_runner [output.json] [--threads N] [--assert-scaling]
-//                  [--assert-fusion]
+//                  [--assert-fusion] [--assert-streams]
 //
 // --threads N overrides the kernel pool size for the multi-threaded
 // cases (default: CATRSM_KERNEL_THREADS / hardware_concurrency). The
@@ -30,17 +30,25 @@
 // tripwire for the Program-fusion win. Independently of the flag, the
 // fused batch's solutions are always compared bit for bit against the
 // unfused ones and any mismatch fails the run.
+//
+// --assert-streams exits non-zero when the concurrent-streams pass of
+// streams/mixed_tenant delivers less than 1.05x the serial loop's
+// solves/sec. Independently of the flag, every concurrent solution is
+// compared bit for bit against its serial counterpart and every
+// request's modeled cost must be identical across the two passes.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/catrsm.hpp"
+#include "api/stream_pool.hpp"
 #include "bench_util.hpp"
 #include "la/gemm.hpp"
 #include "la/generate.hpp"
@@ -559,6 +567,183 @@ void run_oracle_cases(std::vector<Record>& records) {
   }
 }
 
+/// The execution-streams tentpole: four tenant Contexts sharing ONE
+/// machine, a skewed mix of iterative-TRSM solves (every request its own
+/// L and B, so streams never contend on a handle), served two ways over
+/// the SAME pre-uploaded operands — a serial loop (execute_dist +
+/// download per request, in admission order) versus api::StreamPool
+/// keeping CATRSM_SIM_STREAMS runs in flight while the host downloads
+/// finished solutions. Both walls are committed as solves/sec-derivable
+/// records; every concurrent solution must match its serial counterpart
+/// bit for bit, and every request's modeled S/W/F + critical time must be
+/// identical across the two passes (per-run virtual clocks — concurrency
+/// cannot perturb the cost model). Returns (serial, concurrent) walls for
+/// the --assert-streams tripwire.
+std::pair<double, double> run_stream_cases(std::vector<Record>& records) {
+  // p = 8 on purpose: stream overlap pays when one run cannot keep the
+  // host cores busy by itself. A small-p iterative solve is exactly that
+  // — its dependency chain leaves workers idle between panels — so the
+  // pool's other streams fill the gaps. (At p = 64 a single run already
+  // saturates a 2-core CI box and overlap can only add overhead; that
+  // regime belongs to the scaling cases, not here.)
+  const int p = 8;
+  const int tenants = 4;
+  struct Req {
+    int tenant;
+    index_t n, k;
+  };
+  // Skewed: tenant 0 carries the deep backlog of mid-size panels, the
+  // rest bring lighter/odd-shaped traffic — interleaved round-robin, the
+  // order the pool itself admits in, so the serial baseline is the same
+  // schedule minus the overlap.
+  std::vector<Req> reqs;
+  {
+    std::vector<std::vector<Req>> per_tenant(tenants);
+    for (int i = 0; i < 12; ++i) per_tenant[0].push_back({0, 96, 48});
+    for (int i = 0; i < 8; ++i) per_tenant[1].push_back({1, 128, 32});
+    for (int i = 0; i < 6; ++i) per_tenant[2].push_back({2, 64, 96});
+    for (int i = 0; i < 6; ++i) per_tenant[3].push_back({3, 96, 16});
+    for (std::size_t row = 0; true;) {
+      bool any = false;
+      for (auto& q : per_tenant)
+        if (row < q.size()) {
+          reqs.push_back(q[row]);
+          any = true;
+        }
+      if (!any) break;
+      ++row;
+    }
+  }
+  const int items = static_cast<int>(reqs.size());
+
+  sim::Machine machine(p);
+  std::vector<std::unique_ptr<api::Context>> ctxs;
+  for (int t = 0; t < tenants; ++t)
+    ctxs.push_back(std::make_unique<api::Context>(machine));
+
+  // Per-request plans + operands, uploaded once up front: the timed
+  // section is pure serving (solve + download), identical for both
+  // passes.
+  std::vector<std::shared_ptr<api::Plan>> plans;
+  std::vector<api::DistHandle> hls, hbs;
+  for (int i = 0; i < items; ++i) {
+    const Req& q = reqs[static_cast<std::size_t>(i)];
+    api::TrsmSpec spec;
+    spec.force_algorithm = true;
+    spec.algorithm = model::Algorithm::kIterative;
+    auto plan = ctxs[static_cast<std::size_t>(q.tenant)]->plan(
+        api::trsm_op(q.n, q.k, spec));
+    const std::uint64_t seed = 700 + static_cast<std::uint64_t>(i);
+    hls.push_back(ctxs[static_cast<std::size_t>(q.tenant)]->upload(
+        la::make_lower_triangular(seed, q.n), plan->input_layout(0)));
+    hbs.push_back(ctxs[static_cast<std::size_t>(q.tenant)]->upload(
+        la::make_rhs(seed + 1000, q.n, q.k), plan->input_layout(1)));
+    plans.push_back(std::move(plan));
+  }
+
+  const auto serve_serial = [&](std::vector<la::Matrix>* xs,
+                                std::vector<sim::Cost>* costs,
+                                std::vector<double>* criticals) {
+    for (int i = 0; i < items; ++i) {
+      const std::size_t u = static_cast<std::size_t>(i);
+      const api::DistExecResult r = plans[u]->execute_dist(hls[u], hbs[u]);
+      if (xs != nullptr)
+        (*xs)[u] = ctxs[static_cast<std::size_t>(reqs[u].tenant)]->download(
+            r.x);
+      if (costs != nullptr) (*costs)[u] = r.algorithm_cost();
+      if (criticals != nullptr) (*criticals)[u] = r.stats.critical_time;
+    }
+  };
+
+  // Untimed warmup pass: first-touch allocation, code paths, and the
+  // plan-cache state are identical ahead of both timed passes (each
+  // request has its own L, so no diagonal-inverse reuse either way).
+  serve_serial(nullptr, nullptr, nullptr);
+
+  std::vector<la::Matrix> xs_serial(static_cast<std::size_t>(items));
+  std::vector<sim::Cost> costs_serial(static_cast<std::size_t>(items));
+  std::vector<double> crit_serial(static_cast<std::size_t>(items));
+  const auto t0 = Clock::now();
+  serve_serial(&xs_serial, &costs_serial, &crit_serial);
+  const double wall_serial = ms_since(t0);
+
+  std::vector<la::Matrix> xs_conc(static_cast<std::size_t>(items));
+  std::vector<sim::Cost> costs_conc(static_cast<std::size_t>(items));
+  std::vector<double> crit_conc(static_cast<std::size_t>(items));
+  const auto t1 = Clock::now();
+  api::StreamPool pool;
+  std::vector<int> pool_tenant(static_cast<std::size_t>(tenants), -1);
+  for (int t = 0; t < tenants; ++t)
+    pool_tenant[static_cast<std::size_t>(t)] =
+        pool.add_tenant(*ctxs[static_cast<std::size_t>(t)]);
+  std::vector<int> req_of_id;
+  for (int i = 0; i < items; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    const int id = pool.submit(pool_tenant[static_cast<std::size_t>(
+                                   reqs[u].tenant)],
+                               plans[u], hls[u], hbs[u]);
+    if (static_cast<std::size_t>(id) >= req_of_id.size())
+      req_of_id.resize(static_cast<std::size_t>(id) + 1, -1);
+    req_of_id[static_cast<std::size_t>(id)] = i;
+  }
+  for (;;) {
+    const auto batch = pool.wait_some();
+    if (batch.empty()) break;
+    for (const auto& c : batch) {
+      if (c.error) {
+        try {
+          std::rethrow_exception(c.error);
+        } catch (const std::exception& e) {
+          std::cerr << "STREAM FAULT: request " << c.id << ": " << e.what()
+                    << "\n";
+        }
+        std::exit(1);
+      }
+      const std::size_t u =
+          static_cast<std::size_t>(req_of_id[static_cast<std::size_t>(c.id)]);
+      // Downloads of finished solutions overlap the still-running
+      // streams — the serving pattern the tentpole buys.
+      xs_conc[u] = ctxs[static_cast<std::size_t>(reqs[u].tenant)]->download(
+          c.result.x);
+      costs_conc[u] = c.result.algorithm_cost();
+      crit_conc[u] = c.result.stats.critical_time;
+    }
+  }
+  const double wall_conc = ms_since(t1);
+
+  for (int i = 0; i < items; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    if (!xs_conc[u].equals(xs_serial[u])) {
+      std::cerr << "STREAM MISMATCH: request " << i
+                << " differs bitwise from the serial pass\n";
+      std::exit(1);
+    }
+    if (costs_conc[u].msgs != costs_serial[u].msgs ||
+        costs_conc[u].words != costs_serial[u].words ||
+        costs_conc[u].flops != costs_serial[u].flops ||
+        crit_conc[u] != crit_serial[u]) {
+      std::cerr << "STREAM MODEL DRIFT: request " << i
+                << " modeled cost differs between serial and concurrent "
+                   "passes (per-run clocks must make them identical)\n";
+      std::exit(1);
+    }
+  }
+
+  records.push_back({"streams/mixed_tenant_serial", p, 96, 48, wall_serial,
+                     double(items), costs_serial.front(),
+                     crit_serial.front()});
+  records.push_back({"streams/mixed_tenant", p, 96, 48, wall_conc,
+                     double(items), costs_conc.front(), crit_conc.front()});
+  const double rate_serial = 1e3 * items / wall_serial;
+  const double rate_conc = 1e3 * items / wall_conc;
+  std::cout << "streams/mixed_tenant: " << items << " solves, 4 tenants, "
+            << pool.max_inflight() << " streams: " << wall_serial
+            << " ms serial (" << rate_serial << " solves/s) -> " << wall_conc
+            << " ms concurrent (" << rate_conc << " solves/s, "
+            << rate_conc / rate_serial << "x)\n";
+  return {wall_serial, wall_conc};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -566,6 +751,7 @@ int main(int argc, char** argv) {
   int threads_override = 0;
   bool assert_scaling = false;
   bool assert_fusion = false;
+  bool assert_streams = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads") {
@@ -579,6 +765,8 @@ int main(int argc, char** argv) {
       assert_scaling = true;
     } else if (arg == "--assert-fusion") {
       assert_fusion = true;
+    } else if (arg == "--assert-streams") {
+      assert_streams = true;
     } else {
       path = arg;
     }
@@ -603,6 +791,9 @@ int main(int argc, char** argv) {
   run_program_case(records);
   run_program_opt_cases(records);
   run_oracle_cases(records);
+  // Appended LAST so every pre-existing record keeps its position (and
+  // its modeled fields byte-identical) in the committed JSON.
+  const auto [streams_serial, streams_conc] = run_stream_cases(records);
 
   std::string out = "[\n";
   for (std::size_t i = 0; i < records.size(); ++i)
@@ -623,6 +814,14 @@ int main(int argc, char** argv) {
     std::cerr << "FUSION REGRESSION: batch/it_trsm_32x_p64_fused took "
               << fused_wall << " ms vs " << batch_wall
               << " ms unfused (limit: 1.05x)\n";
+    return 1;
+  }
+  // Concurrent streams must beat the serial loop in solves/sec by at
+  // least 1.05x, i.e. finish the same mix in under wall/1.05.
+  if (assert_streams && streams_conc * 1.05 > streams_serial) {
+    std::cerr << "STREAMS REGRESSION: streams/mixed_tenant took "
+              << streams_conc << " ms concurrent vs " << streams_serial
+              << " ms serial (need >= 1.05x solves/sec)\n";
     return 1;
   }
   return 0;

@@ -38,15 +38,28 @@
 //     la::Matrix x = ctx.download(hx);
 //   }
 //
+// EXECUTION STREAMS: the _async variants (Plan::execute_dist_async,
+// Context::execute_dist_async, Program::run_async) launch the simulated
+// run and return a future-like ticket immediately; up to
+// CATRSM_SIM_STREAMS runs overlap on the machine's shared worker pool
+// (api::StreamPool in stream_pool.hpp round-robins whole request queues
+// across several Contexts). Concurrent streams produce bitwise the same
+// results as the same calls issued serially: two runs touching the same
+// handle are serialized (the later launch blocks until the earlier run
+// completes), and per-run virtual clocks keep every RunStats identical
+// to its serial counterpart.
+//
 // Lifetime: a Plan must not outlive the Context that created it (and a
 // borrowed machine must outlive both); a DistHandle must not outlive its
 // Context either — its storage lives in the machine. Handles are not
-// thread-safe; one Context per client thread.
+// thread-safe; one Context per client thread (tickets may be waited from
+// that same thread only).
 
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -200,6 +213,10 @@ class DistHandle {
   /// True while the resident blocks are marked untrustworthy after a
   /// faulted run (see Context::repair).
   bool poisoned() const;
+  /// True while the resident blocks are actually present in the store
+  /// (false after a byte-budget eviction; the next use transparently
+  /// re-scatters from the recorded upload source).
+  bool resident() const;
 
  private:
   friend class Context;
@@ -223,6 +240,33 @@ struct DistExecResult {
   sim::Cost algorithm_cost() const;
   /// Cost of automatic layout transitions (zero when layouts matched).
   sim::Cost redistribute_cost() const;
+};
+
+/// Future for one in-flight execute_dist stream. Returned immediately by
+/// Plan::execute_dist_async / Context::execute_dist_async while the
+/// simulated run proceeds on the machine's worker pool. wait() blocks
+/// until the run completes, assembles exactly the DistExecResult the
+/// serial call would have produced (bitwise — per-run virtual clocks),
+/// and rethrows any failure (DeadlockError, sim::FaultError, ...);
+/// calling it again returns the same stored outcome. Dropping a ticket
+/// without waiting is safe — the run still completes (the Machine
+/// retires it), but a faulted run's input poisoning only happens at
+/// wait(), so always wait tickets whose operands you reuse.
+class DistTicket {
+ public:
+  DistTicket() = default;
+
+  bool valid() const { return s_ != nullptr; }
+  /// True once the simulated run has finished (wait() will not block).
+  bool done() const;
+  /// Block for completion and return (or rethrow) the run's outcome.
+  DistExecResult wait();
+
+ private:
+  friend class Plan;
+  struct Shared;
+  explicit DistTicket(std::shared_ptr<Shared> s) : s_(std::move(s)) {}
+  std::shared_ptr<Shared> s_;
 };
 
 struct ExecResult {
@@ -283,6 +327,7 @@ struct BatchResult {
 };
 
 class Context;
+class Program;
 
 class Plan : public std::enable_shared_from_this<Plan> {
  public:
@@ -309,6 +354,15 @@ class Plan : public std::enable_shared_from_this<Plan> {
   /// step). Other variants: use execute().
   DistExecResult execute_dist(const DistHandle& a,
                               const DistHandle& b = DistHandle());
+
+  /// Launch execute_dist as an independent execution stream and return a
+  /// ticket immediately. Up to CATRSM_SIM_STREAMS runs overlap on the
+  /// machine; a launch that shares a handle with an in-flight run blocks
+  /// until that run completes, so results are bitwise identical to the
+  /// serial call order. execute_dist is exactly
+  /// execute_dist_async(a, b).wait().
+  DistTicket execute_dist_async(const DistHandle& a,
+                                const DistHandle& b = DistHandle());
 
   /// The layout this plan requires of operand `slot` (0 = a, 1 = b) /
   /// produces for its result — what to pass to Context::upload so
@@ -355,6 +409,7 @@ class Plan : public std::enable_shared_from_this<Plan> {
  private:
   friend class Context;
   friend class Program;
+  friend class DistTicket;
   Plan(Context& ctx, OpDesc desc);
 
   ExecResult run_trsm(const la::Matrix& t, const la::Matrix& b,
@@ -367,7 +422,10 @@ class Plan : public std::enable_shared_from_this<Plan> {
 
   /// The Cholesky pipeline as a 3-op Program over resident operands:
   /// factor, forward solve, reversed backward solve — one Machine::run,
-  /// no intermediate collects.
+  /// no intermediate collects. make_cholesky_program builds the DAG;
+  /// run_cholesky_program executes it (the async path launches it as a
+  /// stream instead).
+  Program make_cholesky_program();
   std::pair<DistHandle, sim::RunStats> run_cholesky_program(
       const DistHandle& a, const DistHandle& b);
 
@@ -377,6 +435,13 @@ class Plan : public std::enable_shared_from_this<Plan> {
 
   // Iterative-TRSM diagonal-inverse cache: each rank's local Ltilde block,
   // valid for the kernel operand identified by the fingerprint.
+  // diag_mu_ serializes the async path's cache decisions: an in-flight
+  // reuse run reads diag_locals_ (diag_readers_ > 0), and a completed
+  // non-reuse run merges its privately computed blocks in at wait() —
+  // only when no reader is in flight, so the shared vector is never
+  // rewritten under a running fiber.
+  mutable std::mutex diag_mu_;
+  int diag_readers_ = 0;
   std::vector<la::Matrix> diag_locals_;
   std::uint64_t diag_fp_ = 0;
   bool diag_valid_ = false;
@@ -427,6 +492,11 @@ class Context {
   /// machine hits the cache and returns the SAME Plan handle.
   std::shared_ptr<Plan> plan(const OpDesc& desc);
 
+  /// plan(desc)->execute_dist_async(a, b): plan (cache hit after the
+  /// first call) and launch the op as an independent execution stream.
+  DistTicket execute_dist_async(const OpDesc& desc, const DistHandle& a,
+                                const DistHandle& b = DistHandle());
+
   /// Scatter a matrix (or a generator, which no rank ever materializes
   /// globally) into resident per-rank storage under `layout`. Host-side:
   /// charges nothing to the simulated machine — the whole point is that
@@ -452,6 +522,19 @@ class Context {
   /// throwing — the retry path after a detected fault.
   void set_auto_repair(bool on) { auto_repair_ = on; }
   bool auto_repair() const { return auto_repair_; }
+
+  /// If the handle's blocks were evicted under the byte budget
+  /// (CATRSM_HANDLE_BUDGET), re-scatter them from the recorded upload
+  /// source — bitwise the original bytes, epoch unchanged. Returns true
+  /// when a re-upload happened. Execution and download paths call this
+  /// automatically; it is exposed for warm-up and for tests.
+  bool ensure_resident(const DistHandle& h);
+
+  /// Pin a handle's blocks against byte-budget eviction (pins nest).
+  /// In-flight runs already protect their operands; pin is for keeping a
+  /// hot operand resident ACROSS runs under a tight budget.
+  void pin(const DistHandle& h);
+  void unpin(const DistHandle& h);
 
   CacheStats cache_stats() const { return stats_; }
   void clear_cache();
@@ -549,9 +632,40 @@ class Program {
     sim::Cost algorithm_cost() const;
   };
 
+  /// Future for one in-flight Program run (see run_async).
+  class AsyncResult {
+   public:
+    AsyncResult() = default;
+    bool valid() const { return s_ != nullptr; }
+    /// True once the simulated run has finished (wait() will not block).
+    bool done() const;
+    /// Block for completion and return (or rethrow) the run's outcome.
+    /// Idempotent: later calls return the same stored outcome. A faulted
+    /// run poisons its distinct input handles here, exactly like run().
+    Result wait();
+
+   private:
+    friend class Program;
+    struct Shared;
+    explicit AsyncResult(std::shared_ptr<Shared> s) : s_(std::move(s)) {}
+    std::shared_ptr<Shared> s_;
+  };
+
   /// Execute every step in one Machine::run against the positionally
   /// bound input handles.
   Result run(const std::vector<DistHandle>& inputs);
+
+  /// Launch the program as an independent execution stream and return
+  /// immediately. The call validates + repairs inputs, compiles the
+  /// schedule, and snapshots the DAG host-side, so the Program object may
+  /// be mutated (or destroyed) while the run is in flight, and several
+  /// launches of the same Program may overlap. A launch sharing an input
+  /// handle with any in-flight run blocks until that run completes
+  /// (results stay bitwise identical to serial order). `on_complete`,
+  /// when given, fires on a machine worker thread the moment the last
+  /// rank finishes — before wait() can return.
+  AsyncResult run_async(const std::vector<DistHandle>& inputs,
+                        std::function<void()> on_complete = nullptr);
 
   using Stats = ProgramStats;
   /// What the optimizer did on the most recent run() (see ProgramStats).

@@ -45,6 +45,11 @@ bool DistHandle::poisoned() const {
   return state_->machine->handle_store().poisoned(state_->id);
 }
 
+bool DistHandle::resident() const {
+  CATRSM_CHECK(state_ != nullptr, "DistHandle: empty handle");
+  return state_->machine->handle_store().resident(state_->id);
+}
+
 sim::Cost DistExecResult::algorithm_cost() const {
   return stats.phase_cost("algorithm");
 }
@@ -100,9 +105,15 @@ DistHandle Context::upload_on(
   sim::HandleStore& store = machine_->handle_store();
   const std::uint64_t id = store.create();
   fill_slots(store, id, gen, d, nprocs());
+  // Uploaded operands carry their source, so they can be rebuilt bitwise
+  // after a byte-budget eviction — mark them evictable, account their
+  // bytes, and let the new admission push the LRU tail out.
+  store.set_evictable(id, true);
+  store.touch(id);
   auto state = std::make_shared<DistHandle::State>(
       machine_, id, layout, rows, cols, store.epoch(id));
   state->source = gen;
+  store.evict_to_budget();
   return DistHandle(std::move(state));
 }
 
@@ -111,6 +122,7 @@ void Context::repair(const DistHandle& h) {
   CATRSM_CHECK(h.state_->machine == machine_,
                "repair: handle belongs to a different machine");
   sim::HandleStore& store = machine_->handle_store();
+  store.wait_run_idle(h.id());  // never rewrite under an in-flight stream
   if (!store.poisoned(h.id())) return;
   if (!h.state_->source)
     throw PoisonedOperandError(
@@ -120,7 +132,42 @@ void Context::repair(const DistHandle& h) {
       detail::realize_host(h.layout(), h.rows(), h.cols(), nprocs());
   fill_slots(store, h.id(), h.state_->source, d, nprocs());
   store.unpoison(h.id());
+  store.touch(h.id());
   h.state_->epoch = store.epoch(h.id());
+}
+
+bool Context::ensure_resident(const DistHandle& h) {
+  CATRSM_CHECK(h.valid(), "ensure_resident: empty handle");
+  CATRSM_CHECK(h.state_->machine == machine_,
+               "ensure_resident: handle belongs to a different machine");
+  sim::HandleStore& store = machine_->handle_store();
+  if (store.resident(h.id())) return false;
+  // Only entries with a recorded source are ever marked evictable, so a
+  // non-resident entry always has one.
+  CATRSM_CHECK(static_cast<bool>(h.state_->source),
+               "ensure_resident: evicted handle has no upload source");
+  const auto d =
+      detail::realize_host(h.layout(), h.rows(), h.cols(), nprocs());
+  fill_slots(store, h.id(), h.state_->source, d, nprocs());
+  // touch(), not a fresh epoch: the restored bytes are identical, so
+  // content-keyed caches (diag-inverse reuse) stay valid across the
+  // evict/re-upload round trip. No budget pass here — the caller is
+  // about to use the blocks (run paths hold run-use marks; download
+  // evicts after assembling).
+  store.touch(h.id());
+  return true;
+}
+
+void Context::pin(const DistHandle& h) {
+  CATRSM_CHECK(h.valid(), "pin: empty handle");
+  CATRSM_CHECK(h.state_->machine == machine_,
+               "pin: handle belongs to a different machine");
+  machine_->handle_store().pin(h.id());
+}
+
+void Context::unpin(const DistHandle& h) {
+  CATRSM_CHECK(h.valid(), "unpin: empty handle");
+  machine_->handle_store().unpin(h.id());
 }
 
 la::Matrix Context::download(const DistHandle& h) {
@@ -138,11 +185,15 @@ la::Matrix Context::download_on(
   CATRSM_CHECK(d != nullptr && d->rows() == h.rows() &&
                    d->cols() == h.cols(),
                "download: realization does not match the handle shape");
-  if (machine_->handle_store().poisoned(h.id()))
+  sim::HandleStore& store = machine_->handle_store();
+  // An in-flight stream moves blocks OUT of the store for the run's
+  // duration; wait until no run uses the entry before reading it.
+  store.wait_run_idle(h.id());
+  if (store.poisoned(h.id()))
     throw PoisonedOperandError(
         "download: operand was touched by a faulted run and may be "
         "partially rewritten — Context::repair it (or re-upload) first");
-  sim::HandleStore& store = machine_->handle_store();
+  ensure_resident(h);  // transparent re-upload after a budget eviction
   la::Matrix out(h.rows(), h.cols());
   for (int w = 0; w < nprocs(); ++w) {
     const auto parts = d->parts_of_world(w);
@@ -158,6 +209,9 @@ la::Matrix Context::download_on(
         out(rows_w[r], cols_w[c]) =
             loc(static_cast<index_t>(r), static_cast<index_t>(c));
   }
+  // Budget 0 degenerates to always-re-upload: the blocks just read can
+  // leave again now that the gather is done.
+  store.evict_to_budget();
   return out;
 }
 

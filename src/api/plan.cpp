@@ -436,26 +436,54 @@ ExecResult Plan::execute_generated(const Gen& a_gen, const Gen& b_gen,
   return r;
 }
 
+// One in-flight execute_dist stream: the launched Program run plus the
+// deferred diagonal-inverse cache merge. The non-reuse iterative TRSM
+// computes Ltilde into the ticket's PRIVATE store (never the plan's
+// shared one — a concurrent reuse stream may be reading that); wait()
+// merges it into the plan under diag_mu_, and only when no reader is in
+// flight.
+struct DistTicket::Shared {
+  std::shared_ptr<Plan> plan;
+  model::Config config;
+  Program::AsyncResult async;
+
+  std::unique_ptr<std::vector<Matrix>> ltilde;
+  std::uint64_t merge_fp = 0;
+  bool merge = false;
+
+  std::mutex mu;
+  bool assembled = false;
+  DistExecResult result;
+  std::exception_ptr outcome;
+};
+
 DistExecResult Plan::execute_dist(const DistHandle& a, const DistHandle& b) {
+  return execute_dist_async(a, b).wait();
+}
+
+DistTicket Plan::execute_dist_async(const DistHandle& a,
+                                    const DistHandle& b) {
   CATRSM_CHECK(a.valid(), "execute_dist: operand handle is empty");
   const bool needs_b = desc_.op != Op::kTriInv && desc_.op != Op::kCholesky;
   CATRSM_CHECK(!needs_b || b.valid(),
                "execute_dist: op needs a second operand handle");
 
-  DistExecResult result;
-  result.config = config_;
+  auto sh = std::make_shared<DistTicket::Shared>();
+  sh->plan = shared_from_this();
+  sh->config = config_;
 
   if (desc_.op == Op::kCholeskySolve) {
-    auto [hx, stats] = run_cholesky_program(a, b);
-    result.x = std::move(hx);
-    result.stats = std::move(stats);
-    return result;
+    Program prog = make_cholesky_program();
+    sh->async = prog.run_async({a, b});
+    return DistTicket(std::move(sh));
   }
 
   // One-step program: ALL validation (variant rules, shapes, machine
   // ownership) and all orchestration (slot load/restore with exception
   // unwinding, grid subsetting, redistribute-on-mismatch, output
-  // materialization) live in Program::add/run — one implementation.
+  // materialization) live in Program::add/run_async — one
+  // implementation. run_async snapshots the DAG, so the local Program
+  // may die while the stream flies.
   Program prog(*ctx_);
   std::vector<Program::NodeId> args{prog.input(a.rows(), a.cols())};
   std::vector<DistHandle> inputs{a};
@@ -467,33 +495,85 @@ DistExecResult Plan::execute_dist(const DistHandle& a, const DistHandle& b) {
 
   // Diagonal-inverse reuse keyed on the handle's content identity — no
   // byte hashing on the resident path. Set up only after add() accepted
-  // the step, so a rejected call cannot clobber a live cache.
-  bool diag_store = false;
-  bool reuse = false;
+  // the step, so a rejected call cannot clobber a live cache. A cache
+  // hit makes this run a READER of the shared blocks: count it so no
+  // concurrent wait() merges (rewrites) the vector under its fibers —
+  // the count drops on a worker thread the moment the run completes.
+  std::function<void()> on_complete;
+  bool reader = false;
   if (desc_.op == Op::kTrsm && !desc_.trsm.transpose &&
       config_.algorithm == model::Algorithm::kIterative) {
     const std::uint64_t fp = handle_fingerprint(a);
-    reuse = diag_valid_ && diag_fp_ == fp;
-    if (!reuse) {
-      diag_locals_.assign(static_cast<std::size_t>(ctx_->nprocs()),
-                          Matrix{});
-      diag_fp_ = fp;
-      diag_valid_ = false;
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    if (diag_valid_ && diag_fp_ == fp) {
+      prog.steps_.back().ltilde_store = &diag_locals_;
+      prog.steps_.back().reuse_ltilde = true;
+      ++diag_readers_;
+      reader = true;
+      std::shared_ptr<Plan> self = shared_from_this();
+      on_complete = [self] {
+        std::lock_guard<std::mutex> l(self->diag_mu_);
+        --self->diag_readers_;
+      };
+    } else {
+      sh->ltilde = std::make_unique<std::vector<Matrix>>(
+          static_cast<std::size_t>(ctx_->nprocs()));
+      sh->merge_fp = fp;
+      sh->merge = true;
+      prog.steps_.back().ltilde_store = sh->ltilde.get();
+      prog.steps_.back().reuse_ltilde = false;
     }
-    diag_store = true;
-    prog.steps_.back().ltilde_store = &diag_locals_;
-    prog.steps_.back().reuse_ltilde = reuse;
   }
   prog.mark_output(nx);
-  Program::Result pr = prog.run(inputs);
-
-  if (diag_store && !reuse) {
-    diag_valid_ = true;
-    ++diag_inversions_;
+  try {
+    sh->async = prog.run_async(inputs, std::move(on_complete));
+  } catch (...) {
+    // run_async throws only before the submission exists, so on_complete
+    // never fires — undo the reader count here.
+    if (reader) {
+      std::lock_guard<std::mutex> lock(diag_mu_);
+      --diag_readers_;
+    }
+    throw;
   }
-  result.x = std::move(pr.outputs[0]);
-  result.stats = std::move(pr.stats);
-  return result;
+  return DistTicket(std::move(sh));
+}
+
+bool DistTicket::done() const {
+  CATRSM_CHECK(s_ != nullptr, "DistTicket: empty ticket");
+  return s_->async.done();
+}
+
+DistExecResult DistTicket::wait() {
+  CATRSM_CHECK(s_ != nullptr, "DistTicket: empty ticket");
+  std::lock_guard<std::mutex> lock(s_->mu);
+  Shared& sh = *s_;
+  if (!sh.assembled) {
+    sh.assembled = true;
+    try {
+      Program::Result r = sh.async.wait();
+      sh.result.config = sh.config;
+      sh.result.x = std::move(r.outputs[0]);
+      sh.result.stats = std::move(r.stats);
+      if (sh.merge) {
+        Plan& plan = *sh.plan;
+        std::lock_guard<std::mutex> dl(plan.diag_mu_);
+        ++plan.diag_inversions_;  // the inverter DID run, merged or not
+        if (plan.diag_readers_ == 0) {
+          plan.diag_locals_ = std::move(*sh.ltilde);
+          plan.diag_fp_ = sh.merge_fp;
+          plan.diag_valid_ = true;
+        }
+        // A reader in flight pins the shared cache; dropping the private
+        // blocks costs one future re-inversion, never correctness.
+      }
+    } catch (...) {
+      sh.outcome = std::current_exception();
+    }
+    sh.ltilde.reset();
+  }
+  if (sh.outcome) std::rethrow_exception(sh.outcome);
+  return sh.result;
 }
 
 ExecResult Plan::run_trsm(const Matrix& t, const Matrix& b,
@@ -700,8 +780,7 @@ ExecResult Plan::run_cholesky(const Matrix& a) {
   return result;
 }
 
-std::pair<DistHandle, sim::RunStats> Plan::run_cholesky_program(
-    const DistHandle& a, const DistHandle& b) {
+Program Plan::make_cholesky_program() {
   const index_t n = desc_.n;
   const index_t k = desc_.k;
   const int q = config_.p1;
@@ -726,6 +805,12 @@ std::pair<DistHandle, sim::RunStats> Plan::run_cholesky_program(
   const auto ny = prog.add(fwd_plan, {nl, nb}, "forward-trsm");
   const auto nx = prog.add(bwd_plan, {nl, ny}, "backward-trsm");
   prog.mark_output(nx);
+  return prog;
+}
+
+std::pair<DistHandle, sim::RunStats> Plan::run_cholesky_program(
+    const DistHandle& a, const DistHandle& b) {
+  Program prog = make_cholesky_program();
   Program::Result r = prog.run({a, b});
   return {std::move(r.outputs[0]), std::move(r.stats)};
 }

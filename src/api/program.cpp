@@ -11,6 +11,7 @@
 // schedule replays the DAG exactly as written — same steps, same per-use
 // redistributes, bitwise-identical outputs either way.
 
+#include <algorithm>
 #include <optional>
 #include <numeric>
 #include <unordered_map>
@@ -137,7 +138,42 @@ void Program::mark_output(NodeId node) {
   compiled_.reset();
 }
 
+// Everything one in-flight run needs, snapshotted host-side at launch:
+// the rank body reads ONLY this, so the Program object is free to be
+// mutated or destroyed while the run flies, and several launches of the
+// same Program can overlap. The scheduler clears the submission's job
+// (which captures the owning shared_ptr) when the last rank finishes, so
+// the ticket-holds-run-holds-body reference cycle always breaks.
+struct Program::AsyncResult::Shared {
+  sim::Machine* machine = nullptr;
+  sim::HandleStore* store = nullptr;
+  int p = 0;
+
+  // DAG snapshot (steps keep their Plans alive via shared_ptr).
+  std::vector<Node> nodes;
+  std::vector<Step> steps;
+  std::vector<NodeId> outputs;
+  std::shared_ptr<const opt::Schedule> sched;
+
+  std::vector<DistHandle> inputs;
+  std::vector<std::uint64_t> in_ids;  // distinct, run-use marked in flight
+  std::vector<std::uint64_t> out_ids;
+
+  sim::RunTicket ticket;
+
+  // Assemble-once outcome.
+  std::mutex mu;
+  bool assembled = false;
+  Result result;
+  std::exception_ptr outcome;
+};
+
 Program::Result Program::run(const std::vector<DistHandle>& inputs) {
+  return run_async(inputs).wait();
+}
+
+Program::AsyncResult Program::run_async(const std::vector<DistHandle>& inputs,
+                                        std::function<void()> on_complete) {
   CATRSM_CHECK(static_cast<int>(inputs.size()) == n_inputs_,
                "program: wrong number of input handles");
   sim::Machine& machine = ctx_->machine();
@@ -182,12 +218,54 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
   const opt::Schedule& sched = *compiled_;
   stats_ = sched.stats;
 
-  std::vector<std::uint64_t> out_ids;
-  out_ids.reserve(outputs_.size());
-  for (std::size_t i = 0; i < outputs_.size(); ++i)
-    out_ids.push_back(store.create());
+  // Snapshot the DAG for the in-flight run: the rank body reads only the
+  // Shared block, never the (mutable) Program members.
+  auto sh = std::make_shared<AsyncResult::Shared>();
+  sh->machine = &machine;
+  sh->store = &store;
+  sh->p = p;
+  sh->nodes = nodes_;
+  sh->steps = steps_;
+  sh->outputs = outputs_;
+  sh->sched = compiled_;
+  sh->inputs = inputs;
+  for (const Node& node : nodes_) {
+    if (node.input_index < 0) continue;
+    const std::uint64_t id =
+        inputs[static_cast<std::size_t>(node.input_index)].id();
+    if (std::find(sh->in_ids.begin(), sh->in_ids.end(), id) ==
+        sh->in_ids.end())
+      sh->in_ids.push_back(id);
+  }
 
-  const auto rank_body = [&](sim::Rank& r) {
+  // Serialize against any in-flight run sharing an operand: load_slot
+  // MOVES blocks out of the store for the run's duration, so two
+  // overlapping runs must never hold the same entry. All-or-nothing and
+  // released on a worker thread at completion, so this always makes
+  // progress. Residency is restored AFTER the marks are held — busy
+  // entries cannot be evicted by a concurrent stream's budget pass
+  // between here and the run.
+  store.acquire_run_use(sh->in_ids);
+  try {
+    for (const DistHandle& h : inputs) ctx_->ensure_resident(h);
+    sh->out_ids.reserve(outputs_.size());
+    for (std::size_t i = 0; i < outputs_.size(); ++i)
+      sh->out_ids.push_back(store.create());
+  } catch (...) {
+    store.release_run_use(sh->in_ids);
+    throw;
+  }
+
+  const auto rank_body = [sh](sim::Rank& r) {
+    const std::vector<Node>& nodes_ = sh->nodes;
+    const std::vector<Step>& steps_ = sh->steps;
+    const std::vector<NodeId>& outputs_ = sh->outputs;
+    const std::vector<DistHandle>& inputs = sh->inputs;
+    const std::vector<std::uint64_t>& out_ids = sh->out_ids;
+    const opt::Schedule& sched = *sh->sched;
+    sim::HandleStore& store = *sh->store;
+    const int p = sh->p;
+
     const int me = r.id();
     sim::Comm world = sim::Comm::world(r);
     std::vector<DistMatrix> vals(nodes_.size());
@@ -331,47 +409,85 @@ Program::Result Program::run(const std::vector<DistHandle>& inputs) {
       throw;
     }
   };
-  sim::RunStats stats;
+  // Release the run-use marks the moment the last rank finishes (on a
+  // worker thread), so a host blocked acquiring them — or waiting any
+  // other ticket — never depends on this ticket being wait()ed first.
+  const std::vector<std::uint64_t> in_ids = sh->in_ids;
+  sim::HandleStore* store_ptr = &store;
+  auto complete = [store_ptr, in_ids, user = std::move(on_complete)] {
+    store_ptr->release_run_use(in_ids);
+    if (user) user();
+  };
   try {
-    stats = machine.run(rank_body);
+    sh->ticket = machine.run_async(rank_body, std::move(complete));
   } catch (...) {
-    for (const std::uint64_t id : out_ids) store.release(id);
-    // Graceful degradation: the unwound fibers restored every input slot,
-    // and for a CLEAN in-body failure (a CHECK like "not positive
-    // definite" fires before any in-place mutation of that operand) the
-    // restored blocks are the caller's original data — leave them usable.
-    // But when fault injection actually fired this run, the failure point
-    // is arbitrary: some ranks may have mutated their moved-out locals in
-    // place before the fault unwound them. Mark each distinct input
-    // untrustworthy; the caller repairs or re-uploads before the retry.
-    // Refresh cached epochs so handle observers see the invalidation
-    // immediately.
-    const sim::FaultInjector* inj = machine.fault_injector();
-    if (inj != nullptr && inj->injections() > 0) {
-      for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        const Node& node = nodes_[i];
-        if (node.input_index < 0) continue;
-        const DistHandle& h =
-            inputs[static_cast<std::size_t>(node.input_index)];
-        if (!h.valid()) continue;
-        store.poison(h.id());
-        h.state_->epoch = store.epoch(h.id());
-      }
-    }
+    // run_async throws only before the submission exists (admission does
+    // not throw), so the marks are still ours to release.
+    store.release_run_use(sh->in_ids);
     throw;
   }
+  return AsyncResult(std::move(sh));
+}
 
-  Result result;
-  result.stats = std::move(stats);
-  result.outputs.reserve(outputs_.size());
-  for (std::size_t i = 0; i < outputs_.size(); ++i) {
-    const Node& node = nodes_[static_cast<std::size_t>(outputs_[i])];
-    result.outputs.push_back(
-        DistHandle(std::make_shared<DistHandle::State>(
-            &machine, out_ids[i], node.layout, node.rows, node.cols,
-            store.epoch(out_ids[i]))));
+bool Program::AsyncResult::done() const {
+  CATRSM_CHECK(s_ != nullptr, "program: empty AsyncResult");
+  std::lock_guard<std::mutex> lock(s_->mu);
+  return s_->assembled || s_->ticket.done();
+}
+
+Program::Result Program::AsyncResult::wait() {
+  CATRSM_CHECK(s_ != nullptr, "program: empty AsyncResult");
+  std::lock_guard<std::mutex> lock(s_->mu);
+  Shared& sh = *s_;
+  if (!sh.assembled) {
+    sh.assembled = true;
+    sim::HandleStore& store = *sh.store;
+    try {
+      sim::RunStats stats = sh.ticket.wait();
+      Result result;
+      result.stats = std::move(stats);
+      result.outputs.reserve(sh.outputs.size());
+      for (std::size_t i = 0; i < sh.outputs.size(); ++i) {
+        const Node& node =
+            sh.nodes[static_cast<std::size_t>(sh.outputs[i])];
+        store.touch(sh.out_ids[i]);  // byte accounting for the new blocks
+        result.outputs.push_back(DistHandle(
+            std::make_shared<DistHandle::State>(
+                sh.machine, sh.out_ids[i], node.layout, node.rows,
+                node.cols, store.epoch(sh.out_ids[i]))));
+      }
+      sh.result = std::move(result);
+    } catch (...) {
+      for (const std::uint64_t id : sh.out_ids) store.release(id);
+      // Graceful degradation: the unwound fibers restored every input
+      // slot, and for a CLEAN in-body failure (a CHECK like "not positive
+      // definite" fires before any in-place mutation of that operand) the
+      // restored blocks are the caller's original data — leave them
+      // usable. But when fault injection actually fired in THIS run (the
+      // per-run ticket record — a fault in a concurrent stream never
+      // counts here), the failure point is arbitrary: some ranks may have
+      // mutated their moved-out locals in place before the fault unwound
+      // them. Mark each input untrustworthy; the caller repairs or
+      // re-uploads before the retry. Refresh cached epochs so handle
+      // observers see the invalidation immediately.
+      if (sh.ticket.injections() > 0) {
+        for (const DistHandle& h : sh.inputs) {
+          if (!h.valid()) continue;
+          store.poison(h.id());
+          h.state_->epoch = store.epoch(h.id());
+        }
+      }
+      sh.outcome = std::current_exception();
+    }
+    // The inputs just left flight (run-use released at completion):
+    // enforce the byte budget now, so budget 0 degenerates to
+    // always-re-upload the moment an operand goes idle.
+    store.evict_to_budget();
+    sh.ticket = sim::RunTicket{};
+    sh.inputs.clear();  // drop operand refs; result keeps the outputs
   }
-  return result;
+  if (sh.outcome) std::rethrow_exception(sh.outcome);
+  return sh.result;
 }
 
 }  // namespace catrsm::api

@@ -39,8 +39,11 @@ constexpr index_t kSmallProduct = 16 * 1024;
 // Below this flop count (2*m*n*k) even a single team dispatch plus its
 // barriers beats the speedup; stay on one thread. Engagement never
 // changes the arithmetic — only which thread executes an index — so
-// results are identical either way.
-constexpr double kMtFlopThreshold = 4.0e6;
+// results are identical either way. Measured on the 2-core CI box:
+// n=512 square (2.7e8 flops) ran ~15% SLOWER fanned out than inline —
+// the per-K-pass barriers dominate at that size — while n=1024 (2.1e9)
+// still gains, so the threshold sits between the two.
+constexpr double kMtFlopThreshold = 3.0e8;
 
 // Auto threshold for non-temporal C stores: a result larger than this
 // would only flush useful lines from the LLC on its way out, so stream

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
+#include <optional>
 #include <utility>
 
 #include <sstream>
@@ -14,6 +16,153 @@
 #include "support/env.hpp"
 
 namespace catrsm::sim {
+
+// ---------------------------------------------------------------------------
+// Per-run transport state. One RunContext per run_async: everything a run
+// mutates lives here, so concurrent streams share only the scheduler's
+// worker pool, the handle store, and the (append-only) epoch registry.
+
+struct Message {
+  Buffer data;
+  double sender_vtime = 0.0;  // sender clock at the instant of send
+  // Transport-verification stamps, written only while a fault plan is
+  // armed (zero otherwise): FNV-1a hash of the payload before any
+  // injected corruption, and the per-(src, dst, tag) delivery ordinal.
+  std::uint64_t checksum = 0;
+  std::uint32_t seq = 0;
+};
+
+/// One mailbox per ordered (dst, src) pair: senders to the same receiver
+/// shard across locks instead of serializing on one mailbox-map mutex.
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  // FIFO queue per tag; SPMD program order makes FIFO matching
+  // sufficient and deterministic. A flat deque of (tag, queue) entries
+  // beats a map here: a box sees a handful of tags, the entries (and
+  // their message blocks) are reused run after run instead of being
+  // reallocated, and — critically — growing a deque never invalidates
+  // the queue reference a blocked receiver holds across its wait (a
+  // vector would dangle it on reallocation).
+  std::deque<std::pair<int, std::deque<Message>>> queues;
+  std::deque<Message>& queue_for(int tag) {
+    for (auto& [t, q] : queues)
+      if (t == tag) return q;
+    return queues.emplace_back(tag, std::deque<Message>{}).second;
+  }
+  // Fiber-backend rendezvous: the receiving rank's parked fiber and the
+  // tag it waits for (only rank `dst` ever receives on this box, so one
+  // slot suffices). Guarded by mu.
+  void* waiter = nullptr;
+  int waiter_tag = 0;
+  // Deliveries held back by an armed delay fault (guarded by mu): each
+  // is appended to its tag queue *behind* the next message delivered
+  // into this box, reordering the FIFO deterministically. Invisible to
+  // the deadlock detector's pending scan on purpose — a held message
+  // cannot wake its receiver, so a run starved by one is a genuine
+  // (and correctly declared) deadlock. Always empty when no plan is
+  // armed.
+  std::deque<std::pair<int, Message>> delayed;
+};
+
+/// A run's p*p mailboxes. Pooled on the machine and reset at acquisition:
+/// tag entries and their message blocks are reused run after run instead
+/// of being reallocated.
+struct MailboxSet {
+  explicit MailboxSet(int p) {
+    boxes.reserve(static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
+    for (int i = 0; i < p * p; ++i) boxes.push_back(std::make_unique<Mailbox>());
+  }
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+};
+
+class RunContext {
+ public:
+  RunContext(Machine* m, std::function<void(Rank&)> fn)
+      : machine(m), p(m->nprocs()), params(m->params()), body(std::move(fn)) {
+    waits.resize(static_cast<std::size_t>(p));
+    wait_rec_mu.reset(new std::mutex[static_cast<std::size_t>(p)]);
+    ranks.reserve(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i)
+      ranks.push_back(std::unique_ptr<Rank>(new Rank(this, i, p)));
+  }
+
+  Machine* machine;
+  int p;
+  MachineParams params;
+  std::function<void(Rank&)> body;
+  std::unique_ptr<MailboxSet> mail;  // borrowed from the machine pool
+  std::atomic<bool> aborted{false};
+  std::vector<std::unique_ptr<Rank>> ranks;
+
+  // --- Wait-for-graph deadlock detection (sim/check/deadlock.hpp) --------
+  // A blocking take() registers its wait record; the registration (or
+  // rank completion) that makes every rank blocked-or-finished nominates
+  // the caller as detection candidate, and confirm_deadlock() validates
+  // the stall race-free before declaring. Sends never touch this state.
+  //
+  // Sharded on purpose: record mutations lock only that rank's own
+  // mutex and bump atomic counters, because the hot transport path
+  // (every blocked receive registers + every delivery to a parked rank
+  // clears) turned a single run-wide mutex here into a futex ping-pong
+  // between workers. wait_mu now serializes only the rare
+  // confirm/declare path and guards the dump.
+  struct WaitRecord {
+    bool active = false;
+    int src = -1;
+    int tag = 0;
+  };
+  std::unique_ptr<std::mutex[]> wait_rec_mu;  // wait_rec_mu[r] guards waits[r]
+  std::vector<WaitRecord> waits;
+  std::atomic<int> n_blocked{0};
+  std::atomic<int> n_finished{0};
+  std::atomic<std::uint64_t> wait_seq{0};  // bumped on every wait-set change
+  std::atomic<bool> deadlocked{false};
+  std::mutex wait_mu;         // serializes confirm/declare; guards the dump
+  std::string deadlock_dump;  // set once by the declaring rank
+
+  // Per-run tooling instances (built from the machine settings).
+  std::unique_ptr<check::CollectiveMatcher> matcher;
+  std::unique_ptr<check::TraceRecorder> tracer;
+  std::unique_ptr<FaultInjector> injector;
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  RankScheduler::SubmissionPtr sub;
+
+  // Assemble-once state (RunTicket::wait is idempotent).
+  std::mutex assemble_mu;
+  bool assembled = false;
+  RunStats stats;
+  std::exception_ptr outcome;
+  int injections_final = 0;
+
+  Mailbox& box_of(int dst, int src) {
+    return *mail->boxes[static_cast<std::size_t>(dst) *
+                            static_cast<std::size_t>(p) +
+                        static_cast<std::size_t>(src)];
+  }
+  void deliver(int src, int dst, int tag, Message msg);
+  Message take(int dst, int src, int tag);
+  void abort_all();
+  bool register_blocked(int dst, int src, int tag);
+  void unregister_blocked(int dst);
+  /// Clear dst's wait record at DELIVERY time (ntags == 0: the caller
+  /// proved the match via the mailbox waiter; otherwise clear only when
+  /// the record's tag is among the `ntags` tags just made available).
+  /// Without this, a rank whose message arrived but whose fiber has not
+  /// been scheduled yet still counts as blocked — and under concurrent
+  /// streams, where runs routinely starve, that made "every rank
+  /// blocked" a steady state and every registration an O(p) confirm
+  /// sweep.
+  void delivered_unblock(int dst, int src, const int* tags, int ntags);
+  bool finish_rank();
+  bool confirm_deadlock();
+  [[noreturn]] void fault_deadlock();
+  void rank_main(int i);
+  RunStats wait_and_assemble();
+};
 
 // ---------------------------------------------------------------------------
 // Rank
@@ -43,22 +192,22 @@ const std::string& Rank::phase() const {
 void Rank::send(int dst, Buffer data, int tag) {
   CATRSM_CHECK(dst >= 0 && dst < nprocs_, "send: bad destination rank");
   CATRSM_CHECK(dst != id_, "send: self-sends are a bug in SPMD code");
-  if (FaultInjector* fi = machine_->injector_.get()) fi->maybe_kill(id_);
+  if (FaultInjector* fi = run_->injector.get()) fi->maybe_kill(id_);
   const double w = static_cast<double>(data.size());
   const double sent_at = vtime_;
   account(1.0, w, 0.0);
   vtime_ += params().alpha + params().beta * w;
-  if (check::TraceRecorder* t = machine_->tracer_.get())
+  if (check::TraceRecorder* t = run_->tracer.get())
     t->on_send(id_, dst, tag, data, vtime_);
-  machine_->deliver(id_, dst, tag, Machine::Message{std::move(data), sent_at});
+  run_->deliver(id_, dst, tag, Message{std::move(data), sent_at});
 }
 
 Buffer Rank::recv(int src, int tag) {
   CATRSM_CHECK(src >= 0 && src < nprocs_, "recv: bad source rank");
   CATRSM_CHECK(src != id_, "recv: self-receives are a bug in SPMD code");
-  if (FaultInjector* fi = machine_->injector_.get()) fi->maybe_kill(id_);
-  Machine::Message msg = machine_->take(id_, src, tag);
-  if (FaultInjector* fi = machine_->injector_.get())
+  if (FaultInjector* fi = run_->injector.get()) fi->maybe_kill(id_);
+  Message msg = run_->take(id_, src, tag);
+  if (FaultInjector* fi = run_->injector.get())
     fi->verify_receive(id_, src, tag, msg.data, msg.checksum, msg.seq);
   const double w = static_cast<double>(msg.data.size());
   account(1.0, w, 0.0);
@@ -67,7 +216,7 @@ Buffer Rank::recv(int src, int tag) {
   // ready to receive.
   vtime_ = std::max(vtime_, msg.sender_vtime) + params().alpha +
            params().beta * w;
-  if (check::TraceRecorder* t = machine_->tracer_.get())
+  if (check::TraceRecorder* t = run_->tracer.get())
     t->on_recv(id_, src, tag, msg.data, vtime_);
   return std::move(msg.data);
 }
@@ -80,14 +229,14 @@ Buffer Rank::shift(int dst, int src, Buffer data, int tag) {
   CATRSM_CHECK(dst >= 0 && dst < nprocs_, "shift: bad destination rank");
   CATRSM_CHECK(src >= 0 && src < nprocs_, "shift: bad source rank");
   CATRSM_CHECK(dst != id_ && src != id_, "shift: peers must differ from self");
-  if (FaultInjector* fi = machine_->injector_.get()) fi->maybe_kill(id_);
+  if (FaultInjector* fi = run_->injector.get()) fi->maybe_kill(id_);
   const double sent = static_cast<double>(data.size());
-  check::TraceRecorder* const tracer = machine_->tracer_.get();
+  check::TraceRecorder* const tracer = run_->tracer.get();
   Buffer sent_view;
   if (tracer != nullptr) sent_view = data;  // slab share, no copy
-  machine_->deliver(id_, dst, tag, Machine::Message{std::move(data), vtime_});
-  Machine::Message in = machine_->take(id_, src, tag);
-  if (FaultInjector* fi = machine_->injector_.get())
+  run_->deliver(id_, dst, tag, Message{std::move(data), vtime_});
+  Message in = run_->take(id_, src, tag);
+  if (FaultInjector* fi = run_->injector.get())
     fi->verify_receive(id_, src, tag, in.data, in.checksum, in.seq);
   // One simultaneous exchange round: a single latency unit, and the wire
   // carries both directions concurrently, so the clock advances by the
@@ -106,26 +255,25 @@ void Rank::charge_flops(double f) {
   CATRSM_CHECK(f >= 0.0, "charge_flops: negative flop count");
   account(0.0, 0.0, f);
   vtime_ += params().gamma * f;
-  if (check::TraceRecorder* t = machine_->tracer_.get())
+  if (check::TraceRecorder* t = run_->tracer.get())
     t->on_flops(id_, f, vtime_);
 }
 
-const MachineParams& Rank::params() const { return machine_->params_; }
+const MachineParams& Rank::params() const { return run_->params; }
 
 check::CollectiveMatcher* Rank::matcher() const {
-  return machine_->matcher_.get();
+  return run_->matcher.get();
 }
 
-check::TraceRecorder* Rank::tracer() const { return machine_->tracer_.get(); }
+check::TraceRecorder* Rank::tracer() const { return run_->tracer.get(); }
 
-FaultInjector* Rank::fault_injector() const {
-  return machine_->injector_.get();
-}
+FaultInjector* Rank::fault_injector() const { return run_->injector.get(); }
 
 std::uint64_t Rank::comm_epoch(const std::vector<int>& members) {
-  std::lock_guard<std::mutex> lock(machine_->epoch_mu_);
-  auto [it, inserted] = machine_->epoch_ids_.try_emplace(
-      members, machine_->epoch_ids_.size());
+  Machine* m = run_->machine;
+  std::lock_guard<std::mutex> lock(m->epoch_mu_);
+  auto [it, inserted] =
+      m->epoch_ids_.try_emplace(members, m->epoch_ids_.size());
   return it->second;
 }
 
@@ -154,72 +302,22 @@ double RunStats::total_words() const {
 }
 
 // ---------------------------------------------------------------------------
-// Machine
+// RunContext: transport
 
-Machine::Machine(int p, MachineParams params) : p_(p), params_(params) {
-  CATRSM_CHECK(p >= 1, "machine needs at least one rank");
-  mailboxes_.reserve(static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
-  for (int i = 0; i < p * p; ++i)
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-  waits_.resize(static_cast<std::size_t>(p));
-  if (env::flag_or("CATRSM_SIM_CHECK", false)) set_collective_checking(true);
-  if (const std::optional<FaultPlan> plan = FaultPlan::from_env())
-    arm_fault(*plan);
-}
-
-Machine::~Machine() = default;
-
-void Machine::set_collective_checking(bool on) {
-  if (on && matcher_ == nullptr)
-    matcher_ = std::make_unique<check::CollectiveMatcher>(p_);
-  else if (!on)
-    matcher_.reset();
-}
-
-void Machine::set_tracing(bool on, bool capture_payloads) {
-  if (on)
-    tracer_ = std::make_unique<check::TraceRecorder>(p_, capture_payloads);
-  else
-    tracer_.reset();
-}
-
-check::Trace Machine::take_trace() {
-  CATRSM_CHECK(tracer_ != nullptr, "take_trace: tracing is not enabled");
-  CATRSM_CHECK(tracer_->run_complete(),
-               "take_trace: the last traced run faulted before completing "
-               "(a torso trace is not replayable); run again first");
-  return tracer_->take();
-}
-
-void Machine::arm_fault(const FaultPlan& plan) {
-  injector_ = std::make_unique<FaultInjector>(plan, p_);
-}
-
-void Machine::disarm_fault() { injector_.reset(); }
-
-RankScheduler& Machine::scheduler() {
-  if (!scheduler_) scheduler_ = std::make_unique<RankScheduler>(p_);
-  return *scheduler_;
-}
-
-HandleStore& Machine::handle_store() {
-  if (!handles_) handles_ = std::make_unique<HandleStore>(p_);
-  return *handles_;
-}
-
-void Machine::deliver(int src, int dst, int tag, Message msg) {
+void RunContext::deliver(int src, int dst, int tag, Message msg) {
   // Armed fault injection intercepts here — the single choke point both
   // send and shift deliver through. on_deliver stamps the verification
   // checksum/sequence (and applies payload corruption) before the message
   // enters the mailbox; only rank `src` delivers into box(dst, src), so
   // the injector's per-edge counters have a single writer.
   auto act = FaultInjector::Action::kPass;
-  if (FaultInjector* fi = injector_.get()) {
+  if (FaultInjector* fi = injector.get()) {
     act = fi->on_deliver(src, dst, tag, &msg.data, &msg.checksum, &msg.seq);
     if (act == FaultInjector::Action::kDrop) return;  // vanished in flight
   }
   Mailbox& box = box_of(dst, src);
   void* waiter = nullptr;
+  std::vector<int> flushed_tags;  // stays empty unless held-backs flush
   {
     std::lock_guard<std::mutex> lock(box.mu);
     if (act == FaultInjector::Action::kDelay) {
@@ -240,11 +338,31 @@ void Machine::deliver(int src, int dst, int tag, Message msg) {
       auto& [held_tag, held] = box.delayed.front();
       box.queue_for(held_tag).push_back(std::move(held));
       if (box.waiter != nullptr && box.waiter_tag == held_tag) wake = true;
+      flushed_tags.push_back(held_tag);
       box.delayed.pop_front();
     }
     if (wake) {
       waiter = box.waiter;
       box.waiter = nullptr;
+    }
+    // Clear the receiver's wait record BEFORE box.mu is released, i.e.
+    // at delivery — not when the starved receiver finally resumes. The
+    // lock matters: once box.mu drops, the receiver may consume this
+    // message and register a fresh wait on the same (src, tag) edge, and
+    // a clear landing after that would hide a genuinely blocked rank
+    // from the deadlock detector forever (a missed real deadlock hangs
+    // the run). Under the lock the clear can only hit the wait this
+    // delivery satisfies.
+    if (waiter != nullptr) {
+      // Waking implies a tag match; clear unconditionally.
+      delivered_unblock(dst, src, nullptr, 0);
+    } else {
+      // Thread backend (or a receiver not yet parked): clear only when
+      // one of the tags just enqueued satisfies the registered wait — an
+      // over-clear would hide a blocked rank just the same.
+      flushed_tags.push_back(tag);
+      delivered_unblock(dst, src, flushed_tags.data(),
+                        static_cast<int>(flushed_tags.size()));
     }
   }
   if (waiter != nullptr) {
@@ -254,7 +372,7 @@ void Machine::deliver(int src, int dst, int tag, Message msg) {
   }
 }
 
-Machine::Message Machine::take(int dst, int src, int tag) {
+Message RunContext::take(int dst, int src, int tag) {
   Mailbox& box = box_of(dst, src);
   std::unique_lock<std::mutex> lock(box.mu);
   auto& queue = box.queue_for(tag);
@@ -268,9 +386,17 @@ Machine::Message Machine::take(int dst, int src, int tag) {
   if (void* self = RankScheduler::current_fiber()) {
     // Fiber backend: a blocked receive yields the worker to another rank
     // instead of parking the OS thread.
-    while (queue.empty() && !aborted_.load()) {
+    while (queue.empty() && !aborted.load()) {
       box.waiter = self;
       box.waiter_tag = tag;
+      // Abort wakes only the waiters it finds registered, so re-check
+      // under the box lock after registering: either this load sees the
+      // abort, or the abort's scan (serialized by box.mu) sees the
+      // waiter and wakes it — never neither.
+      if (aborted.load()) {
+        box.waiter = nullptr;
+        break;
+      }
       bool candidate = false;
       if (!registered) {
         registered = true;
@@ -283,7 +409,7 @@ Machine::Message Machine::take(int dst, int src, int tag) {
     }
     if (box.waiter == self) box.waiter = nullptr;  // abort-path cleanup
   } else {
-    while (queue.empty() && !aborted_.load()) {
+    while (queue.empty() && !aborted.load()) {
       bool candidate = false;
       if (!registered) {
         registered = true;
@@ -303,13 +429,13 @@ Machine::Message Machine::take(int dst, int src, int tag) {
   if (queue.empty()) {
     // Another rank failed; propagate so the whole run unwinds cleanly
     // (when the failure was a declared deadlock, rethrow it as such so
-    // every rank's unwind carries the diagnostic dump).
-    bool dead = false;
-    {
-      std::lock_guard<std::mutex> wl(wait_mu_);
-      dead = deadlocked_;
-    }
-    if (dead) fault_deadlock();
+    // every rank's unwind carries the diagnostic dump). Drop the box
+    // lock FIRST: fault_deadlock blocks on wait_mu, and the declaring
+    // rank holds wait_mu while its abort_all sweep takes every box.mu —
+    // faulting with the box still locked closes that cycle into an ABBA
+    // deadlock between the detector and the ranks it just woke.
+    lock.unlock();
+    if (deadlocked.load()) fault_deadlock();
     throw Error("simulated run aborted by failure on a peer rank");
   }
   Message msg = std::move(queue.front());
@@ -317,82 +443,131 @@ Machine::Message Machine::take(int dst, int src, int tag) {
   return msg;
 }
 
-bool Machine::register_blocked(int dst, int src, int tag) {
-  std::lock_guard<std::mutex> lock(wait_mu_);
-  WaitRecord& w = waits_[static_cast<std::size_t>(dst)];
-  w.active = true;
-  w.src = src;
-  w.tag = tag;
-  ++n_blocked_;
-  ++wait_seq_;
-  return n_blocked_ > 0 && n_blocked_ + n_finished_ == p_ && !deadlocked_ &&
-         !aborted_.load();
-}
-
-void Machine::unregister_blocked(int dst) {
-  std::lock_guard<std::mutex> lock(wait_mu_);
-  WaitRecord& w = waits_[static_cast<std::size_t>(dst)];
-  if (!w.active) return;
-  w.active = false;
-  --n_blocked_;
-  ++wait_seq_;
-}
-
-bool Machine::finish_rank() {
-  std::lock_guard<std::mutex> lock(wait_mu_);
-  ++n_finished_;
-  ++wait_seq_;
-  return n_blocked_ > 0 && n_blocked_ + n_finished_ == p_ && !deadlocked_ &&
-         !aborted_.load();
-}
-
-bool Machine::confirm_deadlock() {
-  // Step 1: snapshot the wait set and its sequence number. The candidate
-  // observed "every rank blocked or finished", so no rank is executing —
-  // in particular no deliver is in flight — unless something moves, which
-  // step 3 detects.
-  std::vector<check::RankWait> snapshot(static_cast<std::size_t>(p_));
-  std::uint64_t seq0 = 0;
+bool RunContext::register_blocked(int dst, int src, int tag) {
   {
-    std::lock_guard<std::mutex> lock(wait_mu_);
-    if (deadlocked_) return true;  // a peer already declared; just unwind
-    if (n_blocked_ == 0 || n_blocked_ + n_finished_ != p_) return false;
-    seq0 = wait_seq_;
-    for (int r = 0; r < p_; ++r) {
-      const WaitRecord& w = waits_[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> lock(wait_rec_mu[static_cast<std::size_t>(dst)]);
+    WaitRecord& w = waits[static_cast<std::size_t>(dst)];
+    w.active = true;
+    w.src = src;
+    w.tag = tag;
+  }
+  const int nb = n_blocked.fetch_add(1) + 1;
+  wait_seq.fetch_add(1);
+  // seq_cst counters: the transition that really completes the
+  // blocked-or-finished set happens last in real time, so its loads see
+  // the full totals and nominate a candidate; stale reads on earlier
+  // transitions only suppress candidates, and confirm re-validates.
+  const bool cand = nb > 0 && nb + n_finished.load() == p &&
+                    !deadlocked.load() && !aborted.load();
+  return cand;
+}
+
+void RunContext::unregister_blocked(int dst) {
+  {
+    std::lock_guard<std::mutex> lock(wait_rec_mu[static_cast<std::size_t>(dst)]);
+    WaitRecord& w = waits[static_cast<std::size_t>(dst)];
+    if (!w.active) return;
+    w.active = false;
+  }
+  n_blocked.fetch_sub(1);
+  wait_seq.fetch_add(1);
+}
+
+void RunContext::delivered_unblock(int dst, int src, const int* tags,
+                                   int ntags) {
+  {
+    std::lock_guard<std::mutex> lock(wait_rec_mu[static_cast<std::size_t>(dst)]);
+    WaitRecord& w = waits[static_cast<std::size_t>(dst)];
+    if (!w.active || w.src != src) return;
+    if (ntags > 0) {
+      bool hit = false;
+      for (int i = 0; i < ntags && !hit; ++i) hit = w.tag == tags[i];
+      if (!hit) return;
+    }
+    w.active = false;
+  }
+  n_blocked.fetch_sub(1);
+  wait_seq.fetch_add(1);
+}
+
+bool RunContext::finish_rank() {
+  const int nf = n_finished.fetch_add(1) + 1;
+  wait_seq.fetch_add(1);
+  const int nb = n_blocked.load();
+  const bool cand =
+      nb > 0 && nb + nf == p && !deadlocked.load() && !aborted.load();
+  return cand;
+}
+
+bool RunContext::confirm_deadlock() {
+  // wait_mu is held for the whole confirmation so at most one rank runs
+  // the validation/declare sequence at a time; the hot paths (register /
+  // unregister / delivered_unblock) never take it.
+  std::lock_guard<std::mutex> confirm_lock(wait_mu);
+  std::vector<check::RankWait> snapshot(static_cast<std::size_t>(p));
+  for (;;) {
+    if (deadlocked.load()) return true;  // a peer already declared; unwind
+    if (aborted.load()) return false;
+
+    // Step 1: snapshot the wait set under the per-rank record locks and
+    // recompute the blocked count from the snapshot itself (the atomic
+    // counters can be mid-update; the records are the ground truth). The
+    // candidate observed "every rank blocked or finished", so no rank of
+    // THIS run is executing — in particular no deliver is in flight —
+    // unless something moves, which step 3 detects. Other streams' ranks
+    // are invisible here: they touch their own RunContext only.
+    const std::uint64_t seq0 = wait_seq.load();
+    int blocked = 0;
+    for (int r = 0; r < p; ++r) {
+      std::lock_guard<std::mutex> lock(
+          wait_rec_mu[static_cast<std::size_t>(r)]);
+      const WaitRecord& w = waits[static_cast<std::size_t>(r)];
       auto& s = snapshot[static_cast<std::size_t>(r)];
       s.finished = !w.active;
       s.src = w.src;
       s.tag = w.tag;
+      if (w.active) ++blocked;
     }
-  }
-  if (aborted_.load()) return false;
+    if (blocked == 0 || blocked + n_finished.load() != p) {
+      return false;
+    }
 
-  // Step 2: a pending message matching any blocked rank's wait means its
-  // wake-up is merely unscheduled — stand down.
-  for (int r = 0; r < p_; ++r) {
-    const auto& s = snapshot[static_cast<std::size_t>(r)];
-    if (s.finished) continue;
-    Mailbox& box = box_of(r, s.src);
-    std::lock_guard<std::mutex> lock(box.mu);
-    if (!box.queue_for(s.tag).empty()) return false;
-  }
+    // Step 2: a pending message matching any blocked rank's wait means
+    // its wake-up is merely unscheduled — stand down.
+    bool pending_match = false;
+    for (int r = 0; r < p && !pending_match; ++r) {
+      const auto& s = snapshot[static_cast<std::size_t>(r)];
+      if (s.finished) continue;
+      Mailbox& box = box_of(r, s.src);
+      std::lock_guard<std::mutex> lock(box.mu);
+      if (!box.queue_for(s.tag).empty()) pending_match = true;
+    }
+    if (pending_match) {
+      return false;
+    }
 
-  // Step 3: declare only if nothing moved while we scanned. Any message
-  // consumption or new registration bumps wait_seq_, so a stale snapshot
-  // can never be declared.
-  {
-    std::lock_guard<std::mutex> lock(wait_mu_);
-    if (deadlocked_) return true;
-    if (wait_seq_ != seq0 || aborted_.load()) return false;
-    deadlocked_ = true;
+    // Step 3: declare only if nothing moved while we scanned. Any message
+    // consumption, new registration, or delivery-time unblock bumps
+    // wait_seq, so a stale snapshot can never be declared. A bump alone,
+    // however, does NOT prove the run is live: a peer's register/finish
+    // transition that was already counted in our snapshot may publish its
+    // seq increment late, and that peer saw a partial count so it will
+    // never nominate itself. Standing down here would therefore lose the
+    // only candidate. Retry with a fresh snapshot instead; the loop exits
+    // via the count or pending-message checks the moment any rank makes
+    // real progress, and settles on a stable snapshot in a true deadlock.
+    if (wait_seq.load() != seq0) {
+      continue;
+    }
+    break;
   }
+  deadlocked.store(true);
 
   // Every rank is parked and stays parked until abort_all below, so the
   // mailboxes are quiescent: summarize them for the dump without racing.
   std::vector<check::PendingQueue> pending;
-  for (int dst = 0; dst < p_; ++dst) {
-    for (int src = 0; src < p_; ++src) {
+  for (int dst = 0; dst < p; ++dst) {
+    for (int src = 0; src < p; ++src) {
       if (dst == src) continue;
       Mailbox& box = box_of(dst, src);
       std::lock_guard<std::mutex> lock(box.mu);
@@ -404,50 +579,242 @@ bool Machine::confirm_deadlock() {
       }
     }
   }
-  std::vector<std::string> contexts(static_cast<std::size_t>(p_));
-  if (matcher_ != nullptr)
-    for (int r = 0; r < p_; ++r)
-      contexts[static_cast<std::size_t>(r)] = matcher_->context_of(r);
-  std::string dump = check::describe_deadlock(snapshot, pending, contexts);
-  {
-    std::lock_guard<std::mutex> lock(wait_mu_);
-    deadlock_dump_ = std::move(dump);
-  }
+  std::vector<std::string> contexts(static_cast<std::size_t>(p));
+  if (matcher != nullptr)
+    for (int r = 0; r < p; ++r)
+      contexts[static_cast<std::size_t>(r)] = matcher->context_of(r);
+  // wait_mu is still held, so the dump write is ordered before any
+  // fault_deadlock() read (which also takes wait_mu).
+  deadlock_dump = check::describe_deadlock(snapshot, pending, contexts);
   abort_all();
   return true;
 }
 
-void Machine::fault_deadlock() {
+void RunContext::fault_deadlock() {
   std::string dump;
   {
-    std::lock_guard<std::mutex> lock(wait_mu_);
-    dump = deadlock_dump_;
+    std::lock_guard<std::mutex> lock(wait_mu);
+    dump = deadlock_dump;
   }
   if (dump.empty())
     throw Error("simulated run aborted: deadlock detected on a peer rank");
   throw check::DeadlockError(dump);
 }
 
-void Machine::abort_all() {
-  aborted_.store(true);
-  for (auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mu);
-    box->cv.notify_all();
+void RunContext::abort_all() {
+  // Wake every rank OF THIS RUN blocked in take(); they observe aborted
+  // and unwind. Only waiters registered in this run's own mailboxes are
+  // touched, so concurrent streams never notice.
+  aborted.store(true);
+  for (auto& box : mail->boxes) {
+    void* waiter = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+      waiter = box->waiter;
+      box->waiter = nullptr;
+      box->cv.notify_all();
+    }
+    if (waiter != nullptr) RankScheduler::wake_fiber(waiter);
   }
-  if (scheduler_) scheduler_->wake_all_fibers();
 }
 
-RunStats Machine::run(const std::function<void(Rank&)>& fn) {
-  // Fresh mailboxes each run: a message the previous run left unconsumed
-  // (or a failed run's leftovers) must never FIFO-match into this run.
-  // Empty per-tag entries are kept for block reuse unless they have
+void RunContext::rank_main(int i) {
+  try {
+    body(*ranks[static_cast<std::size_t>(i)]);
+    // The last rank to finish while the rest are blocked is the one
+    // that can see their deadlock (e.g. a peer waiting on a rank that
+    // already returned): run the same detection a blocking receive
+    // would.
+    if (finish_rank() && confirm_deadlock()) fault_deadlock();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    abort_all();
+  }
+}
+
+RunStats RunContext::wait_and_assemble() {
+  machine->scheduler().wait(sub);
+  std::lock_guard<std::mutex> lock(assemble_mu);
+  if (!assembled) {
+    assembled = true;
+    try {
+      {
+        std::lock_guard<std::mutex> el(error_mu);
+        // A deadlock declaration outranks the per-rank unwind errors
+        // racing with it: every rank should surface the same dump.
+        if (!deadlock_dump.empty()) throw check::DeadlockError(deadlock_dump);
+        if (first_error) std::rethrow_exception(first_error);
+      }
+
+      if (injector != nullptr) {
+        // Residual sweep (armed runs only): every rank returned cleanly,
+        // so the mailboxes are quiescent — anything still queued or held
+        // back is an injected delivery no receive ever consumed (an
+        // unconsumed duplicate, a never-flushed delay) that would
+        // otherwise vanish silently when the boxes are pooled.
+        std::ostringstream residue;
+        std::size_t leftovers = 0;
+        for (int dst = 0; dst < p; ++dst) {
+          for (int src = 0; src < p; ++src) {
+            if (dst == src) continue;
+            Mailbox& box = box_of(dst, src);
+            std::lock_guard<std::mutex> bl(box.mu);
+            for (const auto& [qtag, q] : box.queues) {
+              if (q.empty()) continue;
+              leftovers += q.size();
+              residue << "\n  " << q.size() << " queued message(s) " << src
+                      << "->" << dst << " tag " << qtag;
+            }
+            if (!box.delayed.empty()) {
+              leftovers += box.delayed.size();
+              residue << "\n  " << box.delayed.size()
+                      << " held-back delivery(ies) " << src << "->" << dst;
+            }
+          }
+        }
+        if (leftovers > 0) {
+          throw check::TransportResidueError(
+              "transport residue after a completed run (" +
+              std::to_string(leftovers) +
+              " unconsumed delivery(ies); fault plan " +
+              injector->plan().describe() + "):" + residue.str());
+        }
+      }
+
+      stats.per_rank.reserve(static_cast<std::size_t>(p));
+      for (const auto& r : ranks) {
+        stats.per_rank.push_back(r->cost());
+        stats.critical_time = std::max(stats.critical_time, r->vtime());
+        for (const auto& [name, cost] : r->phase_costs()) {
+          Cost& agg = stats.phase_max[name];
+          agg.msgs = std::max(agg.msgs, cost.msgs);
+          agg.words = std::max(agg.words, cost.words);
+          agg.flops = std::max(agg.flops, cost.flops);
+        }
+      }
+      if (tracer != nullptr) {
+        std::vector<double> vtimes;
+        vtimes.reserve(static_cast<std::size_t>(p));
+        for (const auto& r : ranks) vtimes.push_back(r->vtime());
+        tracer->finish_run(stats.per_rank, vtimes, stats.critical_time);
+      }
+    } catch (...) {
+      outcome = std::current_exception();
+    }
+    if (injector != nullptr) injections_final = injector->injections();
+    machine->retire_run(this);
+  }
+  if (outcome) std::rethrow_exception(outcome);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// RunTicket
+
+bool RunTicket::done() const {
+  CATRSM_CHECK(rc_ != nullptr, "RunTicket: empty ticket");
+  return RankScheduler::done(rc_->sub);
+}
+
+RunStats RunTicket::wait() {
+  CATRSM_CHECK(rc_ != nullptr, "RunTicket: empty ticket");
+  return rc_->wait_and_assemble();
+}
+
+int RunTicket::injections() const {
+  CATRSM_CHECK(rc_ != nullptr, "RunTicket: empty ticket");
+  std::lock_guard<std::mutex> lock(rc_->assemble_mu);
+  return rc_->injections_final;
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+
+Machine::Machine(int p, MachineParams params) : p_(p), params_(params) {
+  CATRSM_CHECK(p >= 1, "machine needs at least one rank");
+  // Strict parsing with warn-and-fallback, like every CATRSM_* knob: a
+  // garbage stream cap runs with the default instead of silently
+  // serializing (or unboundedly admitting) streams.
+  max_streams_ = env::int_or("CATRSM_SIM_STREAMS", 4, 1,
+                             std::numeric_limits<int>::max());
+  if (env::flag_or("CATRSM_SIM_CHECK", false)) set_collective_checking(true);
+  if (const std::optional<FaultPlan> plan = FaultPlan::from_env())
+    arm_fault(*plan);
+}
+
+Machine::~Machine() {
+  std::vector<std::shared_ptr<RunContext>> pending;
+  {
+    std::lock_guard<std::mutex> lock(runs_mu_);
+    pending = inflight_;
+  }
+  for (const auto& rc : pending)
+    if (rc->sub != nullptr && scheduler_ != nullptr) scheduler_->wait(rc->sub);
+}
+
+void Machine::set_collective_checking(bool on) { checking_on_ = on; }
+
+void Machine::set_tracing(bool on, bool capture_payloads) {
+  tracing_on_ = on;
+  trace_payloads_ = capture_payloads;
+  if (on)
+    // The observation slot starts with a pristine recorder so pre-run
+    // take_trace() fails with the same diagnostic it always did; each
+    // waited run replaces it with that run's recorder.
+    tracer_ = std::make_unique<check::TraceRecorder>(p_, capture_payloads);
+  else
+    tracer_.reset();
+}
+
+check::Trace Machine::take_trace() {
+  CATRSM_CHECK(tracer_ != nullptr, "take_trace: tracing is not enabled");
+  CATRSM_CHECK(tracer_->run_complete(),
+               "take_trace: the last traced run faulted before completing "
+               "(a torso trace is not replayable); run again first");
+  return tracer_->take();
+}
+
+void Machine::arm_fault(const FaultPlan& plan) {
+  armed_plan_ = std::make_unique<FaultPlan>(plan);
+  // Pristine prototype so plan() is readable before any run; each waited
+  // armed run replaces it with that run's injector and injection record.
+  injector_ = std::make_unique<FaultInjector>(plan, p_);
+}
+
+void Machine::disarm_fault() {
+  armed_plan_.reset();
+  injector_.reset();
+}
+
+RankScheduler& Machine::scheduler() {
+  if (!scheduler_) scheduler_ = std::make_unique<RankScheduler>(p_);
+  return *scheduler_;
+}
+
+HandleStore& Machine::handle_store() {
+  if (!handles_) handles_ = std::make_unique<HandleStore>(p_);
+  return *handles_;
+}
+
+std::unique_ptr<MailboxSet> Machine::acquire_mailboxes_locked() {
+  std::unique_ptr<MailboxSet> set;
+  if (!mailbox_pool_.empty()) {
+    set = std::move(mailbox_pool_.back());
+    mailbox_pool_.pop_back();
+  } else {
+    set = std::make_unique<MailboxSet>(p_);
+  }
+  // Fresh mailboxes for the new run: a message a previous run left
+  // unconsumed (a failed run's leftovers) must never FIFO-match into this
+  // one. Empty per-tag entries are kept for block reuse unless they have
   // accumulated — a long-lived machine sees fresh tags per communicator
   // epoch, so unbounded entry growth would make every send's tag scan
   // linear in dead tags.
-  aborted_.store(false);
   constexpr std::size_t kMaxIdleTagEntries = 8;
-  for (auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mu);
+  for (auto& box : set->boxes) {
     if (box->queues.size() > kMaxIdleTagEntries) {
       box->queues.clear();
     } else {
@@ -456,107 +823,74 @@ RunStats Machine::run(const std::function<void(Rank&)>& fn) {
     box->delayed.clear();
     box->waiter = nullptr;
   }
+  return set;
+}
+
+void Machine::prune_finished_locked() {
+  inflight_.erase(
+      std::remove_if(inflight_.begin(), inflight_.end(),
+                     [](const std::shared_ptr<RunContext>& rc) {
+                       return RankScheduler::done(rc->sub);
+                     }),
+      inflight_.end());
+}
+
+void Machine::retire_run(RunContext* rc) {
   {
-    std::lock_guard<std::mutex> lock(wait_mu_);
-    for (auto& w : waits_) w = WaitRecord{};
-    n_blocked_ = 0;
-    n_finished_ = 0;
-    ++wait_seq_;
-    deadlocked_ = false;
-    deadlock_dump_.clear();
+    std::lock_guard<std::mutex> lock(runs_mu_);
+    if (rc->mail != nullptr) mailbox_pool_.push_back(std::move(rc->mail));
+    inflight_.erase(
+        std::remove_if(inflight_.begin(), inflight_.end(),
+                       [rc](const std::shared_ptr<RunContext>& e) {
+                         return e.get() == rc;
+                       }),
+        inflight_.end());
   }
-  if (matcher_ != nullptr) matcher_->reset();
-  if (tracer_ != nullptr) tracer_->begin_run(params_);
-  if (injector_ != nullptr) injector_->begin_run();
+  if (rc->tracer != nullptr) tracer_ = std::move(rc->tracer);
+  if (rc->injector != nullptr) injector_ = std::move(rc->injector);
+}
 
-  std::vector<std::unique_ptr<Rank>> ranks;
-  ranks.reserve(static_cast<std::size_t>(p_));
-  for (int i = 0; i < p_; ++i)
-    ranks.push_back(std::unique_ptr<Rank>(new Rank(this, i, p_)));
-
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-
-  scheduler().run([&](int i) {
-    try {
-      fn(*ranks[static_cast<std::size_t>(i)]);
-      // The last rank to finish while the rest are blocked is the one
-      // that can see their deadlock (e.g. a peer waiting on a rank that
-      // already returned): run the same detection a blocking receive
-      // would.
-      if (finish_rank() && confirm_deadlock()) fault_deadlock();
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      // Wake every peer blocked in take(); they observe aborted_ and
-      // unwind, so the run never hangs after a failure.
-      abort_all();
-    }
-  });
+RunTicket Machine::run_async(const std::function<void(Rank&)>& fn,
+                             std::function<void()> on_complete) {
+  auto rc = std::make_shared<RunContext>(this, fn);
+  if (checking_on_)
+    rc->matcher = std::make_unique<check::CollectiveMatcher>(p_);
+  if (tracing_on_) {
+    rc->tracer = std::make_unique<check::TraceRecorder>(p_, trace_payloads_);
+    rc->tracer->begin_run(params_);
+  }
+  if (armed_plan_ != nullptr) {
+    rc->injector = std::make_unique<FaultInjector>(*armed_plan_, p_);
+    rc->injector->begin_run();
+  }
+  RankScheduler& sched = scheduler();
   {
-    std::lock_guard<std::mutex> lock(error_mu);
-    // A deadlock declaration outranks the per-rank unwind errors racing
-    // with it: every rank should surface the same diagnostic dump.
-    if (!deadlock_dump_.empty()) throw check::DeadlockError(deadlock_dump_);
-    if (first_error) std::rethrow_exception(first_error);
+    std::unique_lock<std::mutex> lock(runs_mu_);
+    prune_finished_locked();
+    while (static_cast<int>(inflight_.size()) >= max_streams_) {
+      // Stream cap reached: drain the oldest in-flight run. Its ranks
+      // progress on the workers regardless of anyone waiting, so this
+      // cannot deadlock the admitting thread.
+      std::shared_ptr<RunContext> oldest = inflight_.front();
+      lock.unlock();
+      sched.wait(oldest->sub);
+      lock.lock();
+      prune_finished_locked();
+    }
+    rc->mail = acquire_mailboxes_locked();
+    // The submission's job handle is dropped by the scheduler when the
+    // last rank finishes, so this shared_ptr cycle (rc -> sub -> job ->
+    // rc) is broken at run completion.
+    std::shared_ptr<RunContext> body_rc = rc;
+    rc->sub = sched.submit([body_rc](int i) { body_rc->rank_main(i); },
+                           std::move(on_complete));
+    inflight_.push_back(rc);
   }
+  return RunTicket(std::move(rc));
+}
 
-  if (injector_ != nullptr) {
-    // Residual sweep (armed runs only): every rank returned cleanly, so
-    // the mailboxes are quiescent — anything still queued or held back is
-    // an injected delivery no receive ever consumed (an unconsumed
-    // duplicate, a never-flushed delay) that would otherwise vanish
-    // silently into the next run's mailbox reset.
-    std::ostringstream residue;
-    std::size_t leftovers = 0;
-    for (int dst = 0; dst < p_; ++dst) {
-      for (int src = 0; src < p_; ++src) {
-        if (dst == src) continue;
-        Mailbox& box = box_of(dst, src);
-        std::lock_guard<std::mutex> lock(box.mu);
-        for (const auto& [qtag, q] : box.queues) {
-          if (q.empty()) continue;
-          leftovers += q.size();
-          residue << "\n  " << q.size() << " queued message(s) " << src
-                  << "->" << dst << " tag " << qtag;
-        }
-        if (!box.delayed.empty()) {
-          leftovers += box.delayed.size();
-          residue << "\n  " << box.delayed.size()
-                  << " held-back delivery(ies) " << src << "->" << dst;
-        }
-      }
-    }
-    if (leftovers > 0) {
-      throw check::TransportResidueError(
-          "transport residue after a completed run (" +
-          std::to_string(leftovers) +
-          " unconsumed delivery(ies); fault plan " +
-          injector_->plan().describe() + "):" + residue.str());
-    }
-  }
-
-  RunStats stats;
-  stats.per_rank.reserve(static_cast<std::size_t>(p_));
-  for (const auto& r : ranks) {
-    stats.per_rank.push_back(r->cost());
-    stats.critical_time = std::max(stats.critical_time, r->vtime());
-    for (const auto& [name, cost] : r->phase_costs()) {
-      Cost& agg = stats.phase_max[name];
-      agg.msgs = std::max(agg.msgs, cost.msgs);
-      agg.words = std::max(agg.words, cost.words);
-      agg.flops = std::max(agg.flops, cost.flops);
-    }
-  }
-  if (tracer_ != nullptr) {
-    std::vector<double> vtimes;
-    vtimes.reserve(static_cast<std::size_t>(p_));
-    for (const auto& r : ranks) vtimes.push_back(r->vtime());
-    tracer_->finish_run(stats.per_rank, vtimes, stats.critical_time);
-  }
-  return stats;
+RunStats Machine::run(const std::function<void(Rank&)>& fn) {
+  return run_async(fn).wait();
 }
 
 }  // namespace catrsm::sim

@@ -13,6 +13,20 @@
 // of the final clocks is the exact critical path length of the run under
 // the machine parameters.
 //
+// Runs come in two flavors: Machine::run blocks (and is exactly
+// run_async + RunTicket::wait), while Machine::run_async dispatches an
+// EXECUTION STREAM and returns a future-like RunTicket immediately. Up
+// to CATRSM_SIM_STREAMS runs (default 4) can be in flight at once; each
+// gets its own RunContext — mailboxes, wait-for-graph, virtual clocks,
+// S/W/F counters, collective matcher, trace recorder, and fault injector
+// are all per-run state — so streams never exchange messages, a deadlock
+// or injected fault in one stream cannot abort or poison another, and
+// every stream's modeled costs are byte-identical to the same run
+// executed alone. Only the communicator-epoch registry is shared (ids
+// depend solely on the member list, so sharing cannot leak state across
+// runs). Overlap is real: a worker whose fibers are all blocked in one
+// stream runs runnable fibers of another instead of parking.
+//
 // This is the substitution for MPI on a real cluster (see DESIGN.md §2):
 // the paper's claims are statements about S, W, F along the critical path,
 // and this machine measures exactly those for real executions on real data.
@@ -51,9 +65,11 @@ class FaultInjector;  // sim/fault.hpp
 struct FaultPlan;
 
 class Machine;
+class RunContext;   // per-run state, private to machine.cpp
+struct MailboxSet;  // one run's p*p mailboxes, pooled across runs
 
 /// The execution context handed to each simulated rank. Not copyable; lives
-/// for the duration of Machine::run.
+/// for the duration of one run.
 class Rank {
  public:
   int id() const { return id_; }
@@ -85,7 +101,9 @@ class Rank {
   /// Stable identity of the communicator with this exact ordered member
   /// list: sequential ids handed out by a per-machine registry, so two
   /// distinct groups can never share an id (unlike a hash). Every member
-  /// asking for the same list gets the same id.
+  /// asking for the same list gets the same id — including members in
+  /// different concurrent runs, which is safe because tags only ever
+  /// match within a run's own mailboxes.
   std::uint64_t comm_epoch(const std::vector<int>& members);
 
   /// Accumulated cost counters for this rank.
@@ -110,25 +128,27 @@ class Rank {
 
   const MachineParams& params() const;
 
-  /// The machine's collective-matching validator, null when checking is
+  /// This run's collective-matching validator, null when checking is
   /// off (see Machine::set_collective_checking). Collective entry points
   /// register their calls here.
   check::CollectiveMatcher* matcher() const;
-  /// The machine's trace recorder, null when tracing is off.
+  /// This run's trace recorder, null when tracing is off.
   check::TraceRecorder* tracer() const;
-  /// The machine's armed fault injector, null when no plan is armed (see
+  /// This run's fault injector, null when no plan is armed (see
   /// Machine::arm_fault). Collective entry points call its skew hook.
   FaultInjector* fault_injector() const;
 
  private:
   friend class Machine;
-  Rank(Machine* m, int id, int nprocs) : machine_(m), id_(id), nprocs_(nprocs) {}
+  friend class RunContext;
+  Rank(RunContext* rc, int id, int nprocs)
+      : run_(rc), id_(id), nprocs_(nprocs) {}
   Rank(const Rank&) = delete;
   Rank& operator=(const Rank&) = delete;
 
   void account(double msgs, double words, double flops);
 
-  Machine* machine_;
+  RunContext* run_;
   int id_;
   int nprocs_;
   Cost cost_;
@@ -174,9 +194,39 @@ struct RunStats {
   }
 };
 
+/// Future-like handle of one in-flight simulated run (one execution
+/// stream). Obtained from Machine::run_async; must not outlive its
+/// Machine. Copyable (shares the run's state).
+class RunTicket {
+ public:
+  RunTicket() = default;
+  bool valid() const { return rc_ != nullptr; }
+  /// True once every rank of the run finished (success or failure).
+  bool done() const;
+  /// Block until the run finishes, then assemble and return its stats.
+  /// The first rank error is rethrown (a deadlock declaration outranks
+  /// per-rank unwind errors; transport residue of an armed run faults
+  /// here too). Idempotent: later calls return the same stats or rethrow
+  /// the same error. Also deposits the run's trace recorder / fault
+  /// injector into the machine's last-run observation slots (see
+  /// Machine::take_trace / Machine::fault_injector).
+  RunStats wait();
+  /// Transport faults injected into THIS run (0 when no plan was armed).
+  /// Valid after wait() returned or threw — per-run, so a fault firing
+  /// in a concurrent stream never shows up here.
+  int injections() const;
+
+ private:
+  friend class Machine;
+  explicit RunTicket(std::shared_ptr<RunContext> rc) : rc_(std::move(rc)) {}
+  std::shared_ptr<RunContext> rc_;
+};
+
 class Machine {
  public:
   explicit Machine(int p, MachineParams params = MachineParams{});
+  /// Blocks until every in-flight run finished (unwaited tickets keep
+  /// their results; their streams are drained, not cancelled).
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -187,10 +237,27 @@ class Machine {
 
   /// Execute `fn` on all p ranks concurrently; blocks until all finish.
   /// Any exception thrown by a rank is rethrown here (first one wins).
-  /// Counters reset at the start of each run. Worker threads persist
-  /// across runs — the first run creates the scheduler, later runs reuse
-  /// its parked workers.
+  /// Exactly run_async(fn).wait() — worker threads persist across runs;
+  /// the first run creates the scheduler, later runs reuse its parked
+  /// workers.
   RunStats run(const std::function<void(Rank&)>& fn);
+
+  /// Dispatch `fn` on all p ranks as an independent execution stream and
+  /// return immediately. Up to max_streams() runs fly at once; when the
+  /// cap is reached this blocks until the oldest in-flight run drains.
+  /// Each stream has private mailboxes, clocks, counters and tooling —
+  /// see the file comment for the isolation guarantees. `fn` is copied
+  /// (it outlives the call). The ticket (any copy) must be wait()ed or
+  /// dropped before the machine is destroyed. `on_complete` (optional)
+  /// fires on a worker thread the moment the last rank finishes — before
+  /// any wait() returns — success or failure; the api layer uses it to
+  /// release handle-store run-use marks without requiring the host to
+  /// wait the ticket first.
+  RunTicket run_async(const std::function<void(Rank&)>& fn,
+                      std::function<void()> on_complete = nullptr);
+
+  /// In-flight run cap (CATRSM_SIM_STREAMS, default 4).
+  int max_streams() const { return max_streams_; }
 
   /// The persistent worker pool (created lazily by the first run).
   RankScheduler& scheduler();
@@ -213,7 +280,8 @@ class Machine {
   // blocks — see sim/check/deadlock.hpp for the protocol) and faults the
   // run with a per-rank diagnostic dump instead of hanging. The two
   // tools below are opt-in; neither touches the cost counters, so
-  // modeled S/W/F are identical with or without them.
+  // modeled S/W/F are identical with or without them. Each run gets its
+  // own instance built from the machine-level setting at run_async time.
 
   /// Attach (or detach) the collective-matching validator: every coll::
   /// entry registers its (epoch, op, root, counts) and mismatched
@@ -221,15 +289,15 @@ class Machine {
   /// by CATRSM_SIM_CHECK=1 at machine construction. Must not be toggled
   /// during a run.
   void set_collective_checking(bool on);
-  bool collective_checking() const { return matcher_ != nullptr; }
+  bool collective_checking() const { return checking_on_; }
 
   /// Attach (or detach) the trace recorder: every run logs per-rank
   /// communication events (with payloads when capture_payloads — the
   /// replayable form). Must not be toggled during a run.
   void set_tracing(bool on, bool capture_payloads = true);
   bool tracing() const { return tracer_ != nullptr; }
-  /// Move out the most recent traced run's event log (throws when
-  /// tracing is off or the last run faulted before completing — a torso
+  /// Move out the most recently WAITED traced run's event log (throws
+  /// when tracing is off or that run faulted before completing — a torso
   /// trace is not replayable; include sim/check/trace.hpp for Trace).
   check::Trace take_trace();
 
@@ -238,116 +306,60 @@ class Machine {
   /// payload checksums + per-edge sequence numbers on every receive. Also
   /// armed by CATRSM_SIM_FAULT=<class>:<seed>[:<rate>] at machine
   /// construction. Zero cost when never armed (one null test per
-  /// transport op). Must not be toggled during a run.
+  /// transport op). Must not be toggled during a run. Injection decisions
+  /// are pure functions of (seed, logical coordinates), so each run's
+  /// private injector fires at exactly the sites the shared one did.
   void arm_fault(const FaultPlan& plan);
   /// Disarm fault injection; the next run is byte-identical to one on a
   /// machine that never armed a plan.
   void disarm_fault();
-  /// The armed injector (null when disarmed); check::report_fault reads
-  /// its plan and injection record when classifying a faulted run.
+  /// The injector of the most recently waited armed run (the armed plan's
+  /// pristine injector before any run); null when disarmed.
+  /// check::report_fault reads its plan and injection record when
+  /// classifying a faulted run. Per-run records: prefer
+  /// RunTicket::injections when streams overlap.
   FaultInjector* fault_injector() const { return injector_.get(); }
 
  private:
   friend class Rank;
+  friend class RunContext;
+  friend class RunTicket;
 
-  struct Message {
-    Buffer data;
-    double sender_vtime = 0.0;  // sender clock at the instant of send
-    // Transport-verification stamps, written only while a fault plan is
-    // armed (zero otherwise): FNV-1a hash of the payload before any
-    // injected corruption, and the per-(src, dst, tag) delivery ordinal.
-    std::uint64_t checksum = 0;
-    std::uint32_t seq = 0;
-  };
-
-  /// One mailbox per ordered (dst, src) pair: senders to the same receiver
-  /// shard across locks instead of serializing on one mailbox-map mutex.
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    // FIFO queue per tag; SPMD program order makes FIFO matching
-    // sufficient and deterministic. A flat deque of (tag, queue) entries
-    // beats a map here: a box sees a handful of tags, the entries (and
-    // their message blocks) are reused run after run instead of being
-    // reallocated, and — critically — growing a deque never invalidates
-    // the queue reference a blocked receiver holds across its wait (a
-    // vector would dangle it on reallocation).
-    std::deque<std::pair<int, std::deque<Message>>> queues;
-    std::deque<Message>& queue_for(int tag) {
-      for (auto& [t, q] : queues)
-        if (t == tag) return q;
-      return queues.emplace_back(tag, std::deque<Message>{}).second;
-    }
-    // Fiber-backend rendezvous: the receiving rank's parked fiber and the
-    // tag it waits for (only rank `dst` ever receives on this box, so one
-    // slot suffices). Guarded by mu.
-    void* waiter = nullptr;
-    int waiter_tag = 0;
-    // Deliveries held back by an armed delay fault (guarded by mu): each
-    // is appended to its tag queue *behind* the next message delivered
-    // into this box, reordering the FIFO deterministically. Invisible to
-    // the deadlock detector's pending scan on purpose — a held message
-    // cannot wake its receiver, so a run starved by one is a genuine
-    // (and correctly declared) deadlock. Always empty when no plan is
-    // armed.
-    std::deque<std::pair<int, Message>> delayed;
-  };
+  /// Pop (or build) a reset mailbox set for a new run; runs_mu_ held.
+  std::unique_ptr<MailboxSet> acquire_mailboxes_locked();
+  /// Drop finished runs from the in-flight list; runs_mu_ held.
+  void prune_finished_locked();
+  /// Return the run's mailboxes to the pool, remove it from the in-flight
+  /// list, and deposit its tracer/injector into the last-run slots.
+  /// Called exactly once per run, from RunTicket::wait.
+  void retire_run(RunContext* rc);
 
   /// Sequential communicator-epoch registry (see Rank::comm_epoch).
   std::mutex epoch_mu_;
   std::map<std::vector<int>, std::uint64_t> epoch_ids_;
 
-  Mailbox& box_of(int dst, int src) {
-    return *mailboxes_[static_cast<std::size_t>(dst) *
-                           static_cast<std::size_t>(p_) +
-                       static_cast<std::size_t>(src)];
-  }
-  void deliver(int src, int dst, int tag, Message msg);
-  Message take(int dst, int src, int tag);
-  void abort_all();
-
-  // --- Wait-for-graph deadlock detection (sim/check/deadlock.hpp) --------
-  // A blocking take() registers its wait record; the registration (or
-  // rank completion) that makes every rank blocked-or-finished nominates
-  // the caller as detection candidate, and confirm_deadlock() validates
-  // the stall race-free before declaring. Sends never touch this state.
-  struct WaitRecord {
-    bool active = false;
-    int src = -1;
-    int tag = 0;
-  };
-  /// Record rank `dst` as blocked on (src, tag); true when every rank is
-  /// now blocked or finished (caller must run confirm_deadlock()).
-  bool register_blocked(int dst, int src, int tag);
-  void unregister_blocked(int dst);
-  /// Count a completed rank body; same candidate contract as above.
-  bool finish_rank();
-  /// Validate a candidate stall: false on any sign of life (a pending
-  /// matching message, a wait-set change); on a genuine deadlock builds
-  /// the diagnostic dump, aborts the run, and returns true.
-  bool confirm_deadlock();
-  /// Throw the dump as a check::DeadlockError.
-  [[noreturn]] void fault_deadlock();
-
   int p_;
   MachineParams params_;
-  std::atomic<bool> aborted_{false};
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::unique_ptr<RankScheduler> scheduler_;
   std::unique_ptr<HandleStore> handles_;
   std::shared_ptr<api::Context> driver_ctx_;
 
-  std::mutex wait_mu_;  // guards the five fields below
-  std::vector<WaitRecord> waits_;
-  int n_blocked_ = 0;
-  int n_finished_ = 0;
-  std::uint64_t wait_seq_ = 0;  // bumped on every wait-set change
-  bool deadlocked_ = false;
-  std::string deadlock_dump_;  // set once by the declaring rank
+  // Tool settings, applied to each new run at run_async time.
+  bool checking_on_ = false;
+  bool tracing_on_ = false;
+  bool trace_payloads_ = true;
+  std::unique_ptr<FaultPlan> armed_plan_;
 
-  std::unique_ptr<check::CollectiveMatcher> matcher_;
+  // Last-run observation slots (deposited by RunTicket::wait): keep the
+  // serial-flow semantics of take_trace() / fault_injector() byte-exact.
   std::unique_ptr<check::TraceRecorder> tracer_;
   std::unique_ptr<FaultInjector> injector_;
+
+  // In-flight streams + mailbox pool (both guarded by runs_mu_).
+  int max_streams_;
+  std::mutex runs_mu_;
+  std::vector<std::shared_ptr<RunContext>> inflight_;
+  std::vector<std::unique_ptr<MailboxSet>> mailbox_pool_;
 };
 
 }  // namespace catrsm::sim

@@ -1,7 +1,9 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <utility>
 
 #include "support/check.hpp"
 #include "support/env.hpp"
@@ -29,6 +31,81 @@
 #ifndef CATRSM_SANITIZER
 #define CATRSM_SANITIZER 0
 #endif
+
+// Fast user-space context switch: save/restore callee-saved registers and
+// the FP control words only. glibc's swapcontext additionally saves the
+// signal mask with an rt_sigprocmask SYSCALL per switch; rank fibers never
+// manipulate per-fiber signal masks, and at simulator message granularity
+// that syscall dominated run CPU (>90% of samples). x86-64 only; other
+// ISAs keep the portable ucontext path.
+#if CATRSM_HAVE_UCONTEXT && defined(__x86_64__) && !CATRSM_SANITIZER
+#define CATRSM_FAST_SWAP 1
+#else
+#define CATRSM_FAST_SWAP 0
+#endif
+
+#if CATRSM_FAST_SWAP
+extern "C" {
+/// Save the current execution context (callee-saved registers + x87/SSE
+/// control words) on the current stack, store the resulting stack pointer
+/// to *save_sp, and resume the context whose stack pointer is resume_sp.
+void catrsm_ctx_swap(void** save_sp, void* resume_sp);
+}
+
+// SysV x86-64: rbx, rbp, r12-r15 are callee-saved, as are the x87 control
+// word and mxcsr (a fiber that changes rounding modes must not leak that
+// into its sibling). Everything else is caller-saved and therefore dead
+// across the catrsm_ctx_swap call boundary.
+//
+// Frame layout grown by the save sequence (low to high):
+//   [fcw:2 pad:2 mxcsr:4] [r15] [r14] [r13] [r12] [rbx] [rbp] [ret]
+//
+// catrsm_ctx_entry is the first "return target" of a freshly armed fiber
+// stack: submit() seeds r12 with the Fiber* and r13 with the entry
+// function, so the thunk is nothing but an indirect call with the seeded
+// argument. The stack is 16-byte aligned at the thunk (arranged by
+// submit()), making it 8-mod-16 at the callee entry as the ABI requires.
+asm(R"(
+  .text
+  .align 16
+  .globl catrsm_ctx_swap
+  .type catrsm_ctx_swap, @function
+catrsm_ctx_swap:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq  $8, %rsp
+  stmxcsr 4(%rsp)
+  fnstcw  (%rsp)
+  movq  %rsp, (%rdi)
+  movq  %rsi, %rsp
+  fldcw   (%rsp)
+  ldmxcsr 4(%rsp)
+  addq  $8, %rsp
+  popq  %r15
+  popq  %r14
+  popq  %r13
+  popq  %r12
+  popq  %rbx
+  popq  %rbp
+  retq
+  .size catrsm_ctx_swap, .-catrsm_ctx_swap
+
+  .align 16
+  .globl catrsm_ctx_entry
+  .type catrsm_ctx_entry, @function
+catrsm_ctx_entry:
+  movq  %r12, %rdi
+  callq *%r13
+  ud2
+  .size catrsm_ctx_entry, .-catrsm_ctx_entry
+)");
+
+extern "C" void catrsm_ctx_entry();
+#endif  // CATRSM_FAST_SWAP
 
 namespace catrsm::sim {
 
@@ -87,27 +164,61 @@ class GuardedStack {};
 #endif
 
 struct RankScheduler::Fiber {
-#if CATRSM_HAVE_UCONTEXT
+#if CATRSM_FAST_SWAP
+  /// Saved stack pointer while the fiber is parked (fast-swap backend);
+  /// submit() re-arms it at a fresh frame for every life.
+  void* fast_sp = nullptr;
+#elif CATRSM_HAVE_UCONTEXT
   ucontext_t ctx;
 #endif
   GuardedStack stack;
-  RankScheduler* sched = nullptr;
-  Worker* worker = nullptr;
+  /// Home worker of the current life; written by submit() before live
+  /// flips true, so a stale ready-queue entry popped after recycling is
+  /// detected by a worker mismatch.
+  std::atomic<Worker*> worker{nullptr};
   int index = 0;
+  SubmissionPtr sub;
   std::atomic<bool> ready{false};
+  /// True from submit() until the home worker observes the fiber finish;
+  /// a ready-queue entry naming a non-live fiber is stale and skipped.
+  std::atomic<bool> live{false};
   bool finished = true;
 };
 
+struct RankScheduler::Task {
+  SubmissionPtr sub;
+  int index = 0;
+};
+
 struct RankScheduler::Worker {
-#if CATRSM_HAVE_UCONTEXT
+#if CATRSM_FAST_SWAP
+  /// Saved scheduler-loop stack pointer while a fiber runs on this
+  /// worker. Touched only by this worker's thread and by the single
+  /// fiber currently executing on it, so no synchronization is needed.
+  void* sched_sp = nullptr;
+#elif CATRSM_HAVE_UCONTEXT
   ucontext_t sched_ctx;
 #endif
   RankScheduler* sched = nullptr;
   int id = 0;
   std::mutex mu;
   std::condition_variable cv;
-  std::vector<Fiber*> fibers;  // static assignment: rank i -> worker i % W
-  std::uint64_t seen = 0;
+  /// Fiber backend: in-flight fibers assigned here (rank i of every live
+  /// submission with i % W == id). Appended by submit(), removed only by
+  /// this worker's thread; both under mu. Bookkeeping only — dispatch
+  /// runs off ready_q, so its size never enters the per-wake cost.
+  std::vector<Fiber*> fibers;
+  /// Fiber backend: pending wakes, one entry per wake_fiber()/submit()
+  /// arm. Entries are hints, not ownership — a pop re-validates against
+  /// the fiber's live/worker/ready state, so duplicates and entries that
+  /// outlived their fiber's life are skipped in O(1). This keeps a wake
+  /// O(1) regardless of how many fibers (from how many concurrent
+  /// submissions) reside here — the scan-the-world design it replaces
+  /// made every message delivery O(resident fibers), which quadrupling
+  /// the in-flight runs turned into a net slowdown.
+  std::deque<Fiber*> ready_q;
+  /// Thread backend: pending rank tasks, FIFO in submission order.
+  std::deque<Task> tasks;
   std::thread thread;
 };
 
@@ -128,26 +239,23 @@ RankScheduler::RankScheduler(int p) : p_(p), use_fibers_(fibers_requested()) {
                     std::numeric_limits<int>::max());
     if (w > p) w = p;  // more workers than ranks is just idle threads
   }
-  fibers_.reserve(static_cast<std::size_t>(p));
+  // Seed the freelist with one fiber per rank; concurrent submissions
+  // grow it on demand and every stack is reused afterwards.
+  all_fibers_.reserve(static_cast<std::size_t>(p));
+  free_fibers_.reserve(static_cast<std::size_t>(p));
   for (int i = 0; i < p; ++i) {
     auto f = std::make_unique<Fiber>();
-    f->sched = this;
-    f->index = i;
 #if CATRSM_HAVE_UCONTEXT
     if (use_fibers_) f->stack.allocate(kFiberStackBytes);
 #endif
-    fibers_.push_back(std::move(f));
+    free_fibers_.push_back(f.get());
+    all_fibers_.push_back(std::move(f));
   }
   workers_.reserve(static_cast<std::size_t>(w));
   for (int i = 0; i < w; ++i) {
     auto worker = std::make_unique<Worker>();
     worker->sched = this;
     worker->id = i;
-    for (int r = i; r < p; r += w) {
-      Fiber* f = fibers_[static_cast<std::size_t>(r)].get();
-      f->worker = worker.get();
-      worker->fibers.push_back(f);
-    }
     workers_.push_back(std::move(worker));
   }
   for (auto& worker : workers_)
@@ -155,54 +263,161 @@ RankScheduler::RankScheduler(int p) : p_(p), use_fibers_(fibers_requested()) {
 }
 
 RankScheduler::~RankScheduler() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    // The empty critical section pairs with the worker's locked
+    // scan-then-wait, so the notify cannot slip between scan and sleep.
+    { std::lock_guard<std::mutex> lock(w->mu); }
+    w->cv.notify_all();
   }
-  start_cv_.notify_all();
   for (auto& w : workers_) w->thread.join();
 }
 
-void RankScheduler::run(const std::function<void(int)>& job) {
+RankScheduler::SubmissionPtr RankScheduler::submit(
+    std::function<void(int)> job, std::function<void()> on_complete) {
   CATRSM_CHECK(tls_fiber == nullptr,
-               "scheduler: run() must not be called from a simulated rank");
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    CATRSM_CHECK(remaining_workers_ == 0, "scheduler: run() is not reentrant");
-    for (auto& f : fibers_) {
-      f->finished = false;
-      f->ready.store(true, std::memory_order_relaxed);
+               "scheduler: submit() must not be called from a simulated rank");
+  auto sub = std::make_shared<Submission>();
+  sub->job = std::move(job);
+  sub->on_complete = std::move(on_complete);
+  sub->remaining.store(p_, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  const int w = static_cast<int>(workers_.size());
+  if (use_fibers_) {
+#if CATRSM_HAVE_UCONTEXT
+    std::vector<Fiber*> picked(static_cast<std::size_t>(p_));
+    {
+      std::lock_guard<std::mutex> lock(free_mu_);
+      for (int i = 0; i < p_; ++i) {
+        if (free_fibers_.empty()) {
+          auto f = std::make_unique<Fiber>();
+          f->stack.allocate(kFiberStackBytes);
+          free_fibers_.push_back(f.get());
+          all_fibers_.push_back(std::move(f));
+        }
+        picked[static_cast<std::size_t>(i)] = free_fibers_.back();
+        free_fibers_.pop_back();
+      }
     }
-    job_ = &job;
-    remaining_workers_ = static_cast<int>(workers_.size());
-    ++generation_;
+    for (int i = 0; i < p_; ++i) {
+      Fiber* f = picked[static_cast<std::size_t>(i)];
+      Worker* home = workers_[static_cast<std::size_t>(i % w)].get();
+      f->index = i;
+      f->sub = sub;
+      f->finished = false;
+#if CATRSM_FAST_SWAP
+      // Arm a fresh frame at the stack top shaped exactly like one the
+      // save sequence of catrsm_ctx_swap would have produced, with the
+      // entry thunk as the return target and the Fiber* / entry function
+      // seeded into the r12 / r13 slots. The first swap into the fiber
+      // then simply "returns" into catrsm_ctx_entry.
+      std::uint32_t mxcsr = 0;
+      std::uint16_t fcw = 0;
+      asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+      const std::uintptr_t top =
+          (reinterpret_cast<std::uintptr_t>(f->stack.sp()) + f->stack.size()) &
+          ~static_cast<std::uintptr_t>(15);
+      auto* frame = reinterpret_cast<std::uint64_t*>(top);
+      *--frame = reinterpret_cast<std::uint64_t>(&catrsm_ctx_entry);  // ret
+      *--frame = 0;                                                   // rbp
+      *--frame = 0;                                                   // rbx
+      *--frame = reinterpret_cast<std::uint64_t>(f);                  // r12
+      *--frame = reinterpret_cast<std::uint64_t>(&fiber_main);        // r13
+      *--frame = 0;                                                   // r14
+      *--frame = 0;                                                   // r15
+      *--frame = static_cast<std::uint64_t>(mxcsr) << 32 | fcw;       // fpu
+      f->fast_sp = frame;
+#else
+      // Arm the context at the trampoline. ucontext structs are plain
+      // data until swapped into, so seeding them here on the submitting
+      // thread is safe; uc_link returns control to the owning worker.
+      getcontext(&f->ctx);
+      f->ctx.uc_stack.ss_sp = f->stack.sp();
+      f->ctx.uc_stack.ss_size = f->stack.size();
+      f->ctx.uc_link = &home->sched_ctx;
+      const auto addr = reinterpret_cast<std::uintptr_t>(f);
+      makecontext(&f->ctx, reinterpret_cast<void (*)()>(&fiber_trampoline), 2,
+                  static_cast<unsigned int>(addr >> 32),
+                  static_cast<unsigned int>(addr & 0xffffffffu));
+#endif
+      // Order matters for stale-entry filtering: home worker first, then
+      // the live flag (release), so any pop that observes live == true
+      // also observes the new worker assignment.
+      f->worker.store(home, std::memory_order_relaxed);
+      f->live.store(true, std::memory_order_release);
+      f->ready.store(true, std::memory_order_release);
+    }
+    for (auto& worker : workers_) {
+      bool added = false;
+      {
+        std::lock_guard<std::mutex> lock(worker->mu);
+        for (int i = worker->id; i < p_; i += w) {
+          worker->fibers.push_back(picked[static_cast<std::size_t>(i)]);
+          worker->ready_q.push_back(picked[static_cast<std::size_t>(i)]);
+          added = true;
+        }
+      }
+      if (added) worker->cv.notify_all();
+    }
+#else
+    throw Error("scheduler: fiber backend unavailable on this platform");
+#endif
+  } else {
+    // FIFO per worker in one submission order: every worker sees run A's
+    // task before run B's, so concurrent submissions pipeline without
+    // cross-submission blocking (W == p: each rank has its own worker).
+    for (int i = 0; i < p_; ++i) {
+      Worker& worker = *workers_[static_cast<std::size_t>(i % w)];
+      {
+        std::lock_guard<std::mutex> lock(worker.mu);
+        worker.tasks.push_back(Task{sub, i});
+      }
+      worker.cv.notify_all();
+    }
   }
-  start_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return remaining_workers_ == 0; });
-  job_ = nullptr;
+  return sub;
+}
+
+void RankScheduler::wait(const SubmissionPtr& sub) {
+  CATRSM_CHECK(tls_fiber == nullptr,
+               "scheduler: wait() must not be called from a simulated rank");
+  std::unique_lock<std::mutex> lock(sub->mu);
+  sub->cv.wait(lock, [&] { return sub->done; });
+}
+
+bool RankScheduler::done(const SubmissionPtr& sub) {
+  std::lock_guard<std::mutex> lock(sub->mu);
+  return sub->done;
+}
+
+void RankScheduler::run(const std::function<void(int)>& job) {
+  wait(submit(job));
+}
+
+void RankScheduler::complete_task(const SubmissionPtr& sub) {
+  if (sub->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last rank of the submission: completion callback runs before waiters
+  // are released so its effects are visible when wait() returns.
+  if (sub->on_complete) sub->on_complete();
+  // Drop the job and callback now: they may close over state that owns
+  // this submission (e.g. the machine's per-run context), and keeping
+  // them alive would make that ownership a reference cycle.
+  sub->job = nullptr;
+  sub->on_complete = nullptr;
+  completed_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    sub->done = true;
+  }
+  sub->cv.notify_all();
 }
 
 void RankScheduler::worker_loop(Worker& w) {
-  while (true) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock,
-                     [&] { return shutdown_ || generation_ != w.seen; });
-      if (shutdown_) return;
-      w.seen = generation_;
-    }
-    if (use_fibers_) {
-      fiber_worker_loop(w);
-    } else {
-      thread_worker_loop(w);
-    }
-    bool last = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      last = --remaining_workers_ == 0;
-    }
-    if (last) done_cv_.notify_all();
+  if (use_fibers_) {
+    fiber_worker_loop(w);
+  } else {
+    thread_worker_loop(w);
   }
 }
 
@@ -210,13 +425,24 @@ void RankScheduler::worker_loop(Worker& w) {
 // Thread backend: one worker per rank, kernel-scheduled blocking.
 
 void RankScheduler::thread_worker_loop(Worker& w) {
-  for (Fiber* f : w.fibers) {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] {
+        return shutdown_.load(std::memory_order_acquire) || !w.tasks.empty();
+      });
+      if (w.tasks.empty()) return;  // shutdown with nothing pending
+      task = std::move(w.tasks.front());
+      w.tasks.pop_front();
+    }
     // Mark the rank body so kernel-pool fan-out stays off inside it (p
     // ranks already occupy the cores).
     const bool prev = exec::set_in_sim_rank(true);
-    (*job_)(f->index);
+    (task.sub->job)(task.index);
     exec::set_in_sim_rank(prev);
-    f->finished = true;
+    complete_task(task.sub);
+    task.sub.reset();
   }
 }
 
@@ -230,55 +456,88 @@ void RankScheduler::fiber_trampoline(unsigned int hi, unsigned int lo) {
       (static_cast<std::uintptr_t>(hi) << 32) |
       static_cast<std::uintptr_t>(lo));
   try {
-    (*f->sched->job_)(f->index);
+    (f->sub->job)(f->index);
   } catch (...) {
-    // The job contract forbids leaks (Machine::run catches rank errors);
+    // The job contract forbids leaks (Machine catches rank errors);
     // swallow so a violation cannot unwind across the context switch.
   }
   f->finished = true;
   // Returning resumes uc_link == the worker's scheduler context.
 }
 
-void RankScheduler::fiber_worker_loop(Worker& w) {
-  // Arm every fiber's context at its entry point; stacks persist across
-  // runs, only the register state is re-seeded.
-  for (Fiber* f : w.fibers) {
-    getcontext(&f->ctx);
-    f->ctx.uc_stack.ss_sp = f->stack.sp();
-    f->ctx.uc_stack.ss_size = f->stack.size();
-    f->ctx.uc_link = &w.sched_ctx;
-    const auto addr = reinterpret_cast<std::uintptr_t>(f);
-    makecontext(&f->ctx, reinterpret_cast<void (*)()>(&fiber_trampoline), 2,
-                static_cast<unsigned int>(addr >> 32),
-                static_cast<unsigned int>(addr & 0xffffffffu));
+#if CATRSM_FAST_SWAP
+void RankScheduler::fiber_main(void* fiber) {
+  auto* f = static_cast<Fiber*>(fiber);
+  try {
+    (f->sub->job)(f->index);
+  } catch (...) {
+    // The job contract forbids leaks (Machine catches rank errors);
+    // swallow so a violation cannot unwind across the context switch.
   }
+  f->finished = true;
+  // Final switch back to the owning worker (the uc_link return of the
+  // ucontext path, made explicit). The saved frame is dead: the next
+  // submit() re-arms the stack from the top.
+  catrsm_ctx_swap(&f->fast_sp,
+                  f->worker.load(std::memory_order_relaxed)->sched_sp);
+  __builtin_unreachable();
+}
+#else
+void RankScheduler::fiber_main(void*) {}
+#endif
 
-  std::size_t live = w.fibers.size();
-  while (live > 0) {
-    bool progressed = false;
-    for (Fiber* f : w.fibers) {
-      if (f->finished) continue;
-      if (!f->ready.exchange(false, std::memory_order_acquire)) continue;
-      tls_fiber = static_cast<void*>(f);
-      // The residency window doubles as the sim-rank mark: while the
-      // worker thread is inside the fiber, kernel-pool fan-out is off.
-      const bool prev = exec::set_in_sim_rank(true);
-      swapcontext(&w.sched_ctx, &f->ctx);
-      exec::set_in_sim_rank(prev);
-      tls_fiber = nullptr;
-      if (f->finished) --live;
-      progressed = true;
+void RankScheduler::fiber_worker_loop(Worker& w) {
+  while (true) {
+    Fiber* f = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] {
+        if (!w.ready_q.empty()) return true;
+        // Shutdown only matters once nothing resides here; a resident
+        // blocked fiber's wake will arrive as a queue entry.
+        return shutdown_.load(std::memory_order_acquire) &&
+               w.fibers.empty();
+      });
+      if (w.ready_q.empty()) return;  // shutdown, nothing resident
+      f = w.ready_q.front();
+      w.ready_q.pop_front();
     }
-    if (live == 0 || progressed) continue;
-    // Every remaining fiber is blocked on a message from another worker:
-    // park until a deliver (or abort) marks one runnable.
-    std::unique_lock<std::mutex> lock(w.mu);
-    w.cv.wait(lock, [&] {
-      for (Fiber* f : w.fibers)
-        if (!f->finished && f->ready.load(std::memory_order_acquire))
-          return true;
-      return false;
-    });
+    // Entries are hints: re-validate before switching in. A fiber whose
+    // life ended (live false), one recycled onto another worker, or a
+    // duplicate wake whose ready flag was already consumed is skipped.
+    if (!f->live.load(std::memory_order_acquire)) continue;
+    if (f->worker.load(std::memory_order_acquire) != &w) continue;
+    if (!f->ready.exchange(false, std::memory_order_acquire)) continue;
+    tls_fiber = static_cast<void*>(f);
+    // The residency window doubles as the sim-rank mark: while the
+    // worker thread is inside the fiber, kernel-pool fan-out is off.
+    const bool prev = exec::set_in_sim_rank(true);
+#if CATRSM_FAST_SWAP
+    catrsm_ctx_swap(&w.sched_sp, f->fast_sp);
+#else
+    swapcontext(&w.sched_ctx, &f->ctx);
+#endif
+    exec::set_in_sim_rank(prev);
+    tls_fiber = nullptr;
+    if (f->finished) {
+      // live drops before the freelist push, so any entry still naming
+      // this life is filtered; the next submit() re-arms live under the
+      // freelist lock's ordering.
+      f->live.store(false, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(w.mu);
+        w.fibers.erase(std::find(w.fibers.begin(), w.fibers.end(), f));
+      }
+      // Recycle before completing: the stack is quiescent (we returned
+      // from the swap) and the submission handle has been moved out, so
+      // a concurrent submit() may re-arm it immediately.
+      SubmissionPtr sub = std::move(f->sub);
+      {
+        std::lock_guard<std::mutex> lock(free_mu_);
+        free_fibers_.push_back(f);
+      }
+      complete_task(sub);
+    }
   }
 }
 
@@ -287,18 +546,28 @@ void* RankScheduler::current_fiber() { return tls_fiber; }
 void RankScheduler::block_current_fiber() {
   auto* f = static_cast<Fiber*>(tls_fiber);
   CATRSM_CHECK(f != nullptr, "block_current_fiber: not on a fiber");
-  // A wake that raced ahead of the park is consumed without switching.
+  // A wake that raced ahead of the park is consumed without switching
+  // (its queue entry pops later with ready already false and is skipped).
   if (f->ready.exchange(false, std::memory_order_acquire)) return;
-  swapcontext(&f->ctx, &f->worker->sched_ctx);
+#if CATRSM_FAST_SWAP
+  catrsm_ctx_swap(&f->fast_sp,
+                  f->worker.load(std::memory_order_relaxed)->sched_sp);
+#else
+  swapcontext(&f->ctx, &f->worker.load(std::memory_order_relaxed)->sched_ctx);
+#endif
 }
 
 void RankScheduler::wake_fiber(void* fiber) {
   auto* f = static_cast<Fiber*>(fiber);
+  // Flag first, entry second: once the entry is visible the flag is too,
+  // so a pop can never find a genuine wake's entry with a stale flag.
   f->ready.store(true, std::memory_order_release);
-  // The empty critical section pairs with the worker's locked scan-then-
-  // wait, so the notify can never slip between its scan and its sleep.
-  { std::lock_guard<std::mutex> lock(f->worker->mu); }
-  f->worker->cv.notify_all();
+  Worker* w = f->worker.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->ready_q.push_back(f);
+  }
+  w->cv.notify_one();
 }
 
 #else  // !CATRSM_HAVE_UCONTEXT
@@ -314,10 +583,5 @@ void RankScheduler::block_current_fiber() {
 void RankScheduler::wake_fiber(void*) {}
 
 #endif  // CATRSM_HAVE_UCONTEXT
-
-void RankScheduler::wake_all_fibers() {
-  if (!use_fibers_) return;
-  for (auto& f : fibers_) wake_fiber(f.get());
-}
 
 }  // namespace catrsm::sim

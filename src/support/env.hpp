@@ -17,6 +17,10 @@ namespace catrsm::env {
 /// out-of-range values warn on stderr and return `fallback`.
 int int_or(const char* name, int fallback, long lo, long hi);
 
+/// Same contract for 64-bit knobs (byte budgets exceed int range).
+long long int64_or(const char* name, long long fallback, long long lo,
+                   long long hi);
+
 /// Parse `name` as a boolean flag: any valid integer, nonzero = true
 /// (matching the historical CATRSM_SIM_FIBERS=0 convention). Unset or
 /// empty returns `fallback`; malformed values warn and return `fallback`.

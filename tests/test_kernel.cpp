@@ -226,9 +226,11 @@ TEST(KernelPool, GemmBitIdenticalAcrossPoolSizes) {
   // The team split only decides WHICH thread owns a band of C rows and
   // which B strips it packs, never what any element computes, so any pool
   // size must reproduce the single-threaded result exactly (Frobenius
-  // distance 0, not merely small). n = 1024 exercises multiple kc passes
-  // AND multiple mc blocks per thread band under the new partitioning.
-  for (const index_t n : {129, 257, 512, 1024}) {
+  // distance 0, not merely small). Sizes sit past the MT flop threshold
+  // (2n^3 > 3.0e8) so the pool genuinely engages: n = 543 (odd) exercises
+  // the remainder rows of the band split, n = 1024 multiple kc passes AND
+  // multiple mc blocks per thread band under the new partitioning.
+  for (const index_t n : {543, 1024}) {
     const Matrix a = make_dense(901 + n, n, n);
     const Matrix b = make_dense(902 + n, n, n);
     Matrix c1(n, n);
@@ -247,6 +249,24 @@ TEST(KernelPool, GemmBitIdenticalAcrossPoolSizes) {
       EXPECT_EQ(frobenius_distance(c1, cn), 0.0)
           << "n=" << n << " threads=" << threads;
     }
+  }
+  // Below the threshold every pool size stays inline; results must of
+  // course still match (guards against a fan-out decision that depends
+  // on anything but the flop count).
+  for (const index_t n : {129, 257}) {
+    const Matrix a = make_dense(901 + n, n, n);
+    const Matrix b = make_dense(902 + n, n, n);
+    Matrix c1(n, n);
+    {
+      PoolThreads single(1);
+      c1 = matmul(a, b);
+    }
+    PoolThreads multi(4);
+    const auto before = kernel::ThreadPool::dispatches();
+    const Matrix cn = matmul(a, b);
+    EXPECT_EQ(kernel::ThreadPool::dispatches(), before)
+        << "n=" << n << " fanned out below the MT flop threshold";
+    EXPECT_TRUE(c1.equals(cn)) << "n=" << n;
   }
 }
 

@@ -250,7 +250,7 @@ TEST(Machine, RankContextKernelCallsDoNotSpawnPoolWorkers) {
   // scheduler already multiplexes p ranks over the cores, and the
   // sim-context TLS flag tells the pool to run inline.
   la::kernel::ThreadPool::set_threads_for_testing(4);
-  const la::index_t n = 192;  // 2n^3 is past the pool's fan-out threshold
+  const la::index_t n = 544;  // 2n^3 is past the pool's fan-out threshold
   const la::Matrix a = la::make_dense(1201, n, n);
   const la::Matrix b = la::make_dense(1202, n, n);
 
